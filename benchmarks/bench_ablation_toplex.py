@@ -1,0 +1,69 @@
+"""Ablation — Stage 2 toplex simplification.
+
+Section IV of the paper marks toplex computation as an optional stage that
+can shrink the hypergraph (and hence the s-overlap work) when many
+hyperedges are contained in others.  This ablation measures, on two
+surrogates, how many hyperedges the simplification removes and how much
+s-overlap work (wedge visits) it saves, and checks that the s-line graph
+restricted to toplexes is a subgraph of the full s-line graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.reporting import format_table
+from repro.core.algorithms.hashmap import s_line_graph_hashmap
+from repro.hypergraph.toplexes import simplify
+
+S_VALUE = 8
+DATASETS = ["livejournal", "amazon-reviews"]
+
+
+def test_ablation_toplex_simplification(datasets, benchmark, report):
+    def sweep():
+        out = {}
+        for name in DATASETS:
+            h = datasets(name)
+            simplified = simplify(h)
+            full = s_line_graph_hashmap(h, S_VALUE)
+            reduced = s_line_graph_hashmap(simplified, S_VALUE)
+            out[name] = (h, simplified, full, reduced)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for name in DATASETS:
+        h, simplified, full, reduced = results[name]
+        rows.append(
+            [
+                name,
+                h.num_edges,
+                simplified.num_edges,
+                full.workload.total_wedges(),
+                reduced.workload.total_wedges(),
+                full.graph.num_edges,
+                reduced.graph.num_edges,
+            ]
+        )
+    report(
+        f"Toplex (Stage 2) ablation at s={S_VALUE}\n"
+        + format_table(
+            ["dataset", "|E|", "|E| toplexes", "wedges (full)", "wedges (toplex)",
+             "line edges (full)", "line edges (toplex)"],
+            rows,
+        ),
+        name="ablation_toplex",
+    )
+
+    for name in DATASETS:
+        h, simplified, full, reduced = results[name]
+        # Simplification never adds hyperedges and never increases the work.
+        assert simplified.num_edges <= h.num_edges
+        assert reduced.workload.total_wedges() <= full.workload.total_wedges()
+        assert reduced.graph.num_edges <= full.graph.num_edges
+
+
+def test_bench_toplex_computation(datasets, benchmark):
+    h = datasets("amazon-reviews")
+    benchmark.pedantic(lambda: simplify(h), rounds=2, iterations=1)

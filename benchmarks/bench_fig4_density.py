@@ -1,0 +1,63 @@
+"""Figure 4 — number of edges in the s-clique graph versus s (log-log decay).
+
+The paper plots the edge count of the s-clique graphs of disGeNet, condMat,
+compBoard and lesMis against s and observes a rapid (roughly exponential)
+sparsification as s grows.  We regenerate the four series on the surrogates
+and assert the monotone, multiplicative decay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.reporting import format_table
+from repro.core.dispatch import s_line_graph_ensemble
+from repro.generators.datasets import (
+    compboard_surrogate,
+    condmat_surrogate,
+    disgenet_surrogate,
+    lesmis_surrogate,
+)
+
+S_SWEEP = [1, 2, 4, 8, 16]
+
+
+@pytest.fixture(scope="module")
+def figure4_datasets(bench_seed):
+    return {
+        "disGeNet": disgenet_surrogate(seed=bench_seed),
+        "condMat": condmat_surrogate(seed=bench_seed),
+        "compBoard": compboard_surrogate(seed=bench_seed),
+        "lesMis": lesmis_surrogate(seed=bench_seed),
+    }
+
+
+def test_fig4_sclique_edge_decay(figure4_datasets, benchmark, report):
+    def collect():
+        series = {}
+        for name, h in figure4_datasets.items():
+            # The s-clique graph is the s-line graph of the dual hypergraph.
+            ensemble = s_line_graph_ensemble(h.dual(), S_SWEEP)
+            series[name] = ensemble.edge_counts()
+        return series
+
+    series = benchmark.pedantic(collect, rounds=1, iterations=1)
+    headers = ["s"] + list(series)
+    rows = [[s] + [series[name][s] for name in series] for s in S_SWEEP]
+    report(
+        "Figure 4 reproduction: edges in the s-clique graph\n"
+        + format_table(headers, rows),
+        name="fig4_density",
+    )
+
+    for name, counts in series.items():
+        values = [counts[s] for s in S_SWEEP]
+        # Monotone non-increasing in s ...
+        assert values == sorted(values, reverse=True), name
+        # ... and decaying by a large factor across the sweep (log-log drop-off).
+        assert values[0] > 10 * max(values[-1], 1), name
+
+
+def test_bench_sclique_ensemble_disgenet(figure4_datasets, benchmark):
+    h = figure4_datasets["disGeNet"].dual()
+    benchmark.pedantic(lambda: s_line_graph_ensemble(h, S_SWEEP), rounds=2, iterations=1)

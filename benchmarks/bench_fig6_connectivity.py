@@ -1,0 +1,49 @@
+"""Figure 6 / Section V-B — normalized algebraic connectivity of condMat s-line graphs.
+
+The paper computes an ensemble of s-line graphs (s = 1..16) of the condMat
+author–paper hypergraph and plots the normalized algebraic connectivity:
+the values decrease through s = 12 (sparse collaboration) and rise sharply
+at s = 13 (authors with 13+ joint papers form dense collectives).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.authors import coauthorship_connectivity
+from repro.benchmarks.reporting import format_series
+from repro.generators.datasets import condmat_surrogate
+
+S_RANGE = range(1, 17)
+
+
+@pytest.fixture(scope="module")
+def condmat(bench_seed):
+    return condmat_surrogate(seed=bench_seed)
+
+
+def test_fig6_normalized_algebraic_connectivity(condmat, benchmark, report):
+    result = benchmark.pedantic(
+        lambda: coauthorship_connectivity(condmat, s_values=S_RANGE),
+        rounds=1, iterations=1,
+    )
+    series = {s: round(result.connectivity[s], 4) for s in result.s_values}
+    report(
+        "Figure 6 reproduction: normalized algebraic connectivity vs s\n"
+        + format_series(series, x_label="s", y_label="norm. algebraic connectivity"),
+        name="fig6_connectivity",
+    )
+
+    # Decreasing through the mid-range, sharp rise at s = 13, non-trivial to s = 16.
+    for s in range(5, 13):
+        assert result.connectivity[s] <= result.connectivity[s - 1] + 1e-9
+    assert result.rises_at() == 13
+    assert result.connectivity[13] > 5 * result.connectivity[12]
+    assert result.max_nontrivial_s() == 16
+
+
+def test_bench_connectivity_ensemble(condmat, benchmark):
+    benchmark.pedantic(
+        lambda: coauthorship_connectivity(condmat, s_values=range(1, 17)),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,80 @@
+"""Figure 7 — speedup of the twelve algorithm variants relative to 1CN (s = 8).
+
+The paper runs Algorithm 1 and Algorithm 2 under blocked/cyclic partitioning
+and ascending/descending/no relabelling on five datasets and normalises the
+runtimes to 1CN (Algorithm 1, cyclic, no relabelling).  The headline result:
+the hashmap variants (2xx) beat every Algorithm 1 variant, reaching ≈5–31×
+on Web and LiveJournal.  We regenerate the bar chart's data series on three
+surrogates and assert the ordering (every 2xx variant beats 1CN; the best
+hashmap variant achieves a substantial speedup).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.reporting import format_table
+from repro.core.algorithms.registry import ALL_VARIANTS, run_variant
+
+S_VALUE = 8
+DATASET_NAMES = ["livejournal", "web", "friendster"]
+NUM_WORKERS = 4
+
+
+def measure_dataset(h):
+    runtimes = {}
+    for notation in ALL_VARIANTS:
+        result = run_variant(h, S_VALUE, notation, num_workers=NUM_WORKERS)
+        runtimes[notation] = result.total_seconds
+    return runtimes
+
+
+def test_fig7_variant_speedups(datasets, benchmark, report):
+    def collect():
+        return {name: measure_dataset(datasets(name)) for name in DATASET_NAMES}
+
+    runtimes = benchmark.pedantic(collect, rounds=1, iterations=1)
+    speedups = {
+        name: {v: runtimes[name]["1CN"] / runtimes[name][v] for v in ALL_VARIANTS}
+        for name in DATASET_NAMES
+    }
+    headers = ["variant"] + [f"{name} speedup vs 1CN" for name in DATASET_NAMES]
+    rows = [
+        [variant] + [round(speedups[name][variant], 2) for name in DATASET_NAMES]
+        for variant in ALL_VARIANTS
+    ]
+    report(
+        f"Figure 7 reproduction: speedup relative to 1CN (s={S_VALUE}, {NUM_WORKERS} workers)\n"
+        + format_table(headers, rows),
+        name="fig7_variants",
+    )
+
+    for name in DATASET_NAMES:
+        hashmap_speedups = [speedups[name][v] for v in ALL_VARIANTS if v.startswith("2")]
+        heuristic_speedups = [speedups[name][v] for v in ALL_VARIANTS if v.startswith("1")]
+        # No Algorithm 2 variant is meaningfully slower than the 1CN baseline
+        # (the paper's Friendster/Amazon panels show some 2xx variants near 1x)...
+        assert min(hashmap_speedups) > 0.8, name
+        # ...the best hashmap variant is several times faster...
+        assert max(hashmap_speedups) > 2.0, name
+        # ...and the best Algorithm 2 variant beats the best Algorithm 1 variant.
+        assert max(hashmap_speedups) > max(heuristic_speedups), name
+    # The skewed, larger inputs see the big wins (the paper reports 5-31x there).
+    for name in ("livejournal", "web"):
+        assert max(speedups[name][v] for v in ALL_VARIANTS if v.startswith("2")) > 4.0, name
+
+
+def test_bench_best_variant_2ba_livejournal(datasets, benchmark):
+    h = datasets("livejournal")
+    benchmark.pedantic(
+        lambda: run_variant(h, S_VALUE, "2BA", num_workers=NUM_WORKERS),
+        rounds=2, iterations=1,
+    )
+
+
+def test_bench_baseline_variant_1cn_livejournal(datasets, benchmark):
+    h = datasets("livejournal")
+    benchmark.pedantic(
+        lambda: run_variant(h, S_VALUE, "1CN", num_workers=NUM_WORKERS),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,72 @@
+"""Figure 9 — weak scaling of Algorithm 2 on the activeDNS dataset.
+
+The paper doubles the activeDNS input (from 4 to 128 AVRO files) while
+doubling the thread count and reports runtimes for s = 2, 4, 8, observing
+that larger s values keep the runtime flatter (degree pruning removes more
+work).  We reproduce the sweep with the activeDNS surrogate scaled
+proportionally to the worker count and report both the work model (wedges on
+the critical path) and wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.benchmarks.reporting import format_table
+from repro.core.algorithms.hashmap import s_line_graph_hashmap
+from repro.generators.datasets import load_dataset
+from repro.parallel.executor import ParallelConfig
+
+S_VALUES = (2, 4, 8)
+STEPS = [(1, 0.1), (2, 0.2), (4, 0.4), (8, 0.8)]  # (workers, dataset scale)
+
+
+def test_fig9_weak_scaling(bench_seed, benchmark, report):
+    def sweep():
+        rows = []
+        for workers, scale in STEPS:
+            h = load_dataset("activedns", scale=scale, seed=bench_seed)
+            per_s = {}
+            for s in S_VALUES:
+                config = ParallelConfig(num_workers=workers, strategy="blocked")
+                start = time.perf_counter()
+                result = s_line_graph_hashmap(h, s, config=config)
+                elapsed = time.perf_counter() - start
+                per_s[s] = (elapsed, int(result.workload.visits_per_worker().max()))
+            rows.append((workers, scale, h.num_edges, per_s))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["workers", "scale", "|E|"] + [
+        f"s={s} (sec / max wedges per worker)" for s in S_VALUES
+    ]
+    table_rows = []
+    for workers, scale, num_edges, per_s in rows:
+        table_rows.append(
+            [workers, scale, num_edges]
+            + [f"{per_s[s][0]:.3f}s / {per_s[s][1]}" for s in S_VALUES]
+        )
+    report(
+        "Figure 9 reproduction: weak scaling on activeDNS surrogate\n"
+        + format_table(headers, table_rows),
+        name="fig9_weak_scaling",
+    )
+
+    # Larger s prunes more work at every step (the paper's observation that
+    # performance improves with larger s values).
+    for _, _, _, per_s in rows:
+        work = [per_s[s][1] for s in S_VALUES]
+        assert work == sorted(work, reverse=True)
+    # Weak-scaling work model: the per-worker critical path grows far slower
+    # than the total input (ideal would be flat; allow 4x drift over an 8x
+    # input growth).
+    first = rows[0][3][8][1]
+    last = rows[-1][3][8][1]
+    assert last <= 6 * max(first, 1)
+
+
+def test_bench_activedns_s8(datasets, benchmark):
+    h = datasets("activedns")
+    benchmark.pedantic(lambda: s_line_graph_hashmap(h, 8), rounds=2, iterations=1)

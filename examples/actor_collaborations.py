@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Uncovering collaborations among actors (paper Section V-C).
+
+Builds an actor–movie hypergraph (IMDB surrogate with the paper's planted
+collaboration groups), computes the 100-line graph and reports the
+100-connected components and the 100-betweenness centrality of their
+members.  The paper finds a star-shaped component centred on Adoor Bhasi
+(centrality 0.11, all partners 0) plus three actor pairs; the surrogate
+reproduces the same structure.
+
+Run:  python examples/actor_collaborations.py [--threshold 100] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.apps.actors import find_collaborations
+from repro.generators.datasets import imdb_surrogate
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--threshold", type=int, default=100,
+        help="collaboration threshold s (minimum number of shared movies)",
+    )
+    parser.add_argument("--actors", type=int, default=600, help="number of background actors")
+    parser.add_argument("--seed", type=int, default=0, help="surrogate dataset seed")
+    args = parser.parse_args()
+
+    hypergraph = imdb_surrogate(num_background_actors=args.actors, seed=args.seed)
+    print(
+        f"Actor-movie hypergraph: {hypergraph.num_edges} actors over "
+        f"{hypergraph.num_vertices} movies"
+    )
+
+    result = find_collaborations(hypergraph, s=args.threshold)
+
+    print(f"\n(compute {args.threshold}-line graph)  "
+          f"{result.times.get('s_line_graph') * 1e3:.1f} ms, "
+          f"{result.line_graph_edges} edges")
+    print(f"(compute s-connected components)  "
+          f"{result.times.get('s_connected_components') * 1e3:.1f} ms")
+    print(f"Here are the {args.threshold}-connected components:")
+    for component in result.components:
+        print("  [" + ", ".join(component) + "]")
+
+    print(f"\n(compute s-betweenness centrality)  "
+          f"{result.times.get('s_betweenness') * 1e3:.1f} ms")
+    if result.central_actors:
+        for actor, score in result.central_actors.items():
+            print(f"  {actor}({score:.4f})")
+    else:
+        print("  no actor has a non-zero centrality score")
+
+    print(
+        f"\nMost central actor: {result.most_central_actor()} "
+        "(the paper identifies Adoor Bhasi as the centre of a star component)"
+    )
+    print(f"Total analysis time: {result.times.total * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

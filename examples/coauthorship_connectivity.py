@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Revealing relationships among authors via spectral analysis (paper Section V-B).
+
+Builds an author–paper hypergraph (condMat surrogate), computes the ensemble
+of s-line graphs for s = 1..16 in a single counting pass (Algorithm 3) and
+tracks the normalized algebraic connectivity of each — the quantity plotted
+in the paper's Figure 6.  Decreasing values through s = 12 reveal sparse
+collaboration; the sharp rise at s = 13 shows that authors who co-author 13+
+papers form densely connected collectives.
+
+Run:  python examples/coauthorship_connectivity.py [--papers 1600] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.apps.authors import coauthorship_connectivity
+from repro.generators.datasets import condmat_surrogate
+
+
+def ascii_bar(value: float, scale: float = 40.0) -> str:
+    """Render a value in [0, ~1.2] as a crude ASCII bar."""
+    return "#" * max(1, int(value * scale)) if value > 0 else ""
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--papers", type=int, default=1600, help="number of papers (hyperedges)")
+    parser.add_argument("--seed", type=int, default=0, help="surrogate dataset seed")
+    parser.add_argument("--max-s", type=int, default=16, help="largest s to sweep")
+    args = parser.parse_args()
+
+    hypergraph = condmat_surrogate(num_papers=args.papers, seed=args.seed)
+    print(
+        f"Author-paper hypergraph: {hypergraph.num_edges} papers, "
+        f"{hypergraph.num_vertices} authors, {hypergraph.num_incidences} authorships"
+    )
+
+    result = coauthorship_connectivity(hypergraph, s_values=range(1, args.max_s + 1))
+
+    print("\nNormalized algebraic connectivity of the s-line graphs (Figure 6):")
+    print(f"{'s':>3s}  {'edges':>7s}  {'lambda_2':>9s}")
+    for s in result.s_values:
+        value = result.connectivity[s]
+        print(
+            f"{s:>3d}  {result.line_graph_sizes[s]:>7d}  {value:>9.4f}  {ascii_bar(value)}"
+        )
+
+    rise = result.rises_at()
+    print(
+        f"\nSharp connectivity rise at s = {rise}: authors with at least {rise} joint "
+        "papers form densely connected collaboration groups (paper: s = 13)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Ranking diseases with PageRank on s-clique graphs (paper Section III-I / Table II).
+
+Builds a disease–gene hypergraph (disGeNet surrogate: genes as hyperedges,
+diseases as vertices), links diseases that share at least s associated genes
+(the s-clique graph = s-line graph of the dual hypergraph) and ranks the
+diseases by PageRank.  The paper's point: the top-ranked diseases and their
+score percentiles are nearly identical for s = 1, 10 and 100 even though the
+s = 100 graph has two orders of magnitude fewer edges.
+
+Run:  python examples/disease_ranking.py [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.apps.diseases import rank_diseases
+from repro.generators.datasets import disgenet_surrogate
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--genes", type=int, default=1400, help="number of genes (hyperedges)")
+    parser.add_argument("--seed", type=int, default=0, help="surrogate dataset seed")
+    parser.add_argument("--top", type=int, default=5, help="top-k diseases to tabulate")
+    args = parser.parse_args()
+
+    hypergraph = disgenet_surrogate(num_genes=args.genes, seed=args.seed)
+    print(
+        f"Disease-gene hypergraph: {hypergraph.num_vertices} diseases, "
+        f"{hypergraph.num_edges} genes"
+    )
+
+    result = rank_diseases(hypergraph, s_values=(1, 10, 100), top_k=args.top)
+
+    print("\ns-clique graph sizes (Table II reports 2.7M / 246K / 12K for the real data):")
+    for s in result.s_values:
+        print(f"  s={s:<4d}: {result.edge_counts[s]} edges")
+
+    print(f"\nTop-{args.top} diseases by PageRank (rank / score percentile), per s:")
+    header = f"{'Disease':<36s}" + "".join(f"   s={s:<8d}" for s in result.s_values)
+    print(header)
+    reference = [name for name, _, _ in result.top_ranked[1]]
+    for name in reference:
+        row = f"{name:<36s}"
+        for s in result.s_values:
+            rank = result.full_rankings[s].get(name)
+            pct = next((p for n, _, p in result.top_ranked[s] if n == name), None)
+            if rank is None:
+                row += "   (absent)  "
+            elif pct is None:
+                row += f"   {rank:<3d}        "
+            else:
+                row += f"   {rank:<3d}({pct:5.1f}%)"
+        print(row)
+
+    stable_10 = result.overlap_of_top_k(1, 10, args.top)
+    stable_100 = result.overlap_of_top_k(1, 100, args.top)
+    print(
+        f"\nTop-{args.top} stability: {stable_10:.0%} retained at s=10, "
+        f"{stable_100:.0%} retained at s=100 "
+        f"(with {result.edge_counts[1] / max(result.edge_counts[100], 1):.0f}x fewer edges)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Identifying genes critical to pathogenic viral response (paper Section V-A).
+
+Builds a gene–condition hypergraph (genes as hyperedges, experimental
+conditions as vertices — the virology transcriptomics surrogate), computes
+s-line graphs for increasing s, and reports s-connected components and
+s-betweenness centrality.  At s = 5 the six planted hub genes stand out,
+with IFIT1 and USP18 (sharing > 100 conditions) ranked highest — the paper's
+headline finding for this application.
+
+Run:  python examples/gene_importance.py [--genes 600] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.apps.genes import identify_important_genes
+from repro.generators.datasets import virology_surrogate
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--genes", type=int, default=600, help="number of genes (hyperedges)")
+    parser.add_argument("--seed", type=int, default=0, help="surrogate dataset seed")
+    parser.add_argument("--top", type=int, default=6, help="how many top genes to report")
+    args = parser.parse_args()
+
+    hypergraph = virology_surrogate(num_genes=args.genes, seed=args.seed)
+    print(
+        f"Gene-condition hypergraph: {hypergraph.num_edges} genes over "
+        f"{hypergraph.num_vertices} experimental conditions"
+    )
+
+    result = identify_important_genes(hypergraph, s_values=(1, 3, 5), top_k=args.top)
+
+    print("\nLine-graph size vs s (the Figure 5 shrinkage):")
+    for s in result.s_values:
+        print(f"  s={s}: {result.line_graph_sizes[s]} edges")
+
+    for s in (3, 5):
+        print(f"\nTop {args.top} genes by {s}-betweenness centrality:")
+        for name, score in result.top_genes[s][: args.top]:
+            print(f"  {name:<12s} {score:.4f}")
+
+    print("\n5-connected components (gene groups perturbed together in >= 5 conditions):")
+    for component in result.components[5][:5]:
+        print(f"  {component}")
+
+    ifit1_usp18 = hypergraph.inc(
+        hypergraph.edge_names.index("IFIT1"), hypergraph.edge_names.index("USP18")
+    )
+    print(f"\nIFIT1 and USP18 share {ifit1_usp18} experimental conditions (paper: > 100)")
+
+
+if __name__ == "__main__":
+    main()

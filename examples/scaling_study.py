@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Algorithm-variant and scaling study on a surrogate dataset (paper Section VI).
+
+Runs the twelve algorithm/partitioning/relabelling variants of the paper's
+Table III on a Table IV surrogate dataset, reports speedups relative to the
+1CN baseline (Figure 7), a strong-scaling sweep over worker counts
+(Figure 8) and the per-worker workload distribution (Figure 10).
+
+Run:  python examples/scaling_study.py [--dataset livejournal] [--scale 0.4] [--s 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import repro
+from repro.benchmarks.reporting import format_series, format_speedups, format_table
+from repro.core.algorithms.registry import ALL_VARIANTS, run_variant
+from repro.generators.datasets import available_datasets, load_dataset
+from repro.parallel.executor import ParallelConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="livejournal", choices=available_datasets())
+    parser.add_argument("--scale", type=float, default=0.4, help="dataset scale factor")
+    parser.add_argument("--s", type=int, default=8, help="overlap threshold")
+    parser.add_argument("--workers", type=int, default=4, help="workers for the variant study")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    h = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    stats = repro.compute_stats(h)
+    print(stats.as_table_row(f"{args.dataset} (scale={args.scale})"))
+
+    # ------------------------------------------------------------------ #
+    # Figure 7: variant speedups relative to 1CN.
+    # ------------------------------------------------------------------ #
+    print(f"\n== Variant study (s={args.s}, {args.workers} workers) ==")
+    runtimes = {}
+    for notation in ALL_VARIANTS:
+        result = run_variant(h, args.s, notation, num_workers=args.workers)
+        runtimes[notation] = result.total_seconds
+    speedups = {k: runtimes["1CN"] / v for k, v in runtimes.items()}
+    print(format_speedups(speedups, baseline="1CN"))
+
+    # ------------------------------------------------------------------ #
+    # Figure 8: strong scaling of Algorithm 2 (thread backend).
+    # ------------------------------------------------------------------ #
+    print("\n== Strong scaling of Algorithm 2 (2CA, thread backend) ==")
+    series = []
+    for workers in (1, 2, 4, 8):
+        start = time.perf_counter()
+        repro.s_line_graph(
+            h, args.s, algorithm="vectorized",
+            config=ParallelConfig(num_workers=workers, strategy="cyclic", backend="thread"),
+        )
+        series.append((workers, time.perf_counter() - start))
+    print(format_series(series, x_label="workers", y_label="seconds"))
+
+    # ------------------------------------------------------------------ #
+    # Figure 10: per-worker workload distribution.
+    # ------------------------------------------------------------------ #
+    print("\n== Workload distribution across 8 logical workers (wedge visits) ==")
+    rows = []
+    for notation in ("2BN", "2CN", "2BA", "2CA", "2BD", "2CD"):
+        result = run_variant(h, args.s, notation, num_workers=8)
+        visits = result.workload.visits_per_worker().tolist()
+        rows.append([notation, result.workload.imbalance()] + visits)
+    headers = ["variant", "imbalance"] + [f"w{i}" for i in range(8)]
+    print(format_table(headers, rows, float_format="{:.2f}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable in offline environments whose setuptools
+predates PEP 660 support (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

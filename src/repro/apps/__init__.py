@@ -1,0 +1,29 @@
+"""Application workflows reproducing Section V and Section III-I of the paper.
+
+* :mod:`repro.apps.genes`    — identify genes critical to pathogenic viral
+  response from a gene–condition hypergraph (Section V-A / Figure 5);
+* :mod:`repro.apps.authors`  — reveal collaboration structure in an
+  author–paper hypergraph via the normalized algebraic connectivity of its
+  s-line graphs (Section V-B / Figure 6);
+* :mod:`repro.apps.actors`   — uncover actor collaborations in an
+  actor–movie hypergraph via 100-connected components and 100-betweenness
+  (Section V-C);
+* :mod:`repro.apps.diseases` — rank diseases by PageRank on the clique
+  expansion versus higher-order s-clique graphs (Section III-I / Table II).
+"""
+
+from repro.apps.genes import identify_important_genes, GeneImportanceResult
+from repro.apps.authors import coauthorship_connectivity, CoauthorshipResult
+from repro.apps.actors import find_collaborations, CollaborationResult
+from repro.apps.diseases import rank_diseases, DiseaseRankingResult
+
+__all__ = [
+    "identify_important_genes",
+    "GeneImportanceResult",
+    "coauthorship_connectivity",
+    "CoauthorshipResult",
+    "find_collaborations",
+    "CollaborationResult",
+    "rank_diseases",
+    "DiseaseRankingResult",
+]

@@ -1,0 +1,30 @@
+"""Shared infrastructure for the experiment-reproduction benchmarks.
+
+The ``benchmarks/`` directory at the repository root contains one module per
+table/figure of the paper; they all use the helpers here to time pipeline
+stages, build speedup tables and print the rows/series the paper reports.
+"""
+
+from repro.benchmarks.harness import (
+    time_callable,
+    stage_breakdown,
+    speedup_table,
+    scaling_series,
+)
+from repro.benchmarks.reporting import (
+    format_table,
+    format_series,
+    format_speedups,
+    print_experiment_header,
+)
+
+__all__ = [
+    "time_callable",
+    "stage_breakdown",
+    "speedup_table",
+    "scaling_series",
+    "format_table",
+    "format_series",
+    "format_speedups",
+    "print_experiment_header",
+]

@@ -1,0 +1,201 @@
+"""Command-line interface for the s-line-graph framework.
+
+Sub-commands mirror the stages of the paper's framework so the library can
+be driven from the shell on hyperedge-list / bipartite-edge-list files or on
+the built-in surrogate datasets:
+
+``stats``        print Table IV-style characteristics of a hypergraph;
+``slinegraph``   compute an s-line graph and write its edge list;
+``components``   report the s-connected components;
+``centrality``   report the top hyperedges by an s-centrality measure;
+``datasets``     list the built-in surrogate datasets;
+``variants``     run the Table III variants and print their speedups.
+
+Examples
+--------
+::
+
+    python -m repro datasets
+    python -m repro stats --dataset livejournal --scale 0.2
+    python -m repro slinegraph --dataset email-euall --s 4 --output lg.txt
+    python -m repro components --input hyperedges.txt --format hyperedges --s 3
+    python -m repro variants --dataset web --s 8 --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.algorithms.registry import ALL_VARIANTS, run_variant
+from repro.core.dispatch import ALGORITHMS, s_line_graph
+from repro.generators.datasets import available_datasets, load_dataset
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.properties import compute_stats
+from repro.io.edgelist import read_bipartite_edgelist, read_hyperedge_list
+from repro.smetrics.centrality import (
+    s_betweenness_centrality,
+    s_closeness_centrality,
+    s_pagerank,
+)
+from repro.smetrics.connected import s_connected_components
+
+CENTRALITY_FUNCTIONS = {
+    "betweenness": s_betweenness_centrality,
+    "closeness": s_closeness_centrality,
+    "pagerank": s_pagerank,
+}
+
+
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("input")
+    group.add_argument("--input", help="path to a hypergraph file")
+    group.add_argument(
+        "--format",
+        choices=["hyperedges", "bipartite"],
+        default="hyperedges",
+        help="file format of --input (one hyperedge per line, or 'edge vertex' pairs)",
+    )
+    group.add_argument(
+        "--dataset",
+        choices=available_datasets(),
+        help="use a built-in surrogate dataset instead of --input",
+    )
+    group.add_argument("--scale", type=float, default=0.3, help="surrogate dataset scale")
+    group.add_argument("--seed", type=int, default=0, help="surrogate dataset seed")
+
+
+def _load_hypergraph(args: argparse.Namespace) -> Hypergraph:
+    if args.dataset and args.input:
+        raise SystemExit("specify either --dataset or --input, not both")
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if args.input:
+        if args.format == "bipartite":
+            return read_bipartite_edgelist(args.input)
+        return read_hyperedge_list(args.input)
+    raise SystemExit("an input is required: pass --dataset <name> or --input <file>")
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    for name in available_datasets():
+        print(name)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    h = _load_hypergraph(args)
+    stats = compute_stats(h)
+    label = args.dataset or args.input or "hypergraph"
+    print(stats.as_table_row(str(label)))
+    return 0
+
+
+def _cmd_slinegraph(args: argparse.Namespace) -> int:
+    h = _load_hypergraph(args)
+    graph = s_line_graph(h, args.s, algorithm=args.algorithm)
+    lines = [
+        f"{int(i)} {int(j)} {int(w)}"
+        for (i, j), w in zip(graph.edges, graph.weights)
+    ]
+    body = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(f"# s={args.s} line graph: {graph.num_edges} edges\n")
+            handle.write(body + ("\n" if body else ""))
+        print(f"wrote {graph.num_edges} edges to {args.output}")
+    else:
+        print(body)
+    return 0
+
+
+def _cmd_components(args: argparse.Namespace) -> int:
+    h = _load_hypergraph(args)
+    components = s_connected_components(h, args.s, min_size=args.min_size)
+    print(f"{len(components)} s-connected components (s={args.s}, min size {args.min_size})")
+    for component in components[: args.limit]:
+        names = [str(h.edge_name(e)) for e in component]
+        print(f"  size={len(component)}: {names}")
+    return 0
+
+
+def _cmd_centrality(args: argparse.Namespace) -> int:
+    h = _load_hypergraph(args)
+    scores = CENTRALITY_FUNCTIONS[args.measure](h, args.s)
+    ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[: args.top]
+    print(f"top {len(ranked)} hyperedges by s-{args.measure} (s={args.s})")
+    for edge_id, score in ranked:
+        print(f"  {h.edge_name(edge_id)}\t{score:.6f}")
+    return 0
+
+
+def _cmd_variants(args: argparse.Namespace) -> int:
+    h = _load_hypergraph(args)
+    runtimes = {}
+    for notation in ALL_VARIANTS:
+        result = run_variant(h, args.s, notation, num_workers=args.workers)
+        runtimes[notation] = result.total_seconds
+    baseline = runtimes["1CN"]
+    print(f"speedup relative to 1CN (s={args.s}, {args.workers} workers)")
+    for notation in sorted(runtimes, key=runtimes.get):
+        print(f"  {notation}: {baseline / runtimes[notation]:.2f}x  ({runtimes[notation]:.4f}s)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="High-order (s-)line graphs of non-uniform hypergraphs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list the built-in surrogate datasets")
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("stats", help="print Table IV-style hypergraph characteristics")
+    _add_input_arguments(p)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("slinegraph", help="compute an s-line graph edge list")
+    _add_input_arguments(p)
+    p.add_argument("--s", type=int, required=True, help="overlap threshold")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="hashmap")
+    p.add_argument("--output", help="write the edge list to this file instead of stdout")
+    p.set_defaults(func=_cmd_slinegraph)
+
+    p = sub.add_parser("components", help="report s-connected components")
+    _add_input_arguments(p)
+    p.add_argument("--s", type=int, required=True)
+    p.add_argument("--min-size", type=int, default=2, help="smallest component to report")
+    p.add_argument("--limit", type=int, default=20, help="print at most this many components")
+    p.set_defaults(func=_cmd_components)
+
+    p = sub.add_parser("centrality", help="report top hyperedges by an s-centrality measure")
+    _add_input_arguments(p)
+    p.add_argument("--s", type=int, required=True)
+    p.add_argument("--measure", choices=sorted(CENTRALITY_FUNCTIONS), default="betweenness")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=_cmd_centrality)
+
+    p = sub.add_parser("variants", help="run the Table III algorithm variants")
+    _add_input_arguments(p)
+    p.add_argument("--s", type=int, default=8)
+    p.add_argument("--workers", type=int, default=4)
+    p.set_defaults(func=_cmd_variants)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

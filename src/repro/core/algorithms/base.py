@@ -1,0 +1,65 @@
+"""Shared result type and helpers for the s-line-graph algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.slinegraph import SLineGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.parallel.workload import WorkerCounters, WorkloadStats
+
+
+@dataclass
+class AlgorithmResult:
+    """Output of a single s-line-graph construction.
+
+    Attributes
+    ----------
+    graph:
+        The computed :class:`~repro.core.slinegraph.SLineGraph` (edge IDs are
+        those of the hypergraph passed to the algorithm).
+    workload:
+        Per-worker work counters (wedges visited, set intersections
+        performed, edges emitted), used by the scaling and workload
+        benchmarks.
+    algorithm:
+        Short name of the algorithm that produced the result.
+    """
+
+    graph: SLineGraph
+    workload: WorkloadStats = field(default_factory=WorkloadStats)
+    algorithm: str = ""
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the computed s-line graph."""
+        return self.graph.num_edges
+
+
+def active_hyperedges(h: Hypergraph, s: int) -> np.ndarray:
+    """The vertex set ``E_s`` of the s-line graph: hyperedges with ``|e| >= s``."""
+    return np.flatnonzero(h.edge_sizes() >= s).astype(np.int64)
+
+
+def build_result(
+    h: Hypergraph,
+    s: int,
+    pairs: List[Tuple[int, int, int]],
+    counters: List[WorkerCounters],
+    algorithm: str,
+) -> AlgorithmResult:
+    """Assemble an :class:`AlgorithmResult` from per-worker edge triples."""
+    graph = SLineGraph.from_weighted_pairs(
+        s=s,
+        pairs=pairs,
+        num_hyperedges=h.num_edges,
+        active_vertices=active_hyperedges(h, s),
+    )
+    return AlgorithmResult(
+        graph=graph,
+        workload=WorkloadStats.from_counters(counters),
+        algorithm=algorithm,
+    )

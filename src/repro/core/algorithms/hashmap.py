@@ -1,0 +1,152 @@
+"""Algorithm 2 of the paper: hashmap-based overlap counting (no set intersections).
+
+For every hyperedge ``e_i`` (degree-pruned), the algorithm walks the wedges
+``(e_i, v_k, e_j)`` with ``j > i`` and increments ``overlap_count[e_j]``.
+After the walk, every neighbour whose running count reached ``s`` becomes an
+s-line-graph edge ``{e_i, e_j}`` with weight equal to the exact overlap.
+This "confirms" common members instead of "searching" for them, eliminating
+set intersections entirely (the paper's Table I reports zero intersections
+versus 8.66×10⁹ for Algorithm 1 on LiveJournal).
+
+Two overlap-counter policies are provided, mirroring the paper's
+thread-local-storage discussion (Section III-F):
+
+* ``dynamic`` (default) — a fresh ``dict`` per outer iteration;
+* ``preallocated`` — a per-worker dense counter array reset between
+  iterations, preferable for dense-overlap inputs (e.g. the Web dataset).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import List, Literal, Tuple
+
+import numpy as np
+
+from repro.core.algorithms.base import AlgorithmResult, build_result
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.parallel.executor import ParallelConfig, run_partitioned
+from repro.parallel.workload import WorkerCounters
+from repro.utils.validation import ValidationError, check_s_value
+
+CounterPolicy = Literal["dynamic", "preallocated"]
+
+
+def _hashmap_kernel_dynamic(
+    edge_indptr: np.ndarray,
+    edge_indices: np.ndarray,
+    vertex_indptr: np.ndarray,
+    vertex_indices: np.ndarray,
+    edge_sizes: np.ndarray,
+    s: int,
+    edge_ids: np.ndarray,
+    worker_id: int,
+) -> Tuple[List[Tuple[int, int, int]], WorkerCounters]:
+    """Algorithm 2 with a dynamically allocated per-iteration hashmap."""
+    pairs: List[Tuple[int, int, int]] = []
+    counters = WorkerCounters(worker_id=worker_id)
+    for i in edge_ids:
+        i = int(i)
+        if edge_sizes[i] < s:
+            continue  # degree-based pruning: e_i cannot be in E_s
+        counters.edges_processed += 1
+        overlap_count: dict[int, int] = {}
+        for v in edge_indices[edge_indptr[i] : edge_indptr[i + 1]]:
+            start, stop = vertex_indptr[v], vertex_indptr[v + 1]
+            for j in vertex_indices[start:stop]:
+                j = int(j)
+                counters.wedges_visited += 1
+                if j > i:
+                    overlap_count[j] = overlap_count.get(j, 0) + 1
+        for j, n in overlap_count.items():
+            if n >= s:
+                pairs.append((i, j, n))
+                counters.line_edges_emitted += 1
+    return pairs, counters
+
+
+def _hashmap_kernel_preallocated(
+    edge_indptr: np.ndarray,
+    edge_indices: np.ndarray,
+    vertex_indptr: np.ndarray,
+    vertex_indices: np.ndarray,
+    edge_sizes: np.ndarray,
+    s: int,
+    edge_ids: np.ndarray,
+    worker_id: int,
+) -> Tuple[List[Tuple[int, int, int]], WorkerCounters]:
+    """Algorithm 2 with a pre-allocated per-worker counter array (reset per iteration)."""
+    num_edges = edge_sizes.size
+    counts = np.zeros(num_edges, dtype=np.int64)
+    touched: List[int] = []
+    pairs: List[Tuple[int, int, int]] = []
+    counters = WorkerCounters(worker_id=worker_id)
+    for i in edge_ids:
+        i = int(i)
+        if edge_sizes[i] < s:
+            continue
+        counters.edges_processed += 1
+        for v in edge_indices[edge_indptr[i] : edge_indptr[i + 1]]:
+            start, stop = vertex_indptr[v], vertex_indptr[v + 1]
+            for j in vertex_indices[start:stop]:
+                j = int(j)
+                counters.wedges_visited += 1
+                if j > i:
+                    if counts[j] == 0:
+                        touched.append(j)
+                    counts[j] += 1
+        for j in touched:
+            n = int(counts[j])
+            if n >= s:
+                pairs.append((i, j, n))
+                counters.line_edges_emitted += 1
+            counts[j] = 0
+        touched.clear()
+    return pairs, counters
+
+
+def s_line_graph_hashmap(
+    h: Hypergraph,
+    s: int,
+    config: ParallelConfig = ParallelConfig(),
+    counter_policy: CounterPolicy = "dynamic",
+) -> AlgorithmResult:
+    """Compute ``L_s(H)`` with Algorithm 2 (hashmap overlap counting).
+
+    Parameters
+    ----------
+    h:
+        Input hypergraph.
+    s:
+        Overlap threshold.
+    config:
+        Partitioning of the outer hyperedge loop (blocked/cyclic, worker
+        count, backend).
+    counter_policy:
+        ``"dynamic"`` for a fresh hashmap per hyperedge (the common case) or
+        ``"preallocated"`` for a per-worker dense counter reused across
+        iterations (dense-overlap inputs).
+    """
+    s = check_s_value(s)
+    if counter_policy == "dynamic":
+        kernel_fn = _hashmap_kernel_dynamic
+    elif counter_policy == "preallocated":
+        kernel_fn = _hashmap_kernel_preallocated
+    else:
+        raise ValidationError(f"unknown counter policy: {counter_policy!r}")
+    kernel = partial(
+        kernel_fn,
+        h.edges_csr.indptr,
+        h.edges_csr.indices,
+        h.vertices_csr.indptr,
+        h.vertices_csr.indices,
+        h.edge_sizes(),
+        s,
+    )
+    results = run_partitioned(kernel, np.arange(h.num_edges, dtype=np.int64), config)
+    pairs: List[Tuple[int, int, int]] = []
+    counters: List[WorkerCounters] = []
+    for partial_pairs, partial_counters in results:
+        pairs.extend(partial_pairs)
+        counters.append(partial_counters)
+    return build_result(h, s, pairs, counters, algorithm="hashmap")

@@ -1,0 +1,52 @@
+"""Naive all-pairs set-intersection s-line-graph construction.
+
+This is the baseline the paper describes as "both compute- and
+memory-intensive": for every unordered pair of hyperedges, intersect their
+vertex sets and keep the pair if the intersection has at least ``s``
+elements.  It is quadratic in the number of hyperedges regardless of
+sparsity, so it is only practical for small inputs — which is exactly its
+role here: a trivially-correct oracle for the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.algorithms.base import AlgorithmResult, build_result
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.parallel.workload import WorkerCounters
+from repro.utils.validation import check_s_value
+
+
+def s_line_graph_naive(h: Hypergraph, s: int) -> AlgorithmResult:
+    """Compute ``L_s(H)`` by intersecting every pair of hyperedges.
+
+    Parameters
+    ----------
+    h:
+        Input hypergraph.
+    s:
+        Overlap threshold (``>= 1``).
+
+    Returns
+    -------
+    AlgorithmResult
+        Edge weights are the exact overlap counts.
+    """
+    s = check_s_value(s)
+    members = [h.edge_members(i) for i in range(h.num_edges)]
+    pairs: List[Tuple[int, int, int]] = []
+    counters = WorkerCounters(worker_id=0)
+    m = h.num_edges
+    for i in range(m):
+        counters.edges_processed += 1
+        mi = members[i]
+        for j in range(i + 1, m):
+            counters.set_intersections += 1
+            count = int(np.intersect1d(mi, members[j], assume_unique=True).size)
+            if count >= s:
+                pairs.append((i, j, count))
+                counters.line_edges_emitted += 1
+    return build_result(h, s, pairs, [counters], algorithm="naive")

@@ -1,0 +1,117 @@
+"""Top-level dispatch for s-line-graph computations.
+
+:func:`s_line_graph` is the library's main entry point: it selects one of
+the registered algorithms by name and returns the computed
+:class:`~repro.core.slinegraph.SLineGraph` (optionally with workload
+statistics).  :func:`s_line_graph_ensemble` is the multi-``s`` counterpart
+built on Algorithm 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+from repro.core.algorithms.base import AlgorithmResult
+from repro.core.algorithms.ensemble import s_line_graph_ensemble_hashmap
+from repro.core.algorithms.hashmap import s_line_graph_hashmap
+from repro.core.algorithms.heuristic import s_line_graph_heuristic
+from repro.core.algorithms.naive import s_line_graph_naive
+from repro.core.algorithms.spgemm import s_line_graph_spgemm, s_line_graph_spgemm_upper
+from repro.core.algorithms.vectorized import s_line_graph_vectorized
+from repro.core.slinegraph import SLineGraph, SLineGraphEnsemble
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.parallel.executor import ParallelConfig
+from repro.parallel.workload import WorkloadStats
+from repro.utils.validation import ValidationError
+
+#: Registered single-s algorithms.  ``naive`` and the SpGEMM variants ignore
+#: the parallel configuration (they are inherently single-pass baselines).
+ALGORITHMS: Dict[str, str] = {
+    "naive": "All-pairs set intersection (correctness oracle)",
+    "heuristic": "Algorithm 1: wedge enumeration + set intersection with heuristics",
+    "hashmap": "Algorithm 2: hashmap overlap counting (paper's contribution)",
+    "vectorized": "Algorithm 2 with NumPy-vectorised counting",
+    "spgemm": "SpGEMM+Filter baseline (full H^T H product)",
+    "spgemm_upper": "SpGEMM+Filter+Upper baseline (upper-triangular product)",
+}
+
+
+def _run(
+    h: Hypergraph, s: int, algorithm: str, config: ParallelConfig
+) -> AlgorithmResult:
+    if algorithm == "naive":
+        return s_line_graph_naive(h, s)
+    if algorithm == "heuristic":
+        return s_line_graph_heuristic(h, s, config=config)
+    if algorithm == "hashmap":
+        return s_line_graph_hashmap(h, s, config=config)
+    if algorithm == "vectorized":
+        return s_line_graph_vectorized(h, s, config=config)
+    if algorithm == "spgemm":
+        return s_line_graph_spgemm(h, s)
+    if algorithm == "spgemm_upper":
+        return s_line_graph_spgemm_upper(h, s)
+    raise ValidationError(
+        f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+    )
+
+
+def s_line_graph(
+    h: Hypergraph,
+    s: int,
+    algorithm: str = "hashmap",
+    config: Optional[ParallelConfig] = None,
+    return_workload: bool = False,
+) -> Union[SLineGraph, Tuple[SLineGraph, WorkloadStats]]:
+    """Compute the s-line graph ``L_s(H)`` of a hypergraph.
+
+    Parameters
+    ----------
+    h:
+        Input hypergraph.
+    s:
+        Overlap threshold (``>= 1``); ``s = 1`` on the dual hypergraph gives
+        the classic clique expansion.
+    algorithm:
+        One of :data:`ALGORITHMS` (default ``"hashmap"``, the paper's
+        Algorithm 2).
+    config:
+        Optional :class:`~repro.parallel.executor.ParallelConfig` controlling
+        partitioning, worker count and backend.
+    return_workload:
+        When True, also return the per-worker :class:`WorkloadStats`.
+
+    Examples
+    --------
+    >>> from repro.hypergraph import hypergraph_from_edge_lists
+    >>> h = hypergraph_from_edge_lists([[0, 1, 2], [1, 2, 3], [0, 1, 2, 3, 4], [4, 5]])
+    >>> s_line_graph(h, s=2).edge_set()
+    {(0, 1), (0, 2), (1, 2)}
+    """
+    result = _run(h, s, algorithm, config or ParallelConfig())
+    if return_workload:
+        return result.graph, result.workload
+    return result.graph
+
+
+def s_line_graph_ensemble(
+    h: Hypergraph,
+    s_values: Sequence[int],
+    config: Optional[ParallelConfig] = None,
+    memory_budget_bytes: Optional[int] = None,
+    return_workload: bool = False,
+) -> Union[SLineGraphEnsemble, Tuple[SLineGraphEnsemble, WorkloadStats]]:
+    """Compute s-line graphs for several ``s`` values in one pass (Algorithm 3).
+
+    See :func:`repro.core.algorithms.ensemble.s_line_graph_ensemble_hashmap`
+    for the memory-budget semantics.
+    """
+    ensemble, workload = s_line_graph_ensemble_hashmap(
+        h,
+        s_values,
+        config=config or ParallelConfig(),
+        memory_budget_bytes=memory_budget_bytes,
+    )
+    if return_workload:
+        return ensemble, workload
+    return ensemble

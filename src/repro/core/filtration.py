@@ -1,0 +1,75 @@
+"""Boolean filtration of weighted overlap structures (Section II-B).
+
+Given the weighted hyperedge adjacency matrix ``L = H^T H`` (or any
+collection of weighted overlap pairs), the s-line graph is obtained by the
+Boolean filtration ``L_s[i, j] = 1 iff L[i, j] >= s`` with the diagonal
+removed.  These helpers implement the filtration both on scipy matrices and
+on weighted edge lists, and are reused by the ensemble algorithm and the
+SpGEMM baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.slinegraph import SLineGraph
+from repro.utils.validation import check_s_value
+
+
+def filtration_matrix(weighted: sparse.spmatrix, s: int) -> sparse.csr_matrix:
+    """Boolean filtration of a weighted adjacency matrix at threshold ``s``.
+
+    Off-diagonal entries ``>= s`` become 1; everything else (including the
+    diagonal, which holds edge sizes in ``H^T H``) becomes 0.
+    """
+    s = check_s_value(s)
+    coo = sparse.coo_matrix(weighted)
+    mask = (coo.row != coo.col) & (coo.data >= s)
+    out = sparse.coo_matrix(
+        (np.ones(int(mask.sum()), dtype=np.int8), (coo.row[mask], coo.col[mask])),
+        shape=coo.shape,
+    )
+    return out.tocsr()
+
+
+def filter_weighted_edges(
+    pairs: Iterable[Tuple[int, int, int]],
+    s: int,
+    num_hyperedges: int,
+    active_vertices: np.ndarray | None = None,
+) -> SLineGraph:
+    """Filter ``(i, j, overlap)`` triples at threshold ``s`` into an :class:`SLineGraph`."""
+    s = check_s_value(s)
+    kept: List[Tuple[int, int, int]] = [
+        (int(i), int(j), int(w)) for i, j, w in pairs if int(w) >= s
+    ]
+    return SLineGraph.from_weighted_pairs(
+        s=s, pairs=kept, num_hyperedges=num_hyperedges, active_vertices=active_vertices
+    )
+
+
+def line_graph_from_filtration(h, s: int) -> SLineGraph:
+    """Build ``L_s(H)`` directly from the filtration of ``L = H^T H``.
+
+    A convenience wrapper used in tests as yet another independent oracle.
+    """
+    from repro.core.algorithms.base import active_hyperedges
+    from repro.hypergraph.incidence import line_graph_weight_matrix
+
+    s = check_s_value(s)
+    L = line_graph_weight_matrix(h)
+    coo = sparse.coo_matrix(L)
+    mask = (coo.row < coo.col) & (coo.data >= s)
+    pairs = [
+        (int(i), int(j), int(v))
+        for i, j, v in zip(coo.row[mask], coo.col[mask], coo.data[mask])
+    ]
+    return SLineGraph.from_weighted_pairs(
+        s=s,
+        pairs=pairs,
+        num_hyperedges=h.num_edges,
+        active_vertices=active_hyperedges(h, s),
+    )

@@ -1,0 +1,251 @@
+"""The five-stage s-line-graph framework (Section IV of the paper).
+
+Stage 1  Pre-processing: remove empty hyperedges / isolated vertices and
+         optionally relabel hyperedges by degree.
+Stage 2  (optional) Toplex computation: keep only maximal hyperedges.
+Stage 3  s-overlap: compute the edge list of the s-line graph with one of
+         the registered algorithms.
+Stage 4  (optional) ID squeezing: remap the hypersparse hyperedge-ID space
+         of the line graph to a contiguous range and build the graph.
+Stage 5  s-metric computation: run graph analytics (connected components,
+         LPCC, betweenness, PageRank, …) on the squeezed s-line graph.
+
+:class:`SLinePipeline` mirrors this structure and records a per-stage timing
+breakdown compatible with the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dispatch import s_line_graph as _dispatch_s_line_graph
+from repro.core.dispatch import ALGORITHMS
+from repro.core.slinegraph import SLineGraph
+from repro.graph.betweenness import betweenness_centrality
+from repro.graph.connected_components import (
+    component_sizes,
+    connected_components,
+    label_propagation_components,
+)
+from repro.graph.distance import closeness_centrality, eccentricity
+from repro.graph.graph import Graph
+from repro.graph.pagerank import pagerank
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.preprocessing import (
+    PreprocessResult,
+    RelabelOrder,
+    SqueezeResult,
+    preprocess,
+)
+from repro.hypergraph.toplexes import simplify
+from repro.parallel.executor import ParallelConfig
+from repro.parallel.workload import WorkloadStats
+from repro.utils.timing import StageTimes
+from repro.utils.validation import ValidationError, check_s_value
+
+#: Metric name → callable(Graph) -> result.  All metrics run on the squeezed
+#: s-line graph; results are arrays over the squeezed vertex IDs.
+METRIC_FUNCTIONS: Dict[str, Callable[[Graph], np.ndarray]] = {
+    "connected_components": connected_components,
+    "lpcc": label_propagation_components,
+    "betweenness": betweenness_centrality,
+    "closeness": closeness_centrality,
+    "eccentricity": eccentricity,
+    "pagerank": pagerank,
+}
+
+
+@dataclass
+class PipelineResult:
+    """Everything produced by one end-to-end pipeline run."""
+
+    s: int
+    line_graph: SLineGraph
+    squeezed_graph: Optional[Graph]
+    squeeze_mapping: Optional[SqueezeResult]
+    metrics: Dict[str, np.ndarray] = field(default_factory=dict)
+    stage_times: StageTimes = field(default_factory=StageTimes)
+    workload: WorkloadStats = field(default_factory=WorkloadStats)
+    preprocess_info: Optional[PreprocessResult] = None
+
+    @property
+    def num_line_graph_edges(self) -> int:
+        """Edges in the computed s-line graph."""
+        return self.line_graph.num_edges
+
+    def num_components(self) -> Optional[int]:
+        """Number of s-connected components (if a component metric was computed)."""
+        for key in ("connected_components", "lpcc"):
+            if key in self.metrics and self.metrics[key].size:
+                return int(self.metrics[key].max()) + 1
+        if "connected_components" in self.metrics or "lpcc" in self.metrics:
+            return 0
+        return None
+
+    def metric_by_hyperedge(self, metric: str) -> Dict[int, float]:
+        """Map a squeezed-graph metric back to original hyperedge IDs."""
+        if metric not in self.metrics:
+            raise KeyError(f"metric {metric!r} was not computed")
+        values = self.metrics[metric]
+        if self.squeeze_mapping is None:
+            return {int(i): float(v) for i, v in enumerate(values)}
+        return {
+            int(self.squeeze_mapping.new_to_old[i]): float(v)
+            for i, v in enumerate(values)
+        }
+
+
+class SLinePipeline:
+    """Configurable five-stage s-line-graph pipeline.
+
+    Parameters
+    ----------
+    algorithm:
+        Stage-3 algorithm name (see :data:`repro.core.dispatch.ALGORITHMS`).
+    relabel:
+        Stage-1 relabel-by-degree order ("ascending", "descending", "none").
+    compute_toplexes:
+        Run the optional Stage 2 simplification.
+    squeeze:
+        Run the optional Stage 4 ID squeezing (required for Stage-5 metrics).
+    metrics:
+        Names of Stage-5 metrics (keys of :data:`METRIC_FUNCTIONS`).
+    config:
+        Parallel configuration forwarded to the Stage-3 algorithm.
+
+    Examples
+    --------
+    >>> from repro.hypergraph import hypergraph_from_edge_lists
+    >>> h = hypergraph_from_edge_lists([[0, 1, 2], [1, 2, 3], [0, 1, 2, 3, 4], [4, 5]])
+    >>> result = SLinePipeline(metrics=("connected_components",)).run(h, s=2)
+    >>> result.num_line_graph_edges
+    3
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "hashmap",
+        relabel: RelabelOrder = "none",
+        compute_toplexes: bool = False,
+        squeeze: bool = True,
+        metrics: Sequence[str] = ("connected_components",),
+        config: Optional[ParallelConfig] = None,
+        drop_empty_edges: bool = True,
+        drop_isolated_vertices: bool = True,
+    ) -> None:
+        if algorithm not in ALGORITHMS:
+            raise ValidationError(
+                f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+            )
+        unknown = [m for m in metrics if m not in METRIC_FUNCTIONS]
+        if unknown:
+            raise ValidationError(
+                f"unknown metrics {unknown}; available: {sorted(METRIC_FUNCTIONS)}"
+            )
+        if metrics and not squeeze:
+            raise ValidationError("Stage-5 metrics require squeeze=True")
+        self.algorithm = algorithm
+        self.relabel: RelabelOrder = relabel
+        self.compute_toplexes = compute_toplexes
+        self.squeeze = squeeze
+        self.metrics = tuple(metrics)
+        self.config = config or ParallelConfig()
+        self.drop_empty_edges = drop_empty_edges
+        self.drop_isolated_vertices = drop_isolated_vertices
+
+    def run(self, h: Hypergraph, s: int) -> PipelineResult:
+        """Execute all configured stages on ``h`` for overlap threshold ``s``."""
+        s = check_s_value(s)
+        times = StageTimes()
+
+        # Stage 1 — preprocessing.
+        with times.stage("preprocessing"):
+            prep = preprocess(
+                h,
+                relabel=self.relabel,
+                drop_empty_edges=self.drop_empty_edges,
+                drop_isolated_vertices=self.drop_isolated_vertices,
+            )
+        working = prep.hypergraph
+
+        # Stage 2 — optional toplex simplification.
+        if self.compute_toplexes:
+            with times.stage("toplexes"):
+                working = simplify(working)
+
+        # Stage 3 — s-overlap computation.
+        with times.stage("s_overlap"):
+            graph, workload = _dispatch_s_line_graph(
+                working,
+                s,
+                algorithm=self.algorithm,
+                config=self.config,
+                return_workload=True,
+            )
+
+        # Map the edge IDs back to the IDs of the *input* hypergraph whenever
+        # the mapping is well defined (no toplex simplification, which drops
+        # edges irreversibly with respect to contiguous numbering).
+        line_graph = graph
+        if not self.compute_toplexes:
+            line_graph = self._restore_original_ids(graph, prep, h.num_edges)
+
+        # Stage 4 — ID squeezing and graph construction.
+        squeezed_graph: Optional[Graph] = None
+        mapping: Optional[SqueezeResult] = None
+        if self.squeeze:
+            with times.stage("squeeze"):
+                squeezed_line, mapping = line_graph.squeeze()
+                squeezed_graph = squeezed_line.to_graph(squeezed=False)
+
+        # Stage 5 — s-metric computation.
+        metric_results: Dict[str, np.ndarray] = {}
+        if self.metrics and squeezed_graph is not None:
+            for name in self.metrics:
+                with times.stage(name):
+                    metric_results[name] = METRIC_FUNCTIONS[name](squeezed_graph)
+
+        return PipelineResult(
+            s=s,
+            line_graph=line_graph,
+            squeezed_graph=squeezed_graph,
+            squeeze_mapping=mapping,
+            metrics=metric_results,
+            stage_times=times,
+            workload=workload,
+            preprocess_info=prep,
+        )
+
+    @staticmethod
+    def _restore_original_ids(
+        graph: SLineGraph, prep: PreprocessResult, num_original_edges: int
+    ) -> SLineGraph:
+        """Translate algorithm edge IDs back through relabelling and edge dropping."""
+        # Chain: algorithm id --(relabel new→old)--> preprocessed id
+        #        --(kept_edge_ids)--> original id.
+        translate = np.arange(num_original_edges, dtype=np.int64)
+        if prep.kept_edge_ids is not None:
+            kept = prep.kept_edge_ids
+        else:
+            kept = np.arange(num_original_edges, dtype=np.int64)
+        if prep.relabel is not None:
+            to_pre = prep.relabel.new_to_old
+        else:
+            to_pre = np.arange(kept.size, dtype=np.int64)
+        full_map = kept[to_pre]
+        edges = full_map[graph.edges] if graph.num_edges else graph.edges
+        active = (
+            full_map[graph.active_vertices]
+            if graph.active_vertices is not None
+            else None
+        )
+        return SLineGraph(
+            s=graph.s,
+            edges=edges,
+            weights=graph.weights.copy(),
+            num_hyperedges=num_original_edges,
+            active_vertices=active,
+        )

@@ -1,0 +1,318 @@
+"""Result types for s-line-graph computations.
+
+An *s-line graph* ``L_s(H) = <E_s, F>`` has one vertex per hyperedge of
+``H`` with ``|e| >= s`` and an (undirected) edge ``{e_i, e_j}`` whenever the
+two hyperedges share at least ``s`` vertices.  We keep the overlap count
+``inc(e_i, e_j)`` as the edge weight (the paper's Figure 2 draws edge widths
+proportional to it).
+
+:class:`SLineGraph` stores the edge list in *original hyperedge IDs*; the ID
+squeezing of Stage 4 and conversion to graph structures are offered as
+methods so downstream s-metric code can operate on a compact graph while
+still reporting results in terms of the original hyperedges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.hypergraph.preprocessing import SqueezeResult, squeeze_ids
+from repro.utils.validation import ValidationError, check_array_int, check_s_value
+
+
+def _normalise_edges(
+    edges: np.ndarray | Sequence[Tuple[int, int]],
+    weights: Optional[np.ndarray | Sequence[int]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Canonicalise an undirected edge list: (i, j) with i < j, sorted, deduplicated."""
+    arr = np.asarray(edges, dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValidationError("edges must be an array of shape (k, 2)")
+    if weights is None:
+        w = np.ones(arr.shape[0], dtype=np.int64)
+    else:
+        w = check_array_int(weights, "weights")
+        if w.size != arr.shape[0]:
+            raise ValidationError("weights length must equal the number of edges")
+    lo = np.minimum(arr[:, 0], arr[:, 1])
+    hi = np.maximum(arr[:, 0], arr[:, 1])
+    if np.any(lo == hi):
+        raise ValidationError("self-loops are not allowed in an s-line graph")
+    order = np.lexsort((hi, lo))
+    lo, hi, w = lo[order], hi[order], w[order]
+    keep = np.ones(lo.size, dtype=bool)
+    keep[1:] = (lo[1:] != lo[:-1]) | (hi[1:] != hi[:-1])
+    if not np.all(keep):
+        # Duplicate undirected edges: keep the maximum recorded weight.
+        group = np.cumsum(keep) - 1
+        max_w = np.zeros(int(group[-1]) + 1, dtype=np.int64)
+        np.maximum.at(max_w, group, w)
+        lo, hi = lo[keep], hi[keep]
+        w = max_w
+    return np.column_stack([lo, hi]), w
+
+
+@dataclass
+class SLineGraph:
+    """An s-line graph as an undirected, weighted edge list over hyperedge IDs.
+
+    Attributes
+    ----------
+    s:
+        The overlap threshold used to build this graph.
+    edges:
+        ``(k, 2)`` int64 array; each row ``(i, j)`` with ``i < j`` is an
+        undirected edge between hyperedges ``i`` and ``j`` of the original
+        hypergraph.
+    weights:
+        Length-``k`` int64 array of overlap counts ``inc(e_i, e_j) >= s``.
+    num_hyperedges:
+        Number of hyperedges in the source hypergraph (defines the un-squeezed
+        vertex-ID space).
+    active_vertices:
+        IDs of hyperedges with ``|e| >= s`` — the vertex set ``E_s`` of the
+        s-line graph (isolated vertices included).
+    """
+
+    s: int
+    edges: np.ndarray
+    weights: np.ndarray
+    num_hyperedges: int
+    active_vertices: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.s = check_s_value(self.s)
+        self.edges, self.weights = _normalise_edges(self.edges, self.weights)
+        if self.num_hyperedges < 0:
+            raise ValidationError("num_hyperedges must be non-negative")
+        if self.edges.size and int(self.edges.max()) >= self.num_hyperedges:
+            raise ValidationError("edge endpoint exceeds num_hyperedges")
+        if self.weights.size and int(self.weights.min()) < self.s:
+            raise ValidationError("all edge weights must be >= s")
+        if self.active_vertices is not None:
+            self.active_vertices = np.unique(
+                check_array_int(self.active_vertices, "active_vertices")
+            )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_weighted_pairs(
+        cls,
+        s: int,
+        pairs: Iterable[Tuple[int, int, int]],
+        num_hyperedges: int,
+        active_vertices: Optional[np.ndarray] = None,
+    ) -> "SLineGraph":
+        """Build from an iterable of ``(i, j, overlap_count)`` triples."""
+        pairs = list(pairs)
+        if not pairs:
+            return cls(
+                s=s,
+                edges=np.empty((0, 2), dtype=np.int64),
+                weights=np.empty(0, dtype=np.int64),
+                num_hyperedges=num_hyperedges,
+                active_vertices=active_vertices,
+            )
+        arr = np.asarray(pairs, dtype=np.int64)
+        return cls(
+            s=s,
+            edges=arr[:, :2],
+            weights=arr[:, 2],
+            num_hyperedges=num_hyperedges,
+            active_vertices=active_vertices,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shape
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the s-line graph."""
+        return int(self.edges.shape[0])
+
+    @property
+    def vertex_ids(self) -> np.ndarray:
+        """Hyperedge IDs that appear as endpoints of at least one edge."""
+        if self.num_edges == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(self.edges.ravel())
+
+    @property
+    def num_active_vertices(self) -> int:
+        """Size of the vertex set ``E_s`` (falls back to non-isolated endpoints)."""
+        if self.active_vertices is not None:
+            return int(self.active_vertices.size)
+        return int(self.vertex_ids.size)
+
+    def degree_of(self, hyperedge_id: int) -> int:
+        """Degree of a hyperedge in the s-line graph."""
+        if self.num_edges == 0:
+            return 0
+        return int(np.count_nonzero(self.edges == hyperedge_id))
+
+    def edge_set(self) -> set[Tuple[int, int]]:
+        """The edge list as a set of ``(i, j)`` tuples with ``i < j``."""
+        return {(int(i), int(j)) for i, j in self.edges}
+
+    def weight_map(self) -> Dict[Tuple[int, int], int]:
+        """Mapping ``(i, j) -> overlap count`` with ``i < j``."""
+        return {
+            (int(i), int(j)): int(w)
+            for (i, j), w in zip(self.edges, self.weights)
+        }
+
+    # ------------------------------------------------------------------ #
+    # Stage-4 squeezing and graph conversion
+    # ------------------------------------------------------------------ #
+    def squeeze(self, include_isolated: bool = False) -> Tuple["SLineGraph", SqueezeResult]:
+        """Remap the vertex IDs to a contiguous range (Stage 4 of the framework).
+
+        Parameters
+        ----------
+        include_isolated:
+            When True, hyperedges in ``active_vertices`` that have no
+            incident edges are retained as isolated vertices of the squeezed
+            graph; otherwise only edge endpoints are kept (the paper's
+            default, since hypersparse rows are dropped).
+
+        Returns
+        -------
+        (squeezed_graph, squeeze_result):
+            The squeezed :class:`SLineGraph` (IDs ``0..k-1``) and the ID
+            mapping.
+        """
+        if include_isolated and self.active_vertices is not None:
+            id_pool = np.union1d(self.vertex_ids, self.active_vertices)
+        else:
+            id_pool = self.vertex_ids
+        squeezer = squeeze_ids(id_pool) if id_pool.size else SqueezeResult(
+            new_to_old=np.empty(0, dtype=np.int64), old_to_new={}
+        )
+        if self.num_edges:
+            lookup = np.full(self.num_hyperedges, -1, dtype=np.int64)
+            lookup[squeezer.new_to_old] = np.arange(squeezer.num_ids, dtype=np.int64)
+            new_edges = lookup[self.edges]
+        else:
+            new_edges = np.empty((0, 2), dtype=np.int64)
+        squeezed = SLineGraph(
+            s=self.s,
+            edges=new_edges,
+            weights=self.weights.copy(),
+            num_hyperedges=max(squeezer.num_ids, 1) if squeezer.num_ids else 0,
+            active_vertices=np.arange(squeezer.num_ids, dtype=np.int64),
+        )
+        return squeezed, squeezer
+
+    def adjacency_matrix(self, squeezed: bool = False, weighted: bool = False) -> sparse.csr_matrix:
+        """The symmetric adjacency matrix of the s-line graph.
+
+        Parameters
+        ----------
+        squeezed:
+            When True, the matrix is over the compact ID space returned by
+            :meth:`squeeze`; otherwise over ``num_hyperedges`` IDs.
+        weighted:
+            When True entries hold the overlap counts, otherwise 1.
+        """
+        if squeezed:
+            graph, _ = self.squeeze()
+            return graph.adjacency_matrix(squeezed=False, weighted=weighted)
+        n = self.num_hyperedges
+        if self.num_edges == 0:
+            return sparse.csr_matrix((n, n), dtype=np.int64)
+        vals = self.weights if weighted else np.ones(self.num_edges, dtype=np.int64)
+        i, j = self.edges[:, 0], self.edges[:, 1]
+        mat = sparse.coo_matrix(
+            (np.concatenate([vals, vals]), (np.concatenate([i, j]), np.concatenate([j, i]))),
+            shape=(n, n),
+        )
+        return mat.tocsr()
+
+    def to_graph(self, squeezed: bool = True):
+        """Convert to a :class:`repro.graph.Graph` (CSR graph substrate)."""
+        from repro.graph.graph import Graph
+
+        source = self
+        mapping = None
+        if squeezed:
+            source, mapping = self.squeeze()
+        graph = Graph.from_edge_list(
+            num_vertices=source.num_hyperedges if not squeezed else source.num_active_vertices,
+            edges=source.edges,
+            weights=source.weights,
+        )
+        graph.metadata["s"] = self.s
+        if mapping is not None:
+            graph.metadata["squeeze"] = mapping
+        return graph
+
+    def to_networkx(self, use_original_ids: bool = True):
+        """Convert to a weighted :mod:`networkx` graph (edge attribute ``weight``)."""
+        import networkx as nx
+
+        g = nx.Graph(s=self.s)
+        if use_original_ids and self.active_vertices is not None:
+            g.add_nodes_from(int(v) for v in self.active_vertices)
+        for (i, j), w in zip(self.edges, self.weights):
+            g.add_edge(int(i), int(j), weight=int(w))
+        return g
+
+    # ------------------------------------------------------------------ #
+    # Dunders
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SLineGraph):
+            return NotImplemented
+        return (
+            self.s == other.s
+            and self.num_hyperedges == other.num_hyperedges
+            and np.array_equal(self.edges, other.edges)
+            and np.array_equal(self.weights, other.weights)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SLineGraph(s={self.s}, num_edges={self.num_edges}, "
+            f"num_hyperedges={self.num_hyperedges})"
+        )
+
+
+@dataclass
+class SLineGraphEnsemble:
+    """A family of s-line graphs computed from a single overlap-counting pass.
+
+    Produced by Algorithm 3; indexable by ``s``.
+    """
+
+    graphs: Dict[int, SLineGraph] = field(default_factory=dict)
+
+    def __getitem__(self, s: int) -> SLineGraph:
+        return self.graphs[int(s)]
+
+    def __contains__(self, s: int) -> bool:
+        return int(s) in self.graphs
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    @property
+    def s_values(self) -> List[int]:
+        """The sorted list of s values in the ensemble."""
+        return sorted(self.graphs)
+
+    def edge_counts(self) -> Dict[int, int]:
+        """Mapping ``s -> number of edges`` (the quantity plotted in Figure 4)."""
+        return {s: self.graphs[s].num_edges for s in self.s_values}
+
+    def items(self):
+        """Iterate ``(s, SLineGraph)`` pairs in increasing s."""
+        for s in self.s_values:
+            yield s, self.graphs[s]

@@ -1,0 +1,143 @@
+"""Planted-community and planted-overlap hypergraph generators.
+
+The paper's social-network hypergraphs are built by running community
+detection on graphs and treating each community as a hyperedge; such data
+has groups of hyperedges with large pairwise overlaps.  To reproduce the
+*shape* of the paper's results (non-empty s-line graphs at s = 8, 100 or
+even 1024), the surrogates plant controllable overlap structure:
+
+* :func:`planted_community_hypergraph` — vertices are split into
+  communities; each hyperedge samples most members from one community and a
+  few from outside, so hyperedges of the same community overlap heavily;
+* :func:`planted_overlap_core` / :func:`add_overlap_core` — a set of
+  hyperedges all containing the same ``core_size`` vertices, guaranteeing
+  pairwise overlaps of at least ``core_size`` (the "core of Friendster"
+  effect at s = 1024 discussed in Section VI-G).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.hypergraph.builders import hypergraph_from_edge_lists
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import ValidationError, check_positive_int
+
+
+def planted_community_hypergraph(
+    num_vertices: int,
+    num_edges: int,
+    num_communities: int,
+    mean_edge_size: float = 6.0,
+    max_edge_size: int = 50,
+    within_probability: float = 0.9,
+    size_exponent: float = 2.0,
+    seed: SeedLike = None,
+) -> Hypergraph:
+    """Hypergraph whose hyperedges concentrate inside vertex communities.
+
+    Parameters
+    ----------
+    num_vertices, num_edges, num_communities:
+        Shape parameters; vertices are assigned to communities contiguously
+        with sizes as equal as possible.
+    mean_edge_size, max_edge_size, size_exponent:
+        Skewed hyperedge-size distribution parameters (power law).
+    within_probability:
+        Probability that each membership of a hyperedge is drawn from the
+        hyperedge's home community (the rest is uniform over all vertices).
+    """
+    from repro.generators.random import zipf_edge_sizes
+
+    num_vertices = check_positive_int(num_vertices, "num_vertices")
+    num_edges = check_positive_int(num_edges, "num_edges")
+    num_communities = check_positive_int(num_communities, "num_communities")
+    if not 0.0 <= within_probability <= 1.0:
+        raise ValidationError("within_probability must be in [0, 1]")
+    rng = make_rng(seed)
+    community_of = np.sort(rng.integers(0, num_communities, size=num_vertices))
+    community_members: List[np.ndarray] = [
+        np.flatnonzero(community_of == c) for c in range(num_communities)
+    ]
+    # Guard against empty communities (possible for tiny inputs).
+    community_members = [m if m.size else np.arange(num_vertices) for m in community_members]
+    sizes = zipf_edge_sizes(
+        num_edges,
+        mean_size=mean_edge_size,
+        max_size=min(max_edge_size, num_vertices),
+        exponent=size_exponent,
+        rng=rng,
+    )
+    lists: List[list[int]] = []
+    for k in sizes:
+        home = int(rng.integers(0, num_communities))
+        members = set()
+        home_pool = community_members[home]
+        k = int(min(k, num_vertices))
+        while len(members) < k:
+            if rng.random() < within_probability and home_pool.size:
+                members.add(int(home_pool[rng.integers(0, home_pool.size)]))
+            else:
+                members.add(int(rng.integers(0, num_vertices)))
+        lists.append(sorted(members))
+    return hypergraph_from_edge_lists(lists, num_vertices=num_vertices)
+
+
+def planted_overlap_core(
+    num_core_edges: int,
+    core_size: int,
+    num_vertices: int,
+    extra_members: int = 3,
+    core_vertices: Optional[Sequence[int]] = None,
+    seed: SeedLike = None,
+) -> List[list[int]]:
+    """Edge lists for a group of hyperedges sharing the same ``core_size`` vertices.
+
+    Every pair of the returned hyperedges overlaps in at least ``core_size``
+    vertices, so they form a clique in ``L_s`` for every ``s <= core_size``.
+    """
+    num_core_edges = check_positive_int(num_core_edges, "num_core_edges")
+    core_size = check_positive_int(core_size, "core_size")
+    num_vertices = check_positive_int(num_vertices, "num_vertices")
+    if core_size > num_vertices:
+        raise ValidationError("core_size cannot exceed num_vertices")
+    rng = make_rng(seed)
+    if core_vertices is None:
+        core = rng.choice(num_vertices, size=core_size, replace=False)
+    else:
+        core = np.asarray(list(core_vertices), dtype=np.int64)
+        if core.size != core_size:
+            raise ValidationError("core_vertices must have exactly core_size entries")
+    lists: List[list[int]] = []
+    for _ in range(num_core_edges):
+        members = set(int(v) for v in core)
+        while len(members) < core_size + extra_members and len(members) < num_vertices:
+            members.add(int(rng.integers(0, num_vertices)))
+        lists.append(sorted(members))
+    return lists
+
+
+def add_overlap_core(
+    h: Hypergraph,
+    num_core_edges: int,
+    core_size: int,
+    extra_members: int = 3,
+    seed: SeedLike = None,
+) -> Hypergraph:
+    """Return a new hypergraph with a planted overlap core appended to ``h``.
+
+    The appended hyperedges receive the next available IDs; vertex IDs are
+    drawn from the existing vertex set.
+    """
+    extra_lists = planted_overlap_core(
+        num_core_edges=num_core_edges,
+        core_size=core_size,
+        num_vertices=h.num_vertices,
+        extra_members=extra_members,
+        seed=seed,
+    )
+    lists = [h.edge_members(i).tolist() for i in range(h.num_edges)] + extra_lists
+    return hypergraph_from_edge_lists(lists, num_vertices=h.num_vertices)

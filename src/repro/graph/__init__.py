@@ -1,0 +1,69 @@
+"""Graph substrate: CSR graphs and the standard algorithms applied to s-line graphs.
+
+Once an s-line graph is built (Stage 3/4 of the framework), the paper's
+Stage 5 runs ordinary graph analytics on it: connected components (both
+BFS-based and label-propagation, the latter matching the paper's LPCC
+experiments), betweenness centrality, PageRank, distances and spectral
+measures.  This subpackage implements those algorithms from scratch on a
+compact CSR graph type; :mod:`networkx` is used only as a correctness oracle
+in the test suite.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.bfs import bfs_distances, bfs_tree
+from repro.graph.connected_components import (
+    connected_components,
+    label_propagation_components,
+    component_sizes,
+    components_as_lists,
+)
+from repro.graph.betweenness import betweenness_centrality, betweenness_centrality_sampled
+from repro.graph.pagerank import pagerank
+from repro.graph.distance import (
+    eccentricity,
+    diameter,
+    closeness_centrality,
+    harmonic_centrality,
+    all_pairs_shortest_path_lengths,
+)
+from repro.graph.conversion import to_networkx, from_networkx
+from repro.graph.kcore import core_numbers, k_core_vertices, k_core_subgraph, degeneracy
+from repro.graph.clustering import (
+    triangle_counts,
+    total_triangles,
+    clustering_coefficients,
+    average_clustering,
+    transitivity,
+)
+from repro.graph.union_find import DisjointSet, union_find_components
+
+__all__ = [
+    "DisjointSet",
+    "union_find_components",
+    "core_numbers",
+    "k_core_vertices",
+    "k_core_subgraph",
+    "degeneracy",
+    "triangle_counts",
+    "total_triangles",
+    "clustering_coefficients",
+    "average_clustering",
+    "transitivity",
+    "Graph",
+    "bfs_distances",
+    "bfs_tree",
+    "connected_components",
+    "label_propagation_components",
+    "component_sizes",
+    "components_as_lists",
+    "betweenness_centrality",
+    "betweenness_centrality_sampled",
+    "pagerank",
+    "eccentricity",
+    "diameter",
+    "closeness_centrality",
+    "harmonic_centrality",
+    "all_pairs_shortest_path_lengths",
+    "to_networkx",
+    "from_networkx",
+]

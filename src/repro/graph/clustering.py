@@ -1,0 +1,66 @@
+"""Triangle counting and clustering coefficients on CSR graphs.
+
+Clustering coefficients are among the motif-based hypergraph analytics the
+paper's related-work section cites (Estrada & Rodríguez-Velázquez); applied
+to the s-line graph they measure how clique-like the strongly-overlapping
+hyperedge neighbourhoods are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def triangle_counts(graph: Graph) -> np.ndarray:
+    """Number of triangles through each vertex (each triangle counted once per member)."""
+    n = graph.num_vertices
+    counts = np.zeros(n, dtype=np.int64)
+    neighbor_sets = [set(map(int, graph.neighbors(v))) for v in range(n)]
+    for u in range(n):
+        nbrs_u = graph.neighbors(u)
+        for v in nbrs_u:
+            v = int(v)
+            if v <= u:
+                continue
+            common = neighbor_sets[u] & neighbor_sets[v]
+            for w in common:
+                if w > v:
+                    counts[u] += 1
+                    counts[v] += 1
+                    counts[w] += 1
+    return counts
+
+
+def total_triangles(graph: Graph) -> int:
+    """Total number of distinct triangles in the graph."""
+    return int(triangle_counts(graph).sum() // 3)
+
+
+def clustering_coefficients(graph: Graph) -> np.ndarray:
+    """Local clustering coefficient of every vertex (0 for degree < 2)."""
+    degrees = graph.degrees().astype(np.float64)
+    triangles = triangle_counts(graph).astype(np.float64)
+    possible = degrees * (degrees - 1.0) / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        coeffs = np.where(possible > 0, triangles / possible, 0.0)
+    return coeffs
+
+
+def average_clustering(graph: Graph) -> float:
+    """Mean local clustering coefficient over all vertices (0 for empty graphs)."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return float(clustering_coefficients(graph).mean())
+
+
+def transitivity(graph: Graph) -> float:
+    """Global transitivity: 3 × triangles / number of connected vertex triples."""
+    degrees = graph.degrees().astype(np.float64)
+    triples = float((degrees * (degrees - 1.0) / 2.0).sum())
+    if triples == 0:
+        return 0.0
+    return 3.0 * total_triangles(graph) / triples

@@ -1,0 +1,51 @@
+"""Conversion between :class:`repro.graph.Graph` and :mod:`networkx` graphs.
+
+networkx is used as an oracle in the test suite and for the paper's
+visualisation-style examples (Figure 5 plots line graphs with NetworkX).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.validation import ValidationError
+
+
+def to_networkx(graph: Graph):
+    """Convert to a weighted :class:`networkx.Graph` (attribute ``weight``)."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for u, v, w in graph.edges():
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def from_networkx(nx_graph) -> Graph:
+    """Convert a networkx graph with integer-labelled nodes ``0..n-1``.
+
+    Nodes must already be consecutive integers (relabel with
+    ``networkx.convert_node_labels_to_integers`` beforehand if not); edge
+    ``weight`` attributes are carried over (default 1).
+    """
+    nodes = list(nx_graph.nodes())
+    n = len(nodes)
+    if sorted(nodes) != list(range(n)):
+        raise ValidationError(
+            "networkx graph nodes must be the integers 0..n-1; "
+            "use networkx.convert_node_labels_to_integers first"
+        )
+    edges = []
+    weights = []
+    for u, v, data in nx_graph.edges(data=True):
+        if u == v:
+            continue
+        edges.append((int(u), int(v)))
+        weights.append(float(data.get("weight", 1.0)))
+    return Graph.from_edge_list(
+        n,
+        np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+        np.asarray(weights, dtype=np.float64),
+    )

@@ -1,0 +1,298 @@
+"""A lightweight Compressed Sparse Row (CSR) adjacency structure.
+
+The paper's framework stores a hypergraph as two CSR structures: the
+edge→vertex incidence lists (rows are hyperedges, columns are the vertices
+they contain) and the vertex→edge transpose.  We implement the same layout
+on top of contiguous ``numpy`` ``int64`` arrays — the standard HPC-Python
+idiom of keeping hot-path data in flat arrays rather than Python object
+graphs — and provide the handful of operations the algorithms need:
+row slicing, transposition, degree computation and conversion to
+``scipy.sparse`` for the SpGEMM baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.utils.validation import ValidationError, check_array_int
+
+
+@dataclass
+class CSRMatrix:
+    """A boolean/unit-weighted sparse matrix in CSR form.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``num_rows + 1``; row ``i`` occupies
+        ``indices[indptr[i]:indptr[i+1]]``.
+    indices:
+        ``int64`` array of column indices (length ``nnz``).
+    num_cols:
+        Number of columns (column indices are in ``[0, num_cols)``).
+    data:
+        Optional per-entry values (e.g. overlap weights).  ``None`` means all
+        entries have value 1.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    num_cols: int
+    data: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.indptr = check_array_int(self.indptr, "indptr")
+        self.indices = check_array_int(self.indices, "indices")
+        if self.indptr.size == 0:
+            raise ValidationError("indptr must have length >= 1")
+        if int(self.indptr[0]) != 0:
+            raise ValidationError("indptr[0] must be 0")
+        if int(self.indptr[-1]) != self.indices.size:
+            raise ValidationError(
+                f"indptr[-1] ({int(self.indptr[-1])}) must equal "
+                f"len(indices) ({self.indices.size})"
+            )
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValidationError("indptr must be non-decreasing")
+        if self.num_cols < 0:
+            raise ValidationError("num_cols must be non-negative")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_cols
+        ):
+            raise ValidationError("column indices out of range")
+        if self.data is not None:
+            self.data = np.asarray(self.data)
+            if self.data.shape != self.indices.shape:
+                raise ValidationError("data must have the same length as indices")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, num_rows: int, num_cols: int) -> "CSRMatrix":
+        """An all-zero matrix with the given shape."""
+        return cls(
+            indptr=np.zeros(num_rows + 1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+            num_cols=num_cols,
+        )
+
+    @classmethod
+    def from_pairs(
+        cls,
+        rows: Sequence[int] | np.ndarray,
+        cols: Sequence[int] | np.ndarray,
+        num_rows: Optional[int] = None,
+        num_cols: Optional[int] = None,
+        dedup: bool = True,
+    ) -> "CSRMatrix":
+        """Build from parallel (row, col) index arrays (COO triplets, all-ones).
+
+        Parameters
+        ----------
+        rows, cols:
+            Row and column index of each non-zero.
+        num_rows, num_cols:
+            Matrix shape; inferred from the maxima when omitted.
+        dedup:
+            Remove duplicate (row, col) pairs (default).  The incidence matrix
+            of a hypergraph is boolean, so duplicates are collapsed.
+        """
+        rows = check_array_int(rows, "rows")
+        cols = check_array_int(cols, "cols")
+        if rows.shape != cols.shape:
+            raise ValidationError("rows and cols must have the same length")
+        if rows.size and rows.min() < 0:
+            raise ValidationError("row indices must be non-negative")
+        if cols.size and cols.min() < 0:
+            raise ValidationError("column indices must be non-negative")
+        nrows = int(num_rows) if num_rows is not None else (int(rows.max()) + 1 if rows.size else 0)
+        ncols = int(num_cols) if num_cols is not None else (int(cols.max()) + 1 if cols.size else 0)
+        if rows.size and rows.max() >= nrows:
+            raise ValidationError("num_rows too small for the given row indices")
+        if cols.size and cols.max() >= ncols:
+            raise ValidationError("num_cols too small for the given column indices")
+
+        if rows.size == 0:
+            return cls.empty(nrows, ncols)
+
+        # Sort by (row, col) so rows are contiguous and columns sorted.
+        order = np.lexsort((cols, rows))
+        rows = rows[order]
+        cols = cols[order]
+        if dedup:
+            keep = np.ones(rows.size, dtype=bool)
+            keep[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            rows = rows[keep]
+            cols = cols[keep]
+
+        counts = np.bincount(rows, minlength=nrows)
+        indptr = np.zeros(nrows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr=indptr, indices=cols.astype(np.int64), num_cols=ncols)
+
+    @classmethod
+    def from_lists(
+        cls, lists: Iterable[Iterable[int]], num_cols: Optional[int] = None
+    ) -> "CSRMatrix":
+        """Build from an iterable of per-row column-index iterables."""
+        row_idx: list[int] = []
+        col_idx: list[int] = []
+        nrows = 0
+        for r, members in enumerate(lists):
+            nrows = r + 1
+            for c in members:
+                row_idx.append(r)
+                col_idx.append(int(c))
+        return cls.from_pairs(
+            np.asarray(row_idx, dtype=np.int64),
+            np.asarray(col_idx, dtype=np.int64),
+            num_rows=nrows,
+            num_cols=num_cols,
+        )
+
+    @classmethod
+    def from_scipy(cls, mat: sparse.spmatrix) -> "CSRMatrix":
+        """Build from any scipy sparse matrix (pattern only; values dropped)."""
+        csr = sparse.csr_matrix(mat)
+        csr.sum_duplicates()
+        csr.sort_indices()
+        return cls(
+            indptr=csr.indptr.astype(np.int64),
+            indices=csr.indices.astype(np.int64),
+            num_cols=csr.shape[1],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shape / access
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self.indptr.size - 1
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(num_rows, num_cols)``."""
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    def row(self, i: int) -> np.ndarray:
+        """Column indices of row ``i`` (a view into ``indices``)."""
+        if i < 0 or i >= self.num_rows:
+            raise IndexError(f"row index {i} out of range [0, {self.num_rows})")
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def row_data(self, i: int) -> np.ndarray:
+        """Values of row ``i`` (ones if the matrix is pattern-only)."""
+        if self.data is None:
+            return np.ones(self.row_degree(i), dtype=np.int64)
+        return self.data[self.indptr[i] : self.indptr[i + 1]]
+
+    def row_degree(self, i: int) -> int:
+        """Number of stored entries in row ``i``."""
+        if i < 0 or i >= self.num_rows:
+            raise IndexError(f"row index {i} out of range [0, {self.num_rows})")
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    def row_degrees(self) -> np.ndarray:
+        """Array of per-row entry counts."""
+        return np.diff(self.indptr)
+
+    def iter_rows(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(row_index, column_indices)`` for every row."""
+        for i in range(self.num_rows):
+            yield i, self.row(i)
+
+    def rows_as_sets(self) -> list[frozenset[int]]:
+        """Materialise each row as a frozenset of column indices."""
+        return [frozenset(int(c) for c in self.row(i)) for i in range(self.num_rows)]
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose as a new CSR matrix (counting-sort based)."""
+        nrows, ncols = self.shape
+        counts = np.bincount(self.indices, minlength=ncols) if self.nnz else np.zeros(ncols, dtype=np.int64)
+        indptr = np.zeros(ncols + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(self.nnz, dtype=np.int64)
+        data = np.empty(self.nnz, dtype=self.data.dtype) if self.data is not None else None
+        cursor = indptr[:-1].copy()
+        # Row ids of every nonzero, expanded from indptr.
+        row_ids = np.repeat(np.arange(nrows, dtype=np.int64), self.row_degrees())
+        for k in range(self.nnz):
+            col = self.indices[k]
+            pos = cursor[col]
+            indices[pos] = row_ids[k]
+            if data is not None:
+                data[pos] = self.data[k]
+            cursor[col] += 1
+        return CSRMatrix(indptr=indptr, indices=indices, num_cols=nrows, data=data)
+
+    def transpose_fast(self) -> "CSRMatrix":
+        """Transpose via scipy (vectorised); equivalent to :meth:`transpose`."""
+        return CSRMatrix.from_scipy(self.to_scipy().T.tocsr())
+
+    def permute_rows(self, permutation: np.ndarray) -> "CSRMatrix":
+        """Return a copy with rows reordered so new row ``i`` is old row ``permutation[i]``."""
+        permutation = check_array_int(permutation, "permutation")
+        if permutation.size != self.num_rows:
+            raise ValidationError("permutation length must equal num_rows")
+        if np.sort(permutation).tolist() != list(range(self.num_rows)):
+            raise ValidationError("permutation must be a permutation of row indices")
+        degrees = self.row_degrees()[permutation]
+        indptr = np.zeros(self.num_rows + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(self.nnz, dtype=np.int64)
+        for new_i, old_i in enumerate(permutation):
+            indices[indptr[new_i] : indptr[new_i + 1]] = self.row(old_i)
+        return CSRMatrix(indptr=indptr, indices=indices, num_cols=self.num_cols)
+
+    def to_scipy(self) -> sparse.csr_matrix:
+        """Convert to a scipy ``csr_matrix`` (boolean pattern stored as int64)."""
+        data = self.data if self.data is not None else np.ones(self.nnz, dtype=np.int64)
+        return sparse.csr_matrix(
+            (data, self.indices.copy(), self.indptr.copy()), shape=self.shape
+        )
+
+    def copy(self) -> "CSRMatrix":
+        """Deep copy."""
+        return CSRMatrix(
+            indptr=self.indptr.copy(),
+            indices=self.indices.copy(),
+            num_cols=self.num_cols,
+            data=None if self.data is None else self.data.copy(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Comparison helpers (used by tests)
+    # ------------------------------------------------------------------ #
+    def same_pattern(self, other: "CSRMatrix") -> bool:
+        """True if both matrices have identical shape and sparsity pattern."""
+        if self.shape != other.shape:
+            return False
+        if not np.array_equal(self.indptr, other.indptr):
+            return False
+        # Rows may store columns in different orders; compare sorted per row.
+        for i in range(self.num_rows):
+            if not np.array_equal(np.sort(self.row(i)), np.sort(other.row(i))):
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - thin wrapper
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return self.same_pattern(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,29 @@
+"""Dual hypergraph construction.
+
+The dual ``H* = <E*, V*>`` of a hypergraph ``H = <V, E>`` swaps the roles of
+vertices and hyperedges: each original hyperedge becomes a dual vertex and
+each original vertex ``v`` becomes the dual hyperedge ``v* = {e : v ∈ e}``.
+Its incidence matrix is the transpose ``H^T`` and ``(H*)* = H``.
+
+The s-line graph of the *dual* is the paper's "s-clique graph": vertices of
+``H`` are linked when they co-occur in at least ``s`` hyperedges (the s=1
+case being the classic clique expansion / 2-section).
+"""
+
+from __future__ import annotations
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def dual_hypergraph(h: Hypergraph) -> Hypergraph:
+    """Return the dual hypergraph ``H*`` of ``h``.
+
+    Examples
+    --------
+    >>> from repro.hypergraph.builders import hypergraph_from_edge_lists
+    >>> h = hypergraph_from_edge_lists([[0, 1, 2], [1, 2, 3]])
+    >>> d = dual_hypergraph(h)
+    >>> (d.num_vertices, d.num_edges) == (h.num_edges, h.num_vertices)
+    True
+    """
+    return h.dual()

@@ -1,0 +1,51 @@
+"""Incidence-matrix conversions.
+
+The paper's naive linear-algebraic formulation works on the boolean
+``n × m`` incidence matrix ``H`` (rows = vertices, columns = hyperedges):
+``L = H^T H`` is the weighted hyperedge adjacency (line-graph) matrix and
+``W = H H^T − D_V`` the weighted clique-expansion matrix.  These helpers
+convert between :class:`~repro.hypergraph.Hypergraph` and scipy sparse
+matrices for the SpGEMM baselines and the spectral substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.hypergraph.builders import hypergraph_from_incidence_matrix
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def incidence_matrix(h: Hypergraph, dtype=np.int64) -> sparse.csr_matrix:
+    """The ``n × m`` boolean incidence matrix of ``h`` as scipy CSR."""
+    return h.incidence_matrix().astype(dtype)
+
+
+def from_incidence(mat: sparse.spmatrix | np.ndarray) -> Hypergraph:
+    """Build a hypergraph from an ``n × m`` incidence matrix (alias of the builder)."""
+    return hypergraph_from_incidence_matrix(mat)
+
+
+def line_graph_weight_matrix(h: Hypergraph, dtype=np.int64) -> sparse.csr_matrix:
+    """The ``m × m`` weighted hyperedge adjacency matrix ``L = H^T H``.
+
+    ``L[i, j]`` equals ``inc(e_i, e_j)`` for ``i ≠ j`` and ``|e_i|`` on the
+    diagonal (Section II-B of the paper).
+    """
+    H = incidence_matrix(h, dtype=dtype)
+    return (H.T @ H).tocsr()
+
+
+def clique_expansion_weight_matrix(h: Hypergraph, dtype=np.int64) -> sparse.csr_matrix:
+    """The ``n × n`` weighted clique-expansion matrix ``W = H H^T − D_V``.
+
+    ``W[i, j]`` is the number of hyperedges containing both vertices ``i``
+    and ``j`` (Section III-H); the diagonal is removed.
+    """
+    H = incidence_matrix(h, dtype=dtype)
+    W = (H @ H.T).tolil()
+    W.setdiag(0)
+    W = W.tocsr()
+    W.eliminate_zeros()
+    return W

@@ -1,0 +1,97 @@
+"""Text edge-list formats for hypergraphs.
+
+``bipartite edge list`` — one incidence per line: ``<edge_id> <vertex_id>``.
+Lines starting with ``#`` or ``%`` are comments (KONECT convention).
+
+``hyperedge list`` — one hyperedge per line, vertex IDs separated by
+whitespace; the line number (0-based, skipping comments) is the hyperedge
+ID.  An empty line denotes an empty hyperedge.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.hypergraph.builders import (
+    hypergraph_from_edge_lists,
+    hypergraph_from_incidence_pairs,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils.validation import ValidationError
+
+PathLike = Union[str, os.PathLike]
+_COMMENT_PREFIXES = ("#", "%")
+
+
+def read_bipartite_edgelist(path: PathLike) -> Hypergraph:
+    """Read a ``<edge_id> <vertex_id>`` bipartite edge list into a hypergraph."""
+    edges: List[int] = []
+    vertices: List[int] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise ValidationError(
+                    f"{path}:{lineno}: expected '<edge_id> <vertex_id>', got {line!r}"
+                )
+            edges.append(int(parts[0]))
+            vertices.append(int(parts[1]))
+    if not edges:
+        raise ValidationError(f"{path}: no incidences found")
+    return hypergraph_from_incidence_pairs(
+        np.asarray(edges, dtype=np.int64), np.asarray(vertices, dtype=np.int64)
+    )
+
+
+def write_bipartite_edgelist(h: Hypergraph, path: PathLike, header: bool = True) -> None:
+    """Write a hypergraph as a ``<edge_id> <vertex_id>`` bipartite edge list."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            handle.write(
+                f"# hypergraph bipartite edge list: {h.num_edges} hyperedges, "
+                f"{h.num_vertices} vertices, {h.num_incidences} incidences\n"
+            )
+        for e, members in h.iter_edges():
+            for v in members:
+                handle.write(f"{int(e)} {int(v)}\n")
+
+
+def read_hyperedge_list(path: PathLike) -> Hypergraph:
+    """Read a one-hyperedge-per-line file into a hypergraph."""
+    lists: List[List[int]] = []
+    max_vertex = -1
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if stripped.startswith(_COMMENT_PREFIXES):
+                continue
+            if not stripped:
+                lists.append([])
+                continue
+            members = [int(tok) for tok in stripped.split()]
+            if members:
+                max_vertex = max(max_vertex, max(members))
+            lists.append(members)
+    if not lists:
+        raise ValidationError(f"{path}: no hyperedges found")
+    return hypergraph_from_edge_lists(lists, num_vertices=max_vertex + 1 if max_vertex >= 0 else 0)
+
+
+def write_hyperedge_list(h: Hypergraph, path: PathLike, header: bool = True) -> None:
+    """Write a hypergraph as a one-hyperedge-per-line file."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            handle.write(
+                f"# hyperedge list: {h.num_edges} hyperedges over {h.num_vertices} vertices\n"
+            )
+        for _, members in h.iter_edges():
+            handle.write(" ".join(str(int(v)) for v in members) + "\n")

@@ -1,0 +1,100 @@
+"""JSON interchange for hypergraphs and s-line graphs.
+
+Two dialects are supported:
+
+* the library's own JSON document (``{"edges": {label: [vertex labels]}}``),
+  round-trippable with labels preserved;
+* a HyperNetX-style "setsystem" dictionary (``{edge_label: [vertex labels]}``)
+  for interoperability with the HyperNetX/NWHypergraph ecosystem the paper's
+  reference implementation belongs to.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Hashable, List, Union
+
+from repro.core.slinegraph import SLineGraph
+from repro.hypergraph.builders import hypergraph_from_edge_dict
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils.validation import ValidationError
+
+PathLike = Union[str, os.PathLike]
+
+FORMAT_VERSION = 1
+
+
+def hypergraph_to_setsystem(h: Hypergraph) -> Dict[str, List[str]]:
+    """The HyperNetX-style ``{edge label: [vertex labels]}`` dictionary of ``h``."""
+    return {
+        str(h.edge_name(e)): [str(h.vertex_name(int(v))) for v in members]
+        for e, members in h.iter_edges()
+    }
+
+
+def hypergraph_from_setsystem(setsystem: Dict[Hashable, List[Hashable]]) -> Hypergraph:
+    """Build a hypergraph from a HyperNetX-style setsystem dictionary."""
+    if not isinstance(setsystem, dict):
+        raise ValidationError("setsystem must be a mapping of edge label -> member list")
+    return hypergraph_from_edge_dict(setsystem)
+
+
+def save_hypergraph_json(h: Hypergraph, path: PathLike, indent: int = 2) -> None:
+    """Write ``h`` as a self-describing JSON document."""
+    document = {
+        "format": "repro-hypergraph",
+        "version": FORMAT_VERSION,
+        "num_vertices": h.num_vertices,
+        "num_edges": h.num_edges,
+        "edges": hypergraph_to_setsystem(h),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=indent)
+
+
+def load_hypergraph_json(path: PathLike) -> Hypergraph:
+    """Read a hypergraph written by :func:`save_hypergraph_json` (or a bare setsystem)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, dict) and "edges" in document and "format" in document:
+        if document.get("format") != "repro-hypergraph":
+            raise ValidationError(f"unrecognised format {document.get('format')!r}")
+        return hypergraph_from_setsystem(document["edges"])
+    if isinstance(document, dict):
+        return hypergraph_from_setsystem(document)
+    raise ValidationError("JSON document does not describe a hypergraph")
+
+
+def save_slinegraph_json(graph: SLineGraph, path: PathLike, indent: int = 2) -> None:
+    """Write an s-line graph as JSON (edge triples ``[i, j, overlap]``)."""
+    document = {
+        "format": "repro-slinegraph",
+        "version": FORMAT_VERSION,
+        "s": graph.s,
+        "num_hyperedges": graph.num_hyperedges,
+        "edges": [
+            [int(i), int(j), int(w)] for (i, j), w in zip(graph.edges, graph.weights)
+        ],
+        "active_vertices": (
+            [int(v) for v in graph.active_vertices]
+            if graph.active_vertices is not None
+            else None
+        ),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=indent)
+
+
+def load_slinegraph_json(path: PathLike) -> SLineGraph:
+    """Read an s-line graph written by :func:`save_slinegraph_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != "repro-slinegraph":
+        raise ValidationError("JSON document does not describe an s-line graph")
+    return SLineGraph.from_weighted_pairs(
+        s=int(document["s"]),
+        pairs=[tuple(edge) for edge in document["edges"]],
+        num_hyperedges=int(document["num_hyperedges"]),
+        active_vertices=document.get("active_vertices"),
+    )

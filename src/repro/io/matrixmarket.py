@@ -1,0 +1,30 @@
+"""MatrixMarket I/O of hypergraph incidence matrices.
+
+The incidence matrix ``H`` is ``n × m`` (rows = vertices, columns =
+hyperedges); the files use the ``coordinate pattern general`` MatrixMarket
+dialect via :mod:`scipy.io`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from scipy import io as scipy_io
+from scipy import sparse
+
+from repro.hypergraph.builders import hypergraph_from_incidence_matrix
+from repro.hypergraph.hypergraph import Hypergraph
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_incidence_matrixmarket(h: Hypergraph, path: PathLike) -> None:
+    """Write the incidence matrix of ``h`` to a MatrixMarket file."""
+    scipy_io.mmwrite(str(path), h.incidence_matrix())
+
+
+def read_incidence_matrixmarket(path: PathLike) -> Hypergraph:
+    """Read a MatrixMarket incidence matrix into a hypergraph."""
+    mat = scipy_io.mmread(str(path))
+    return hypergraph_from_incidence_matrix(sparse.csr_matrix(mat))

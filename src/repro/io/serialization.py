@@ -1,0 +1,76 @@
+"""Binary round-trip of hypergraphs and s-line graphs via ``numpy.savez``.
+
+Labels (edge/vertex names) are stored as JSON strings inside the ``.npz``
+archive so the round trip preserves application metadata (gene symbols,
+author names, …).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.slinegraph import SLineGraph
+from repro.hypergraph.csr import CSRMatrix
+from repro.hypergraph.hypergraph import Hypergraph
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_hypergraph_npz(h: Hypergraph, path: PathLike) -> None:
+    """Save a hypergraph (CSR arrays + optional labels) to ``path`` (.npz)."""
+    payload = {
+        "indptr": h.edges_csr.indptr,
+        "indices": h.edges_csr.indices,
+        "num_vertices": np.asarray([h.num_vertices], dtype=np.int64),
+    }
+    if h.edge_names is not None:
+        payload["edge_names"] = np.asarray([json.dumps(list(map(str, h.edge_names)))])
+    if h.vertex_names is not None:
+        payload["vertex_names"] = np.asarray([json.dumps(list(map(str, h.vertex_names)))])
+    np.savez_compressed(str(path), **payload)
+
+
+def load_hypergraph_npz(path: PathLike) -> Hypergraph:
+    """Load a hypergraph previously written by :func:`save_hypergraph_npz`."""
+    with np.load(str(path), allow_pickle=False) as data:
+        edges = CSRMatrix(
+            indptr=data["indptr"],
+            indices=data["indices"],
+            num_cols=int(data["num_vertices"][0]),
+        )
+        edge_names = (
+            json.loads(str(data["edge_names"][0])) if "edge_names" in data else None
+        )
+        vertex_names = (
+            json.loads(str(data["vertex_names"][0])) if "vertex_names" in data else None
+        )
+    return Hypergraph(edges=edges, edge_names=edge_names, vertex_names=vertex_names)
+
+
+def save_slinegraph_npz(graph: SLineGraph, path: PathLike) -> None:
+    """Save an s-line graph (edge list, weights, metadata) to ``path`` (.npz)."""
+    payload = {
+        "s": np.asarray([graph.s], dtype=np.int64),
+        "edges": graph.edges,
+        "weights": graph.weights,
+        "num_hyperedges": np.asarray([graph.num_hyperedges], dtype=np.int64),
+    }
+    if graph.active_vertices is not None:
+        payload["active_vertices"] = graph.active_vertices
+    np.savez_compressed(str(path), **payload)
+
+
+def load_slinegraph_npz(path: PathLike) -> SLineGraph:
+    """Load an s-line graph previously written by :func:`save_slinegraph_npz`."""
+    with np.load(str(path), allow_pickle=False) as data:
+        return SLineGraph(
+            s=int(data["s"][0]),
+            edges=data["edges"],
+            weights=data["weights"],
+            num_hyperedges=int(data["num_hyperedges"][0]),
+            active_vertices=data["active_vertices"] if "active_vertices" in data else None,
+        )

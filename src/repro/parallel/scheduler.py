@@ -1,0 +1,152 @@
+"""Chunked dynamic scheduling model (grain-size / granularity control).
+
+oneTBB's work-stealing scheduler hands out *chunks* of the iteration range to
+idle threads; the paper (Section III-F) studies the chunk ("grain") size and
+observes that chunk sizes up to 256 behave similarly while larger chunks hurt
+because a few heavy chunks straggle.  This module provides a deterministic
+model of that behaviour:
+
+* :func:`dynamic_chunk_schedule` simulates a greedy dynamic scheduler —
+  chunks are handed to the worker that becomes idle first, using a per-item
+  cost function (e.g. wedge counts) as the execution-time proxy;
+* :class:`ScheduleResult` reports per-worker makespans and the critical path,
+  which the grain-size ablation benchmark sweeps.
+
+The model is used for workload studies only; actual execution uses
+:mod:`repro.parallel.executor`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_positive_int
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a simulated chunked-dynamic schedule."""
+
+    num_workers: int
+    grainsize: int
+    #: Total simulated busy time per worker.
+    worker_loads: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: Chunk index → worker that executed it.
+    chunk_assignment: List[int] = field(default_factory=list)
+    #: Number of chunks handed out.
+    num_chunks: int = 0
+
+    @property
+    def makespan(self) -> float:
+        """Finish time of the slowest worker (the schedule's critical path)."""
+        return float(self.worker_loads.max()) if self.worker_loads.size else 0.0
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all chunk costs."""
+        return float(self.worker_loads.sum())
+
+    def imbalance(self) -> float:
+        """Makespan divided by the ideal (perfectly balanced) makespan."""
+        if self.total_work == 0:
+            return 1.0
+        ideal = self.total_work / self.num_workers
+        return self.makespan / ideal if ideal > 0 else 1.0
+
+    def efficiency(self) -> float:
+        """Parallel efficiency of the schedule (1.0 = perfect)."""
+        imbalance = self.imbalance()
+        return 1.0 / imbalance if imbalance > 0 else 1.0
+
+
+def dynamic_chunk_schedule(
+    item_costs: Sequence[float] | np.ndarray,
+    num_workers: int,
+    grainsize: int,
+    per_chunk_overhead: float = 0.0,
+) -> ScheduleResult:
+    """Greedy simulation of a dynamic (work-stealing-style) chunked schedule.
+
+    The item range is split into consecutive chunks of ``grainsize`` items;
+    chunks are dispatched in order to whichever worker becomes idle first
+    (a min-heap of worker finish times), each costing the sum of its items'
+    costs plus ``per_chunk_overhead`` (scheduling/stealing overhead — the
+    term that penalises tiny grain sizes).
+
+    Parameters
+    ----------
+    item_costs:
+        Per-item execution cost (e.g. wedge counts per hyperedge).
+    num_workers:
+        Number of simulated workers.
+    grainsize:
+        Items per chunk.
+    per_chunk_overhead:
+        Fixed cost added to every chunk.
+    """
+    costs = np.asarray(item_costs, dtype=np.float64)
+    if costs.ndim != 1:
+        raise ValidationError("item_costs must be one-dimensional")
+    if np.any(costs < 0):
+        raise ValidationError("item costs must be non-negative")
+    num_workers = check_positive_int(num_workers, "num_workers")
+    grainsize = check_positive_int(grainsize, "grainsize")
+
+    loads = np.zeros(num_workers, dtype=np.float64)
+    assignment: List[int] = []
+    # Min-heap of (finish_time, worker_id); ties broken by worker id.
+    heap = [(0.0, w) for w in range(num_workers)]
+    heapq.heapify(heap)
+    num_chunks = 0
+    for start in range(0, costs.size, grainsize):
+        chunk_cost = float(costs[start : start + grainsize].sum()) + per_chunk_overhead
+        finish, worker = heapq.heappop(heap)
+        loads[worker] += chunk_cost
+        heapq.heappush(heap, (finish + chunk_cost, worker))
+        assignment.append(worker)
+        num_chunks += 1
+    return ScheduleResult(
+        num_workers=num_workers,
+        grainsize=grainsize,
+        worker_loads=loads,
+        chunk_assignment=assignment,
+        num_chunks=num_chunks,
+    )
+
+
+def grainsize_sweep(
+    item_costs: Sequence[float] | np.ndarray,
+    num_workers: int,
+    grainsizes: Sequence[int],
+    per_chunk_overhead: float = 0.0,
+) -> dict[int, ScheduleResult]:
+    """Run :func:`dynamic_chunk_schedule` for each grain size (ablation helper)."""
+    return {
+        int(g): dynamic_chunk_schedule(
+            item_costs, num_workers, int(g), per_chunk_overhead=per_chunk_overhead
+        )
+        for g in grainsizes
+    }
+
+
+def wedge_costs(h, s: int = 1) -> np.ndarray:
+    """Per-hyperedge wedge counts — the natural cost model for the outer loop.
+
+    The cost of processing hyperedge ``e_i`` in Algorithm 2 is the number of
+    wedges it enumerates: the sum of the degrees of its member vertices.
+    Hyperedges pruned by ``|e| < s`` cost zero.
+    """
+    degrees = h.vertex_degrees()
+    sizes = h.edge_sizes()
+    costs = np.zeros(h.num_edges, dtype=np.float64)
+    for e in range(h.num_edges):
+        if sizes[e] < s:
+            continue
+        members = h.edge_members(e)
+        if members.size:
+            costs[e] = float(degrees[members].sum())
+    return costs

@@ -1,0 +1,81 @@
+"""Per-worker workload counters (reproduces the paper's Figure 10).
+
+Figure 10 of the paper plots, for the LiveJournal input, the number of
+hyperedges visited in the innermost loop of Algorithm 2 by each of 32
+threads under six partitioning/relabelling combinations.  The quantity is a
+pure count independent of the execution substrate, so we collect it from the
+algorithm kernels and report it per logical worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class WorkerCounters:
+    """Work performed by a single logical worker."""
+
+    worker_id: int
+    edges_processed: int = 0
+    wedges_visited: int = 0
+    line_edges_emitted: int = 0
+    set_intersections: int = 0
+
+    def merge(self, other: "WorkerCounters") -> "WorkerCounters":
+        """Accumulate another counter set (same worker) into this one."""
+        self.edges_processed += other.edges_processed
+        self.wedges_visited += other.wedges_visited
+        self.line_edges_emitted += other.line_edges_emitted
+        self.set_intersections += other.set_intersections
+        return self
+
+
+@dataclass
+class WorkloadStats:
+    """Aggregated per-worker workload characterisation."""
+
+    workers: List[WorkerCounters] = field(default_factory=list)
+
+    @property
+    def num_workers(self) -> int:
+        """Number of logical workers observed."""
+        return len(self.workers)
+
+    def visits_per_worker(self) -> np.ndarray:
+        """Innermost-loop visit counts per worker (the Figure 10 quantity)."""
+        return np.array([w.wedges_visited for w in self.workers], dtype=np.int64)
+
+    def total_wedges(self) -> int:
+        """Total wedges visited across all workers."""
+        return int(self.visits_per_worker().sum())
+
+    def total_set_intersections(self) -> int:
+        """Total explicit set intersections (0 for the hashmap algorithms)."""
+        return int(sum(w.set_intersections for w in self.workers))
+
+    def imbalance(self) -> float:
+        """Load-imbalance factor: max-work / mean-work (1.0 = perfectly balanced)."""
+        visits = self.visits_per_worker()
+        if visits.size == 0 or visits.sum() == 0:
+            return 1.0
+        mean = visits.mean()
+        return float(visits.max() / mean) if mean > 0 else 1.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Summary dictionary used by the benchmark reporting layer."""
+        return {
+            "num_workers": self.num_workers,
+            "total_wedges": self.total_wedges(),
+            "total_set_intersections": self.total_set_intersections(),
+            "imbalance": self.imbalance(),
+            "visits_per_worker": self.visits_per_worker().tolist(),
+        }
+
+    @classmethod
+    def from_counters(cls, counters: Sequence[WorkerCounters]) -> "WorkloadStats":
+        """Build from a sequence of per-worker counters (sorted by worker ID)."""
+        return cls(workers=sorted(counters, key=lambda c: c.worker_id))

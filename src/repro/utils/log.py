@@ -1,0 +1,31 @@
+"""Library logging configuration.
+
+The library never configures the root logger; it exposes a namespaced logger
+(``repro``) that applications can configure.  :func:`enable_verbose` is a
+convenience for examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+import logging
+
+LOGGER_NAME = "repro"
+
+
+def get_logger(child: str | None = None) -> logging.Logger:
+    """Return the package logger, or a child logger if ``child`` is given."""
+    name = LOGGER_NAME if child is None else f"{LOGGER_NAME}.{child}"
+    return logging.getLogger(name)
+
+
+def enable_verbose(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler to the package logger (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

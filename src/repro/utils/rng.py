@@ -1,0 +1,28 @@
+"""Deterministic random-number helpers.
+
+All synthetic dataset generators accept either a seed or a
+:class:`numpy.random.Generator`; :func:`make_rng` normalises both forms so
+experiments are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed or pass one through.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (non-deterministic), an integer seed, or an existing
+        generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,110 @@
+"""Text and DOT visualisation helpers.
+
+The paper visualises s-line graphs with NetworkX (Figure 5) and plots
+log-log degree/edge-count series (Figures 4 and 6).  In an offline,
+matplotlib-free environment the equivalents are:
+
+* Graphviz DOT export of hypergraphs (as bipartite graphs) and s-line graphs
+  so results can be rendered elsewhere;
+* ASCII bar charts and log-scale sparklines for quick terminal inspection,
+  used by the example scripts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.slinegraph import SLineGraph
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def slinegraph_to_dot(
+    graph: SLineGraph,
+    h: Optional[Hypergraph] = None,
+    name: str = "slinegraph",
+    max_penwidth: float = 6.0,
+) -> str:
+    """Graphviz DOT source for an s-line graph.
+
+    Edge pen widths are proportional to the overlap counts, mirroring the
+    paper's Figure 2 where edge width encodes connection strength; node
+    labels use the hypergraph's hyperedge names when ``h`` is given.
+    """
+    lines = [f'graph "{name}" {{', "  node [shape=circle];"]
+    nodes = (
+        graph.active_vertices.tolist()
+        if graph.active_vertices is not None
+        else graph.vertex_ids.tolist()
+    )
+    for node in nodes:
+        label = str(h.edge_name(int(node))) if h is not None else str(int(node))
+        lines.append(f'  n{int(node)} [label="{label}"];')
+    max_weight = int(graph.weights.max()) if graph.num_edges else 1
+    for (i, j), w in zip(graph.edges, graph.weights):
+        width = 1.0 + (max_penwidth - 1.0) * (int(w) / max_weight)
+        lines.append(
+            f"  n{int(i)} -- n{int(j)} [penwidth={width:.2f}, label={int(w)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def hypergraph_to_dot(h: Hypergraph, name: str = "hypergraph") -> str:
+    """Graphviz DOT source for the bipartite representation ``B(H)``."""
+    lines = [f'graph "{name}" {{', "  rankdir=LR;"]
+    for e in range(h.num_edges):
+        lines.append(f'  e{e} [shape=box, label="{h.edge_name(e)}"];')
+    for v in range(h.num_vertices):
+        lines.append(f'  v{v} [shape=circle, label="{h.vertex_name(v)}"];')
+    for e, members in h.iter_edges():
+        for v in members:
+            lines.append(f"  e{int(e)} -- v{int(v)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    series: Mapping[object, float],
+    width: int = 50,
+    log_scale: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``{label: value}`` as a horizontal ASCII bar chart.
+
+    ``log_scale`` plots ``log10(1 + value)`` — the terminal analogue of the
+    paper's log-log Figure 4.
+    """
+    if not series:
+        return title or ""
+    values = {k: float(v) for k, v in series.items()}
+    transform = (lambda v: math.log10(1.0 + v)) if log_scale else (lambda v: v)
+    transformed = {k: transform(v) for k, v in values.items()}
+    peak = max(transformed.values()) or 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = [] if title is None else [title]
+    for key, value in values.items():
+        bar = "#" * max(0, int(round(width * transformed[key] / peak)))
+        lines.append(f"{str(key):>{label_width}s} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def degree_histogram_ascii(
+    degrees: Sequence[int], bins: int = 10, width: int = 40, title: Optional[str] = None
+) -> str:
+    """ASCII histogram of a degree sequence (equal-width bins)."""
+    values = [int(d) for d in degrees]
+    if not values:
+        return title or "(empty)"
+    lo, hi = min(values), max(values)
+    bins = max(1, min(bins, hi - lo + 1))
+    edges = [lo + (hi - lo + 1) * i / bins for i in range(bins + 1)]
+    counts: Dict[str, float] = {}
+    for b in range(bins):
+        label = f"[{int(edges[b])},{int(edges[b + 1])})"
+        counts[label] = 0
+    for v in values:
+        b = min(bins - 1, int((v - lo) / ((hi - lo + 1) / bins)))
+        label = list(counts)[b]
+        counts[label] += 1
+    return ascii_bar_chart(counts, width=width, title=title)

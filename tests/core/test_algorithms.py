@@ -1,0 +1,195 @@
+"""Unit tests for the individual s-line-graph algorithms.
+
+Each algorithm is checked against the paper's Figure 2 ground truth and
+against a brute-force oracle on random hypergraphs; algorithm-specific
+behaviour (workload counters, pruning, short-circuiting, counter policies)
+is tested separately per algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.hashmap import s_line_graph_hashmap
+from repro.core.algorithms.heuristic import (
+    _sorted_intersection_count,
+    s_line_graph_heuristic,
+)
+from repro.core.algorithms.naive import s_line_graph_naive
+from repro.core.algorithms.spgemm import s_line_graph_spgemm, s_line_graph_spgemm_upper
+from repro.core.algorithms.vectorized import s_line_graph_vectorized
+from repro.core.filtration import line_graph_from_filtration
+from repro.parallel.executor import ParallelConfig
+from repro.utils.validation import ValidationError
+
+from tests.conftest import PAPER_EXAMPLE_OVERLAPS, PAPER_EXAMPLE_SLINE_EDGES, brute_force_s_line_edges
+
+ALL_ALGORITHMS = {
+    "naive": s_line_graph_naive,
+    "heuristic": s_line_graph_heuristic,
+    "hashmap": s_line_graph_hashmap,
+    "vectorized": s_line_graph_vectorized,
+    "spgemm": s_line_graph_spgemm,
+    "spgemm_upper": s_line_graph_spgemm_upper,
+}
+
+
+@pytest.mark.parametrize("name,algorithm", sorted(ALL_ALGORITHMS.items()))
+class TestAgainstPaperExample:
+    @pytest.mark.parametrize("s", [1, 2, 3, 4])
+    def test_edge_sets_match_figure2(self, paper_example, name, algorithm, s):
+        result = algorithm(paper_example, s)
+        assert result.graph.edge_set() == PAPER_EXAMPLE_SLINE_EDGES[s]
+
+    def test_weights_are_exact_overlaps(self, paper_example, name, algorithm):
+        result = algorithm(paper_example, 1)
+        for (i, j), w in result.graph.weight_map().items():
+            assert w == PAPER_EXAMPLE_OVERLAPS[(i, j)]
+
+    def test_active_vertices_are_Es(self, paper_example, name, algorithm):
+        result = algorithm(paper_example, 3)
+        assert result.graph.active_vertices.tolist() == [0, 1, 2]
+
+    def test_invalid_s_rejected(self, paper_example, name, algorithm):
+        with pytest.raises(ValidationError):
+            algorithm(paper_example, 0)
+
+
+@pytest.mark.parametrize("name,algorithm", sorted(ALL_ALGORITHMS.items()))
+@pytest.mark.parametrize("s", [1, 2, 3])
+def test_matches_brute_force_on_random_hypergraph(
+    small_random_hypergraph, name, algorithm, s
+):
+    expected = brute_force_s_line_edges(small_random_hypergraph, s)
+    result = algorithm(small_random_hypergraph, s)
+    assert result.graph.edge_set() == set(expected)
+    assert result.graph.weight_map() == expected
+
+
+@pytest.mark.parametrize("name,algorithm", sorted(ALL_ALGORITHMS.items()))
+def test_empty_hypergraph_gives_empty_line_graph(empty_hypergraph, name, algorithm):
+    result = algorithm(empty_hypergraph, 1)
+    assert result.graph.num_edges == 0
+
+
+class TestNaive:
+    def test_counts_all_pairs(self, paper_example):
+        result = s_line_graph_naive(paper_example, 2)
+        assert result.workload.total_set_intersections() == 6  # C(4, 2)
+
+    def test_algorithm_name(self, paper_example):
+        assert s_line_graph_naive(paper_example, 1).algorithm == "naive"
+
+
+class TestHeuristic:
+    def test_performs_fewer_intersections_than_naive(self, community_hypergraph):
+        naive = s_line_graph_naive(community_hypergraph, 2)
+        heuristic = s_line_graph_heuristic(community_hypergraph, 2)
+        assert (
+            heuristic.workload.total_set_intersections()
+            < naive.workload.total_set_intersections()
+        )
+
+    def test_degree_pruning_reduces_work(self, paper_example):
+        # At s = 4, only edge 3 (size 5) survives pruning, so no intersections run.
+        result = s_line_graph_heuristic(paper_example, 4)
+        assert result.workload.total_set_intersections() == 0
+        assert result.graph.num_edges == 0
+
+    def test_short_circuit_truncates_weights_at_s(self, paper_example):
+        result = s_line_graph_heuristic(paper_example, 2, short_circuit=True)
+        assert result.graph.edge_set() == PAPER_EXAMPLE_SLINE_EDGES[2]
+        assert all(w == 2 for w in result.graph.weights.tolist())
+
+    def test_parallel_matches_serial(self, community_hypergraph):
+        serial = s_line_graph_heuristic(community_hypergraph, 2)
+        parallel = s_line_graph_heuristic(
+            community_hypergraph,
+            2,
+            config=ParallelConfig(num_workers=4, strategy="cyclic", backend="thread"),
+        )
+        assert serial.graph.edge_set() == parallel.graph.edge_set()
+
+    def test_sorted_intersection_count_exact(self):
+        a = np.array([1, 3, 5, 7, 9])
+        b = np.array([3, 4, 5, 9, 10])
+        assert _sorted_intersection_count(a, b, s=1, short_circuit=False) == 3
+
+    def test_sorted_intersection_count_short_circuit(self):
+        a = np.array([1, 2, 3, 4])
+        b = np.array([1, 2, 3, 4])
+        assert _sorted_intersection_count(a, b, s=2, short_circuit=True) == 2
+
+    def test_sorted_intersection_failure_pruning(self):
+        a = np.array([1, 2])
+        b = np.array([5, 6, 7])
+        assert _sorted_intersection_count(a, b, s=1, short_circuit=False) == 0
+
+
+class TestHashmap:
+    def test_no_set_intersections(self, community_hypergraph):
+        result = s_line_graph_hashmap(community_hypergraph, 2)
+        assert result.workload.total_set_intersections() == 0
+
+    def test_counter_policies_agree(self, community_hypergraph):
+        dynamic = s_line_graph_hashmap(community_hypergraph, 2, counter_policy="dynamic")
+        prealloc = s_line_graph_hashmap(
+            community_hypergraph, 2, counter_policy="preallocated"
+        )
+        assert dynamic.graph == prealloc.graph
+
+    def test_unknown_counter_policy(self, paper_example):
+        with pytest.raises(ValidationError):
+            s_line_graph_hashmap(paper_example, 1, counter_policy="bogus")
+
+    def test_degree_pruning_skips_small_edges(self, paper_example):
+        result = s_line_graph_hashmap(paper_example, 3)
+        # Edge 3 has size 2 < 3 so it is never processed in the outer loop.
+        assert result.workload.workers[0].edges_processed == 3
+
+    def test_workload_counts_wedges(self, paper_example):
+        result = s_line_graph_hashmap(paper_example, 1)
+        # Total wedges = sum over edges of sum over members of deg(v).
+        expected = sum(
+            int(paper_example.vertex_degrees()[paper_example.edge_members(e)].sum())
+            for e in range(4)
+        )
+        assert result.workload.total_wedges() == expected
+
+    @pytest.mark.parametrize("strategy", ["blocked", "cyclic"])
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_parallel_configurations_match_serial(
+        self, community_hypergraph, strategy, backend
+    ):
+        serial = s_line_graph_hashmap(community_hypergraph, 2)
+        parallel = s_line_graph_hashmap(
+            community_hypergraph,
+            2,
+            config=ParallelConfig(num_workers=4, strategy=strategy, backend=backend),
+        )
+        assert serial.graph == parallel.graph
+
+
+class TestVectorized:
+    def test_identical_to_hashmap(self, community_hypergraph):
+        for s in (1, 2, 3):
+            a = s_line_graph_hashmap(community_hypergraph, s)
+            b = s_line_graph_vectorized(community_hypergraph, s)
+            assert a.graph == b.graph
+
+    def test_wedge_counts_match_hashmap(self, paper_example):
+        a = s_line_graph_hashmap(paper_example, 1)
+        b = s_line_graph_vectorized(paper_example, 1)
+        assert a.workload.total_wedges() == b.workload.total_wedges()
+
+
+class TestSpGEMM:
+    def test_matches_filtration_oracle(self, community_hypergraph):
+        for s in (1, 2, 3):
+            expected = line_graph_from_filtration(community_hypergraph, s)
+            assert s_line_graph_spgemm(community_hypergraph, s).graph == expected
+            assert s_line_graph_spgemm_upper(community_hypergraph, s).graph == expected
+
+    def test_upper_variant_materialises_fewer_entries(self, community_hypergraph):
+        full = s_line_graph_spgemm(community_hypergraph, 2)
+        upper = s_line_graph_spgemm_upper(community_hypergraph, 2)
+        assert upper.workload.total_wedges() < full.workload.total_wedges()

@@ -1,0 +1,46 @@
+"""Unit tests for the top-level s_line_graph / s_line_graph_ensemble dispatch."""
+
+import pytest
+
+from repro.core.dispatch import ALGORITHMS, s_line_graph, s_line_graph_ensemble
+from repro.parallel.workload import WorkloadStats
+from repro.utils.validation import ValidationError
+
+from tests.conftest import PAPER_EXAMPLE_SLINE_EDGES
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_all_registered_algorithms_run(self, paper_example, algorithm):
+        graph = s_line_graph(paper_example, 2, algorithm=algorithm)
+        assert graph.edge_set() == PAPER_EXAMPLE_SLINE_EDGES[2]
+
+    def test_default_algorithm_is_hashmap(self, paper_example):
+        graph = s_line_graph(paper_example, 2)
+        assert graph.edge_set() == PAPER_EXAMPLE_SLINE_EDGES[2]
+
+    def test_unknown_algorithm_rejected(self, paper_example):
+        with pytest.raises(ValidationError):
+            s_line_graph(paper_example, 2, algorithm="quantum")
+
+    def test_return_workload(self, paper_example):
+        graph, workload = s_line_graph(paper_example, 2, return_workload=True)
+        assert isinstance(workload, WorkloadStats)
+        assert graph.num_edges == 3
+
+    def test_algorithm_descriptions_present(self):
+        assert "hashmap" in ALGORITHMS
+        assert all(isinstance(v, str) and v for v in ALGORITHMS.values())
+
+
+class TestEnsembleDispatch:
+    def test_basic(self, paper_example):
+        ensemble = s_line_graph_ensemble(paper_example, [1, 2, 3, 4])
+        assert ensemble.edge_counts() == {1: 4, 2: 3, 3: 2, 4: 0}
+
+    def test_return_workload(self, paper_example):
+        ensemble, workload = s_line_graph_ensemble(
+            paper_example, [2], return_workload=True
+        )
+        assert workload.total_set_intersections() == 0
+        assert ensemble[2].num_edges == 3

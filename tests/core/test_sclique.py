@@ -1,0 +1,65 @@
+"""Unit tests for the s-clique graph API (vertex-centric expansions, §III-H)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.sclique import (
+    s_clique_graph,
+    s_clique_graph_ensemble,
+    two_section,
+    weighted_clique_expansion,
+)
+from repro.hypergraph.builders import hypergraph_from_edge_lists
+
+
+class TestSCliqueGraph:
+    def test_two_section_of_paper_example(self, paper_example):
+        """H_2 links every vertex pair that shares a hyperedge (Figure 3)."""
+        h2 = two_section(paper_example)
+        # Vertices a..e form a clique (all within edge 3); f connects only to e.
+        expected = {(i, j) for i in range(5) for j in range(i + 1, 5)} | {(4, 5)}
+        assert h2.edge_set() == expected
+
+    def test_s_clique_links_require_s_shared_edges(self):
+        h = hypergraph_from_edge_lists([[0, 1], [0, 1], [1, 2]])
+        assert s_clique_graph(h, 1).edge_set() == {(0, 1), (1, 2)}
+        assert s_clique_graph(h, 2).edge_set() == {(0, 1)}
+        assert s_clique_graph(h, 3).edge_set() == set()
+
+    def test_matches_filtration_of_weighted_expansion(self, community_hypergraph):
+        W = weighted_clique_expansion(community_hypergraph).toarray()
+        for s in (1, 2, 3):
+            graph = s_clique_graph(community_hypergraph, s)
+            expected = {
+                (i, j)
+                for i in range(W.shape[0])
+                for j in range(i + 1, W.shape[0])
+                if W[i, j] >= s
+            }
+            assert graph.edge_set() == expected
+
+    def test_weights_equal_adj_counts(self, paper_example):
+        graph = s_clique_graph(paper_example, 1)
+        for (u, v), w in graph.weight_map().items():
+            assert w == paper_example.adj(u, v)
+
+    def test_return_workload(self, paper_example):
+        graph, workload = s_clique_graph(paper_example, 1, return_workload=True)
+        assert workload.total_wedges() > 0
+        assert graph.num_edges > 0
+
+    def test_ensemble_matches_individual(self, community_hypergraph):
+        ensemble = s_clique_graph_ensemble(community_hypergraph, [1, 2, 3])
+        for s in (1, 2, 3):
+            assert ensemble[s] == s_clique_graph(community_hypergraph, s)
+
+
+class TestWeightedCliqueExpansion:
+    def test_diagonal_is_zero(self, paper_example):
+        W = weighted_clique_expansion(paper_example)
+        assert W.diagonal().sum() == 0
+
+    def test_symmetric(self, community_hypergraph):
+        W = weighted_clique_expansion(community_hypergraph)
+        assert (abs(W - W.T)).nnz == 0

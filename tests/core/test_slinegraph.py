@@ -1,0 +1,128 @@
+"""Unit tests for the SLineGraph result type."""
+
+import numpy as np
+import pytest
+
+from repro.core.slinegraph import SLineGraph, SLineGraphEnsemble
+from repro.utils.validation import ValidationError
+
+
+def make_graph(s=2, edges=((0, 1, 2), (1, 3, 5)), num_hyperedges=5, active=None):
+    return SLineGraph.from_weighted_pairs(
+        s=s, pairs=list(edges), num_hyperedges=num_hyperedges, active_vertices=active
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = make_graph()
+        assert g.num_edges == 2
+        assert g.edge_set() == {(0, 1), (1, 3)}
+        assert g.weight_map() == {(0, 1): 2, (1, 3): 5}
+
+    def test_empty(self):
+        g = SLineGraph.from_weighted_pairs(s=3, pairs=[], num_hyperedges=4)
+        assert g.num_edges == 0
+        assert g.vertex_ids.size == 0
+        assert g.num_active_vertices == 0
+
+    def test_unordered_pairs_normalised(self):
+        g = make_graph(edges=((3, 1, 5), (1, 0, 2)))
+        assert g.edges.tolist() == [[0, 1], [1, 3]]
+
+    def test_duplicate_pairs_collapsed(self):
+        g = make_graph(edges=((0, 1, 2), (1, 0, 3)))
+        assert g.num_edges == 1
+        assert g.weights.tolist() == [3]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            make_graph(edges=((1, 1, 2),))
+
+    def test_weight_below_s_rejected(self):
+        with pytest.raises(ValidationError):
+            make_graph(s=4, edges=((0, 1, 2),))
+
+    def test_endpoint_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            make_graph(edges=((0, 9, 2),), num_hyperedges=5)
+
+    def test_invalid_s(self):
+        with pytest.raises(ValidationError):
+            make_graph(s=0)
+
+    def test_degree_of(self):
+        g = make_graph()
+        assert g.degree_of(1) == 2
+        assert g.degree_of(4) == 0
+
+
+class TestSqueeze:
+    def test_squeeze_compacts_ids(self):
+        g = make_graph(edges=((2, 7, 3), (7, 9, 4)), num_hyperedges=10, s=2)
+        squeezed, mapping = g.squeeze()
+        assert mapping.new_to_old.tolist() == [2, 7, 9]
+        assert squeezed.edge_set() == {(0, 1), (1, 2)}
+        assert squeezed.weights.tolist() == [3, 4]
+
+    def test_squeeze_include_isolated(self):
+        g = make_graph(
+            edges=((2, 7, 3),), num_hyperedges=10, s=2, active=np.array([2, 5, 7])
+        )
+        squeezed, mapping = g.squeeze(include_isolated=True)
+        assert mapping.new_to_old.tolist() == [2, 5, 7]
+        assert squeezed.num_active_vertices == 3
+
+    def test_squeeze_empty(self):
+        g = SLineGraph.from_weighted_pairs(s=2, pairs=[], num_hyperedges=5)
+        squeezed, mapping = g.squeeze()
+        assert squeezed.num_edges == 0
+        assert mapping.num_ids == 0
+
+
+class TestConversions:
+    def test_adjacency_matrix_unsqueezed(self):
+        g = make_graph()
+        A = g.adjacency_matrix(weighted=True).toarray()
+        assert A.shape == (5, 5)
+        assert A[0, 1] == 2 and A[1, 0] == 2
+        assert A[1, 3] == 5
+
+    def test_adjacency_matrix_squeezed(self):
+        g = make_graph(edges=((2, 7, 3),), num_hyperedges=10)
+        A = g.adjacency_matrix(squeezed=True).toarray()
+        assert A.shape == (2, 2)
+
+    def test_to_graph(self):
+        g = make_graph()
+        graph = g.to_graph()
+        assert graph.num_edges == 2
+        assert graph.metadata["s"] == 2
+
+    def test_to_networkx(self):
+        g = make_graph(active=np.array([0, 1, 2, 3, 4]))
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 5
+        assert nxg.number_of_edges() == 2
+        assert nxg[0][1]["weight"] == 2
+        assert nxg.graph["s"] == 2
+
+    def test_equality(self):
+        assert make_graph() == make_graph()
+        assert make_graph() != make_graph(edges=((0, 1, 2),))
+
+
+class TestEnsemble:
+    def test_access_and_edge_counts(self):
+        ens = SLineGraphEnsemble(
+            graphs={
+                1: make_graph(s=1, edges=((0, 1, 1), (1, 2, 2))),
+                2: make_graph(s=2, edges=((1, 2, 2),)),
+            }
+        )
+        assert ens.s_values == [1, 2]
+        assert 1 in ens and 3 not in ens
+        assert len(ens) == 2
+        assert ens.edge_counts() == {1: 2, 2: 1}
+        assert ens[2].num_edges == 1
+        assert [s for s, _ in ens.items()] == [1, 2]

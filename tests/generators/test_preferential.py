@@ -1,0 +1,45 @@
+"""Unit tests for the preferential-attachment hypergraph generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators.preferential import preferential_attachment_hypergraph
+from repro.hypergraph.degree import vertex_degree_distribution
+from repro.utils.validation import ValidationError
+
+
+class TestPreferentialAttachment:
+    def test_shape_and_determinism(self):
+        a = preferential_attachment_hypergraph(200, seed=3)
+        b = preferential_attachment_hypergraph(200, seed=3)
+        assert a == b
+        assert a.num_edges == 200
+        assert a.num_vertices >= 5
+
+    def test_sizes_bounded(self):
+        h = preferential_attachment_hypergraph(150, mean_edge_size=5, max_edge_size=12, seed=0)
+        assert h.edge_sizes().max() <= 12
+        assert h.edge_sizes().min() >= 1
+
+    def test_produces_heavy_tailed_degrees(self):
+        h = preferential_attachment_hypergraph(
+            600, mean_edge_size=4, newcomer_probability=0.15, seed=1
+        )
+        dist = vertex_degree_distribution(h)
+        assert dist.is_skewed()
+        assert dist.maximum > 5 * dist.mean
+
+    def test_newcomer_probability_one_gives_disjoint_edges(self):
+        h = preferential_attachment_hypergraph(50, newcomer_probability=1.0, seed=0)
+        # Every membership creates a new vertex, so all vertex degrees are 1.
+        assert h.vertex_degrees().max() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            preferential_attachment_hypergraph(0)
+        with pytest.raises(ValidationError):
+            preferential_attachment_hypergraph(10, newcomer_probability=1.5)
+        with pytest.raises(ValidationError):
+            preferential_attachment_hypergraph(10, mean_edge_size=0.5)
+        with pytest.raises(ValidationError):
+            preferential_attachment_hypergraph(10, smoothing=0.0)

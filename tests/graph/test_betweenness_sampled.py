@@ -1,0 +1,68 @@
+"""Unit tests for the sampled (approximate) betweenness estimator."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.betweenness import betweenness_centrality, betweenness_centrality_sampled
+from repro.graph.conversion import from_networkx
+from repro.utils.validation import ValidationError
+
+
+def nx_to_graph(nx_graph):
+    return from_networkx(nx.convert_node_labels_to_integers(nx_graph))
+
+
+class TestSampledBetweenness:
+    def test_full_sample_equals_exact(self):
+        g = nx_to_graph(nx.karate_club_graph())
+        exact = betweenness_centrality(g, normalized=True)
+        sampled = betweenness_centrality_sampled(
+            g, num_sources=g.num_vertices, sources=range(g.num_vertices)
+        )
+        assert np.allclose(sampled, exact, atol=1e-9)
+
+    def test_unnormalized_full_sample(self):
+        g = nx_to_graph(nx.path_graph(9))
+        exact = betweenness_centrality(g, normalized=False)
+        sampled = betweenness_centrality_sampled(
+            g, num_sources=g.num_vertices, normalized=False, sources=range(g.num_vertices)
+        )
+        assert np.allclose(sampled, exact, atol=1e-9)
+
+    def test_partial_sample_close_on_star(self):
+        # On a star the estimate is exact for any sample containing a leaf.
+        g = nx_to_graph(nx.star_graph(20))
+        exact = betweenness_centrality(g)
+        sampled = betweenness_centrality_sampled(g, num_sources=10, seed=0)
+        assert np.argmax(sampled) == np.argmax(exact) == 0
+
+    def test_partial_sample_reasonable_on_barbell(self):
+        g = nx_to_graph(nx.barbell_graph(8, 4))
+        exact = betweenness_centrality(g)
+        sampled = betweenness_centrality_sampled(g, num_sources=12, seed=1)
+        # The bridge vertices must still dominate the ranking.
+        top_exact = set(np.argsort(exact)[-4:].tolist())
+        top_sampled = set(np.argsort(sampled)[-4:].tolist())
+        assert len(top_exact & top_sampled) >= 3
+
+    def test_deterministic_with_seed(self):
+        g = nx_to_graph(nx.karate_club_graph())
+        a = betweenness_centrality_sampled(g, num_sources=5, seed=42)
+        b = betweenness_centrality_sampled(g, num_sources=5, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        g = nx_to_graph(nx.path_graph(4))
+        with pytest.raises(ValidationError):
+            betweenness_centrality_sampled(g, num_sources=0)
+        with pytest.raises(ValidationError):
+            betweenness_centrality_sampled(g, num_sources=2, sources=[])
+        with pytest.raises(ValidationError):
+            betweenness_centrality_sampled(g, num_sources=2, sources=[99])
+
+    def test_empty_graph(self):
+        from repro.graph.graph import Graph
+
+        g = Graph.from_edge_list(0, np.empty((0, 2), dtype=np.int64))
+        assert betweenness_centrality_sampled(g, num_sources=3).size == 0

@@ -1,0 +1,122 @@
+"""Unit tests for betweenness centrality and PageRank against networkx oracles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.betweenness import betweenness_centrality
+from repro.graph.conversion import from_networkx
+from repro.graph.graph import Graph
+from repro.graph.pagerank import pagerank, rank_order, score_percentiles
+from repro.utils.validation import ValidationError
+
+
+def nx_to_graph(nx_graph):
+    return from_networkx(nx.convert_node_labels_to_integers(nx_graph))
+
+
+ORACLE_GRAPHS = {
+    "path": nx.path_graph(7),
+    "star": nx.star_graph(6),
+    "cycle": nx.cycle_graph(8),
+    "karate": nx.karate_club_graph(),
+    "barbell": nx.barbell_graph(4, 2),
+    "disconnected": nx.disjoint_union(nx.path_graph(4), nx.cycle_graph(5)),
+}
+
+
+class TestBetweenness:
+    @pytest.mark.parametrize("name", sorted(ORACLE_GRAPHS))
+    @pytest.mark.parametrize("normalized", [True, False])
+    def test_matches_networkx(self, name, normalized):
+        nx_graph = ORACLE_GRAPHS[name]
+        ours = betweenness_centrality(nx_to_graph(nx_graph), normalized=normalized)
+        theirs = nx.betweenness_centrality(
+            nx.convert_node_labels_to_integers(nx_graph), normalized=normalized
+        )
+        for v, expected in theirs.items():
+            assert ours[v] == pytest.approx(expected, abs=1e-9)
+
+    def test_endpoints_variant_matches_networkx(self):
+        nx_graph = nx.karate_club_graph()
+        ours = betweenness_centrality(nx_to_graph(nx_graph), endpoints=True)
+        theirs = nx.betweenness_centrality(nx_graph, endpoints=True)
+        for v, expected in theirs.items():
+            assert ours[v] == pytest.approx(expected, abs=1e-9)
+
+    def test_star_center_dominates(self):
+        g = nx_to_graph(nx.star_graph(5))
+        scores = betweenness_centrality(g)
+        assert np.argmax(scores) == 0
+        assert scores[1:].max() == 0.0
+
+
+class TestPageRank:
+    @pytest.mark.parametrize("name", sorted(ORACLE_GRAPHS))
+    def test_matches_networkx(self, name):
+        nx_graph = nx.convert_node_labels_to_integers(ORACLE_GRAPHS[name])
+        ours = pagerank(nx_to_graph(nx_graph), damping=0.85)
+        theirs = nx.pagerank(nx_graph, alpha=0.85, tol=1e-12, max_iter=1000, weight=None)
+        for v, expected in theirs.items():
+            assert ours[v] == pytest.approx(expected, abs=1e-6)
+
+    def test_weighted_pagerank_matches_networkx(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_weighted_edges_from([(0, 1, 3.0), (1, 2, 1.0), (0, 2, 0.5)])
+        ours = pagerank(nx_to_graph(nx_graph), weighted=True)
+        theirs = nx.pagerank(nx_graph, alpha=0.85, tol=1e-12, max_iter=1000, weight="weight")
+        for v, expected in theirs.items():
+            assert ours[v] == pytest.approx(expected, abs=1e-6)
+
+    def test_scores_sum_to_one(self):
+        g = nx_to_graph(nx.karate_club_graph())
+        assert pagerank(g).sum() == pytest.approx(1.0)
+
+    def test_graph_with_isolated_vertices(self):
+        g = Graph.from_edge_list(4, np.array([[0, 1]]))
+        scores = pagerank(g)
+        assert scores.sum() == pytest.approx(1.0)
+        assert scores[2] == pytest.approx(scores[3])
+
+    def test_invalid_damping(self):
+        g = Graph.from_edge_list(2, np.array([[0, 1]]))
+        with pytest.raises(ValidationError):
+            pagerank(g, damping=1.5)
+
+    def test_personalization(self):
+        g = nx_to_graph(nx.path_graph(4))
+        p = np.array([1.0, 0.0, 0.0, 0.0])
+        ours = pagerank(g, personalization=p)
+        theirs = nx.pagerank(
+            nx.path_graph(4),
+            alpha=0.85,
+            personalization={0: 1.0, 1: 0, 2: 0, 3: 0},
+            tol=1e-12,
+            max_iter=1000,
+        )
+        for v, expected in theirs.items():
+            assert ours[v] == pytest.approx(expected, abs=1e-6)
+
+    def test_personalization_validation(self):
+        g = Graph.from_edge_list(2, np.array([[0, 1]]))
+        with pytest.raises(ValidationError):
+            pagerank(g, personalization=np.array([0.0, 0.0]))
+        with pytest.raises(ValidationError):
+            pagerank(g, personalization=np.array([1.0]))
+
+
+class TestRankingHelpers:
+    def test_rank_order(self):
+        scores = np.array([0.1, 0.5, 0.3])
+        assert rank_order(scores).tolist() == [1, 2, 0]
+        assert rank_order(scores, descending=False).tolist() == [0, 2, 1]
+
+    def test_score_percentiles_top_is_100(self):
+        pct = score_percentiles(np.array([0.1, 0.9, 0.5, 0.9]))
+        assert pct[1] == pytest.approx(100.0)
+        assert pct[3] == pytest.approx(100.0)
+        assert pct[0] == pytest.approx(25.0)
+
+    def test_score_percentiles_edge_cases(self):
+        assert score_percentiles(np.array([])).size == 0
+        assert score_percentiles(np.array([3.0])).tolist() == [100.0]

@@ -1,0 +1,98 @@
+"""Unit tests for the CSR Graph type."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.graph.graph import Graph
+from repro.utils.validation import ValidationError
+
+
+def triangle_plus_isolated():
+    """Triangle 0-1-2 plus isolated vertex 3."""
+    return Graph.from_edge_list(4, np.array([[0, 1], [1, 2], [0, 2]]), np.array([1.0, 2.0, 3.0]))
+
+
+class TestConstruction:
+    def test_from_edge_list(self):
+        g = triangle_plus_isolated()
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+        assert g.degree(0) == 2
+        assert g.degree(3) == 0
+        assert sorted(g.neighbors(1).tolist()) == [0, 2]
+
+    def test_duplicate_edges_collapsed(self):
+        g = Graph.from_edge_list(3, np.array([[0, 1], [1, 0]]))
+        assert g.num_edges == 1
+
+    def test_empty_graph(self):
+        g = Graph.from_edge_list(5, np.empty((0, 2), dtype=np.int64))
+        assert g.num_edges == 0
+        assert g.degrees().tolist() == [0] * 5
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            Graph.from_edge_list(3, np.array([[1, 1]]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            Graph.from_edge_list(2, np.array([[0, 5]]))
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            Graph.from_edge_list(3, np.array([[0, 1]]), np.array([1.0, 2.0]))
+
+    def test_from_scipy_drops_diagonal(self):
+        adj = sparse.csr_matrix(np.array([[1.0, 2.0], [2.0, 0.0]]))
+        g = Graph.from_scipy(adj)
+        assert g.num_edges == 1
+        assert g.neighbor_weights(0).tolist() == [2.0]
+
+    def test_from_scipy_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            Graph.from_scipy(sparse.csr_matrix((2, 3)))
+
+
+class TestAccess:
+    def test_edges_iteration(self):
+        g = triangle_plus_isolated()
+        edges = {(u, v): w for u, v, w in g.edges()}
+        assert edges == {(0, 1): 1.0, (0, 2): 3.0, (1, 2): 2.0}
+
+    def test_has_edge(self):
+        g = triangle_plus_isolated()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 3)
+
+    def test_neighbors_out_of_range(self):
+        g = triangle_plus_isolated()
+        with pytest.raises(IndexError):
+            g.neighbors(10)
+
+    def test_adjacency_matrix_symmetric(self):
+        g = triangle_plus_isolated()
+        A = g.adjacency_matrix().toarray()
+        assert np.array_equal(A, A.T)
+        assert A[0, 2] == 3.0
+        B = g.adjacency_matrix(weighted=False).toarray()
+        assert B[0, 2] == 1.0
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self):
+        g = triangle_plus_isolated()
+        sub, kept = g.subgraph([0, 2, 3])
+        assert kept.tolist() == [0, 2, 3]
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 1  # only edge 0-2 survives
+
+    def test_subgraph_out_of_range(self):
+        g = triangle_plus_isolated()
+        with pytest.raises(ValidationError):
+            g.subgraph([99])
+
+    def test_metadata_independent(self):
+        g = triangle_plus_isolated()
+        g.metadata["s"] = 7
+        assert g.metadata["s"] == 7

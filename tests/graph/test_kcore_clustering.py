@@ -1,0 +1,94 @@
+"""Unit tests for k-core decomposition and clustering coefficients (networkx oracles)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.clustering import (
+    average_clustering,
+    clustering_coefficients,
+    total_triangles,
+    transitivity,
+    triangle_counts,
+)
+from repro.graph.conversion import from_networkx
+from repro.graph.graph import Graph
+from repro.graph.kcore import core_numbers, degeneracy, k_core_subgraph, k_core_vertices
+
+
+def nx_to_graph(nx_graph):
+    return from_networkx(nx.convert_node_labels_to_integers(nx_graph))
+
+
+ORACLES = {
+    "karate": nx.karate_club_graph(),
+    "barbell": nx.barbell_graph(5, 3),
+    "path": nx.path_graph(8),
+    "complete": nx.complete_graph(6),
+    "disconnected": nx.disjoint_union(nx.complete_graph(4), nx.cycle_graph(5)),
+}
+
+
+class TestKCore:
+    @pytest.mark.parametrize("name", sorted(ORACLES))
+    def test_core_numbers_match_networkx(self, name):
+        nx_graph = nx.convert_node_labels_to_integers(ORACLES[name])
+        ours = core_numbers(nx_to_graph(nx_graph))
+        theirs = nx.core_number(nx_graph)
+        for v, expected in theirs.items():
+            assert ours[v] == expected
+
+    def test_k_core_vertices_match_networkx(self):
+        nx_graph = nx.karate_club_graph()
+        ours = set(k_core_vertices(nx_to_graph(nx_graph), 3).tolist())
+        theirs = set(nx.k_core(nx_graph, 3).nodes())
+        assert ours == theirs
+
+    def test_k_core_subgraph_min_degree(self):
+        g = nx_to_graph(nx.karate_club_graph())
+        sub, kept = k_core_subgraph(g, 4)
+        assert kept.size == sub.num_vertices
+        if sub.num_vertices:
+            assert sub.degrees().min() >= 4
+
+    def test_degeneracy(self):
+        assert degeneracy(nx_to_graph(nx.complete_graph(5))) == 4
+        assert degeneracy(nx_to_graph(nx.path_graph(6))) == 1
+        assert degeneracy(Graph.from_edge_list(3, np.empty((0, 2), dtype=np.int64))) == 0
+
+    def test_empty_graph(self):
+        g = Graph.from_edge_list(0, np.empty((0, 2), dtype=np.int64))
+        assert core_numbers(g).size == 0
+
+
+class TestClustering:
+    @pytest.mark.parametrize("name", sorted(ORACLES))
+    def test_clustering_matches_networkx(self, name):
+        nx_graph = nx.convert_node_labels_to_integers(ORACLES[name])
+        ours = clustering_coefficients(nx_to_graph(nx_graph))
+        theirs = nx.clustering(nx_graph)
+        for v, expected in theirs.items():
+            assert ours[v] == pytest.approx(expected)
+
+    @pytest.mark.parametrize("name", sorted(ORACLES))
+    def test_transitivity_matches_networkx(self, name):
+        nx_graph = nx.convert_node_labels_to_integers(ORACLES[name])
+        assert transitivity(nx_to_graph(nx_graph)) == pytest.approx(
+            nx.transitivity(nx_graph)
+        )
+
+    def test_triangle_counts_match_networkx(self):
+        nx_graph = nx.karate_club_graph()
+        ours = triangle_counts(nx_to_graph(nx_graph))
+        theirs = nx.triangles(nx_graph)
+        for v, expected in theirs.items():
+            assert ours[v] == expected
+
+    def test_total_triangles(self):
+        assert total_triangles(nx_to_graph(nx.complete_graph(5))) == 10
+        assert total_triangles(nx_to_graph(nx.path_graph(5))) == 0
+
+    def test_average_clustering(self):
+        assert average_clustering(nx_to_graph(nx.complete_graph(4))) == pytest.approx(1.0)
+        empty = Graph.from_edge_list(0, np.empty((0, 2), dtype=np.int64))
+        assert average_clustering(empty) == 0.0

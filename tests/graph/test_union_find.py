@@ -1,0 +1,77 @@
+"""Unit tests for the disjoint-set structure and union-find connected components."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.connected_components import connected_components
+from repro.graph.conversion import from_networkx
+from repro.graph.graph import Graph
+from repro.graph.union_find import (
+    DisjointSet,
+    union_find_components,
+    union_find_components_from_edges,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestDisjointSet:
+    def test_initial_state(self):
+        ds = DisjointSet(5)
+        assert ds.num_elements == 5
+        assert ds.num_sets == 5
+        assert ds.find(3) == 3
+
+    def test_union_and_find(self):
+        ds = DisjointSet(6)
+        assert ds.union(0, 1)
+        assert ds.union(1, 2)
+        assert not ds.union(0, 2)  # already merged
+        assert ds.same_set(0, 2)
+        assert not ds.same_set(0, 5)
+        assert ds.num_sets == 4
+
+    def test_labels_compact(self):
+        ds = DisjointSet(5)
+        ds.union(0, 4)
+        ds.union(1, 3)
+        labels = ds.labels()
+        assert labels[0] == labels[4]
+        assert labels[1] == labels[3]
+        assert len(set(labels.tolist())) == 3
+        assert labels.max() == 2
+
+    def test_out_of_range(self):
+        ds = DisjointSet(3)
+        with pytest.raises(IndexError):
+            ds.find(7)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            DisjointSet(-1)
+
+    def test_empty_universe(self):
+        ds = DisjointSet(0)
+        assert ds.labels().size == 0
+        assert ds.num_sets == 0
+
+
+class TestUnionFindComponents:
+    def test_matches_bfs_components(self):
+        nx_graph = nx.convert_node_labels_to_integers(
+            nx.disjoint_union(nx.karate_club_graph(), nx.cycle_graph(7))
+        )
+        g = from_networkx(nx_graph)
+        a = connected_components(g)
+        b = union_find_components(g)
+        assert np.array_equal(a[:, None] == a[None, :], b[:, None] == b[None, :])
+
+    def test_from_edge_iterable(self):
+        labels = union_find_components_from_edges(5, [(0, 1), (3, 4)])
+        assert labels[0] == labels[1]
+        assert labels[3] == labels[4]
+        assert labels[2] not in (labels[0], labels[3])
+
+    def test_empty_graph(self):
+        g = Graph.from_edge_list(4, np.empty((0, 2), dtype=np.int64))
+        assert union_find_components(g).tolist() == [0, 1, 2, 3]

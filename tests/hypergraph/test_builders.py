@@ -1,0 +1,120 @@
+"""Unit tests for hypergraph constructors."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.hypergraph.builders import (
+    hypergraph_from_bipartite,
+    hypergraph_from_edge_dict,
+    hypergraph_from_edge_lists,
+    hypergraph_from_incidence_matrix,
+    hypergraph_from_incidence_pairs,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestFromEdgeLists:
+    def test_basic(self):
+        h = hypergraph_from_edge_lists([[0, 1, 2], [2, 3]])
+        assert h.num_edges == 2
+        assert h.num_vertices == 4
+
+    def test_duplicate_membership_collapsed(self):
+        h = hypergraph_from_edge_lists([[0, 0, 1]])
+        assert h.edge_size(0) == 2
+
+    def test_explicit_vertex_count(self):
+        h = hypergraph_from_edge_lists([[0]], num_vertices=10)
+        assert h.num_vertices == 10
+        assert h.vertex_degree(9) == 0
+
+    def test_empty_edge(self):
+        h = hypergraph_from_edge_lists([[0, 1], []])
+        assert h.edge_size(1) == 0
+
+    def test_unsorted_members_become_sorted(self):
+        h = hypergraph_from_edge_lists([[3, 1, 2]])
+        assert h.edge_members(0).tolist() == [1, 2, 3]
+
+
+class TestFromEdgeDict:
+    def test_labels_assigned_in_first_seen_order(self):
+        h = hypergraph_from_edge_dict({"e1": ["x", "y"], "e2": ["y", "z"]})
+        assert h.edge_names == ["e1", "e2"]
+        assert h.vertex_names == ["x", "y", "z"]
+        assert h.edge_members(1).tolist() == [1, 2]
+
+    def test_paper_example(self, paper_example):
+        assert paper_example.num_edges == 4
+        assert paper_example.inc(0, 2) == 3
+
+    def test_empty_dict(self):
+        h = hypergraph_from_edge_dict({})
+        assert h.num_edges == 0
+        assert h.num_vertices == 0
+
+    def test_repeated_vertex_labels_shared(self):
+        h = hypergraph_from_edge_dict({"a": ["v"], "b": ["v"]})
+        assert h.num_vertices == 1
+        assert h.vertex_degree(0) == 2
+
+
+class TestFromIncidencePairs:
+    def test_basic(self):
+        h = hypergraph_from_incidence_pairs([0, 0, 1], [0, 1, 1])
+        assert h.num_edges == 2
+        assert h.num_vertices == 2
+        assert h.edge_members(0).tolist() == [0, 1]
+
+    def test_explicit_shape(self):
+        h = hypergraph_from_incidence_pairs([0], [0], num_edges=5, num_vertices=3)
+        assert (h.num_edges, h.num_vertices) == (5, 3)
+
+    def test_duplicates_collapsed(self):
+        h = hypergraph_from_incidence_pairs([0, 0], [1, 1])
+        assert h.num_incidences == 1
+
+
+class TestFromIncidenceMatrix:
+    def test_dense_input(self):
+        mat = np.array([[1, 0], [1, 1], [0, 1]])  # 3 vertices x 2 edges
+        h = hypergraph_from_incidence_matrix(mat)
+        assert h.num_vertices == 3
+        assert h.num_edges == 2
+        assert h.edge_members(0).tolist() == [0, 1]
+
+    def test_sparse_input(self):
+        mat = sparse.random(10, 6, density=0.3, random_state=0, format="csr")
+        h = hypergraph_from_incidence_matrix(mat)
+        assert h.num_vertices == 10
+        assert h.num_edges == 6
+        assert h.num_incidences == (mat != 0).sum()
+
+    def test_roundtrip_through_incidence(self):
+        h1 = hypergraph_from_edge_lists([[0, 2], [1], [0, 1, 2]])
+        h2 = hypergraph_from_incidence_matrix(h1.incidence_matrix())
+        assert h1 == h2
+
+
+class TestFromBipartite:
+    def test_roundtrip(self, paper_example):
+        b = paper_example.to_bipartite()
+        h = hypergraph_from_bipartite(b)
+        assert h.num_edges == paper_example.num_edges
+        assert h.num_vertices == paper_example.num_vertices
+        assert h.num_incidences == paper_example.num_incidences
+
+    def test_empty_graph_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(ValidationError):
+            hypergraph_from_bipartite(nx.Graph())
+
+    def test_bad_partition_edge_rejected(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(("v", 0), ("v", 1))
+        with pytest.raises(ValidationError):
+            hypergraph_from_bipartite(g)

@@ -1,0 +1,171 @@
+"""Unit tests for the CSR adjacency structure."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.hypergraph.csr import CSRMatrix
+from repro.utils.validation import ValidationError
+
+
+class TestConstruction:
+    def test_empty(self):
+        mat = CSRMatrix.empty(3, 5)
+        assert mat.shape == (3, 5)
+        assert mat.nnz == 0
+        assert mat.row(0).size == 0
+
+    def test_from_pairs_basic(self):
+        mat = CSRMatrix.from_pairs([0, 0, 1, 2], [1, 2, 0, 2])
+        assert mat.shape == (3, 3)
+        assert mat.nnz == 4
+        assert mat.row(0).tolist() == [1, 2]
+        assert mat.row(1).tolist() == [0]
+        assert mat.row(2).tolist() == [2]
+
+    def test_from_pairs_dedup(self):
+        mat = CSRMatrix.from_pairs([0, 0, 0], [1, 1, 2])
+        assert mat.nnz == 2
+        assert mat.row(0).tolist() == [1, 2]
+
+    def test_from_pairs_no_dedup(self):
+        mat = CSRMatrix.from_pairs([0, 0, 0], [1, 1, 2], dedup=False)
+        assert mat.nnz == 3
+
+    def test_from_pairs_explicit_shape(self):
+        mat = CSRMatrix.from_pairs([0], [0], num_rows=4, num_cols=7)
+        assert mat.shape == (4, 7)
+        assert mat.row_degree(3) == 0
+
+    def test_from_pairs_shape_too_small(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix.from_pairs([0, 5], [0, 0], num_rows=2)
+        with pytest.raises(ValidationError):
+            CSRMatrix.from_pairs([0, 0], [0, 9], num_cols=2)
+
+    def test_from_pairs_negative_indices(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix.from_pairs([-1], [0])
+        with pytest.raises(ValidationError):
+            CSRMatrix.from_pairs([0], [-2])
+
+    def test_from_pairs_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix.from_pairs([0, 1], [0])
+
+    def test_from_lists(self):
+        mat = CSRMatrix.from_lists([[0, 1], [], [2, 0]])
+        assert mat.shape == (3, 3)
+        assert mat.row(1).size == 0
+        assert mat.row(2).tolist() == [0, 2]
+
+    def test_from_lists_empty_input(self):
+        mat = CSRMatrix.from_lists([])
+        assert mat.shape == (0, 0)
+        assert mat.nnz == 0
+
+    def test_from_scipy_roundtrip(self):
+        dense = np.array([[1, 0, 1], [0, 0, 0], [1, 1, 1]])
+        mat = CSRMatrix.from_scipy(sparse.csr_matrix(dense))
+        back = mat.to_scipy().toarray()
+        assert np.array_equal(back != 0, dense != 0)
+
+    def test_invalid_indptr(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix(indptr=np.array([1, 2]), indices=np.array([0, 0]), num_cols=1)
+        with pytest.raises(ValidationError):
+            CSRMatrix(indptr=np.array([0, 2]), indices=np.array([0]), num_cols=1)
+        with pytest.raises(ValidationError):
+            CSRMatrix(indptr=np.array([0, 2, 1]), indices=np.array([0, 0]), num_cols=1)
+
+    def test_column_index_out_of_range(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix(indptr=np.array([0, 1]), indices=np.array([5]), num_cols=2)
+
+    def test_data_alignment(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix(
+                indptr=np.array([0, 2]),
+                indices=np.array([0, 1]),
+                num_cols=2,
+                data=np.array([1.0]),
+            )
+
+
+class TestAccess:
+    def test_row_degrees(self):
+        mat = CSRMatrix.from_lists([[0, 1, 2], [1], []])
+        assert mat.row_degrees().tolist() == [3, 1, 0]
+        assert mat.row_degree(0) == 3
+
+    def test_row_out_of_range(self):
+        mat = CSRMatrix.empty(2, 2)
+        with pytest.raises(IndexError):
+            mat.row(2)
+        with pytest.raises(IndexError):
+            mat.row_degree(-1)
+
+    def test_row_data_default_ones(self):
+        mat = CSRMatrix.from_lists([[0, 1]])
+        assert mat.row_data(0).tolist() == [1, 1]
+
+    def test_iter_rows(self):
+        mat = CSRMatrix.from_lists([[1], [0, 2]])
+        rows = dict(mat.iter_rows())
+        assert rows[0].tolist() == [1]
+        assert rows[1].tolist() == [0, 2]
+
+    def test_rows_as_sets(self):
+        mat = CSRMatrix.from_lists([[2, 0], [1]])
+        assert mat.rows_as_sets() == [frozenset({0, 2}), frozenset({1})]
+
+
+class TestTransforms:
+    def test_transpose_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((6, 9)) < 0.3).astype(int)
+        mat = CSRMatrix.from_scipy(sparse.csr_matrix(dense))
+        t1 = mat.transpose()
+        t2 = mat.transpose_fast()
+        assert t1.shape == (9, 6)
+        assert t1.same_pattern(t2)
+        assert np.array_equal(t1.to_scipy().toarray() != 0, dense.T != 0)
+
+    def test_transpose_empty(self):
+        mat = CSRMatrix.empty(4, 3)
+        assert mat.transpose().shape == (3, 4)
+
+    def test_double_transpose_identity(self):
+        mat = CSRMatrix.from_lists([[0, 2], [1], [0, 1, 2]])
+        assert mat.transpose().transpose().same_pattern(mat)
+
+    def test_permute_rows(self):
+        mat = CSRMatrix.from_lists([[0], [1, 2], [2]])
+        perm = np.array([2, 0, 1])
+        out = mat.permute_rows(perm)
+        assert out.row(0).tolist() == [2]
+        assert out.row(1).tolist() == [0]
+        assert out.row(2).tolist() == [1, 2]
+
+    def test_permute_rows_invalid(self):
+        mat = CSRMatrix.from_lists([[0], [1]])
+        with pytest.raises(ValidationError):
+            mat.permute_rows(np.array([0, 0]))
+        with pytest.raises(ValidationError):
+            mat.permute_rows(np.array([0]))
+
+    def test_copy_is_deep(self):
+        mat = CSRMatrix.from_lists([[0, 1]])
+        cp = mat.copy()
+        cp.indices[0] = 1
+        assert mat.indices[0] == 0
+
+    def test_same_pattern_shape_mismatch(self):
+        a = CSRMatrix.from_lists([[0]])
+        b = CSRMatrix.from_lists([[0], [0]])
+        assert not a.same_pattern(b)
+
+    def test_equality_operator(self):
+        a = CSRMatrix.from_lists([[0, 1], [2]])
+        b = CSRMatrix.from_lists([[1, 0], [2]])
+        assert a == b

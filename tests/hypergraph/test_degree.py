@@ -1,0 +1,80 @@
+"""Unit tests for degree-distribution analysis."""
+
+import numpy as np
+import pytest
+
+from repro.generators.datasets import load_dataset
+from repro.hypergraph.degree import (
+    analyse_degrees,
+    complementary_cdf,
+    degree_histogram,
+    edge_size_distribution,
+    gini_coefficient,
+    power_law_alpha,
+    vertex_degree_distribution,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestBasicStatistics:
+    def test_degree_histogram(self):
+        hist = degree_histogram(np.array([1, 2, 2, 3, 3, 3]))
+        assert hist == {1: 1, 2: 2, 3: 3}
+        assert degree_histogram(np.array([], dtype=int)) == {}
+
+    def test_complementary_cdf(self):
+        degrees, ccdf = complementary_cdf(np.array([1, 1, 2, 4]))
+        assert degrees.tolist() == [1, 2, 4]
+        assert ccdf.tolist() == pytest.approx([1.0, 0.5, 0.25])
+
+    def test_gini_uniform_is_zero(self):
+        assert gini_coefficient(np.array([3, 3, 3, 3])) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gini_concentrated_is_large(self):
+        concentrated = np.array([0, 0, 0, 0, 100])
+        assert gini_coefficient(concentrated) > 0.7
+
+    def test_gini_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            gini_coefficient(np.array([1.0, -2.0]))
+
+    def test_power_law_alpha_recovers_exponent(self):
+        rng = np.random.default_rng(0)
+        # Sample a discrete power law with alpha ~ 2.5 via inverse transform.
+        u = rng.random(20000)
+        samples = np.floor((1.0 - u) ** (-1.0 / 1.5)).astype(int)
+        alpha = power_law_alpha(samples, x_min=2)
+        assert 2.1 < alpha < 2.9
+
+    def test_power_law_alpha_degenerate(self):
+        assert power_law_alpha(np.array([1, 1, 1]), x_min=5) == float("inf")
+
+
+class TestAnalyseDegrees:
+    def test_empty_sequence(self):
+        dist = analyse_degrees(np.array([], dtype=int))
+        assert dist.mean == 0.0 and dist.maximum == 0
+
+    def test_summary_fields(self):
+        dist = analyse_degrees(np.array([1, 1, 1, 1, 1, 1, 1, 1, 1, 20]))
+        assert dist.maximum == 20
+        assert dist.top_decile_share > 0.5
+        assert dist.is_skewed()
+
+    def test_uniform_not_skewed(self):
+        dist = analyse_degrees(np.full(50, 4))
+        assert not dist.is_skewed()
+
+
+class TestHypergraphDistributions:
+    def test_paper_example(self, paper_example):
+        edges = edge_size_distribution(paper_example)
+        vertices = vertex_degree_distribution(paper_example)
+        assert edges.maximum == 5
+        assert vertices.maximum == 3
+
+    def test_surrogates_are_skewed(self):
+        # The paper's Table IV note: all inputs have skewed hyperedge degrees.
+        for name in ("livejournal", "web"):
+            h = load_dataset(name, scale=0.15, seed=0)
+            assert edge_size_distribution(h).is_skewed(), name

@@ -1,0 +1,32 @@
+"""Unit tests for dual hypergraph construction."""
+
+import numpy as np
+
+from repro.hypergraph.dual import dual_hypergraph
+
+
+class TestDual:
+    def test_shape_swap(self, paper_example):
+        dual = dual_hypergraph(paper_example)
+        assert dual.num_vertices == 4
+        assert dual.num_edges == 6
+
+    def test_incidence_transpose(self, paper_example):
+        H = paper_example.incidence_matrix().toarray()
+        H_dual = dual_hypergraph(paper_example).incidence_matrix().toarray()
+        assert np.array_equal(H_dual, H.T)
+
+    def test_dual_edges_are_vertex_memberships(self, paper_example):
+        dual = dual_hypergraph(paper_example)
+        for v in range(paper_example.num_vertices):
+            assert dual.edge_members(v).tolist() == paper_example.vertex_memberships(v).tolist()
+
+    def test_double_dual_is_identity(self, community_hypergraph):
+        assert dual_hypergraph(dual_hypergraph(community_hypergraph)) == community_hypergraph
+
+    def test_adj_inc_duality(self, paper_example):
+        """adj on vertices of H equals inc on edges of H* (Section II-A)."""
+        dual = dual_hypergraph(paper_example)
+        for u in range(paper_example.num_vertices):
+            for v in range(u + 1, paper_example.num_vertices):
+                assert paper_example.adj(u, v) == dual.inc(u, v)

@@ -1,0 +1,138 @@
+"""Unit tests for the Hypergraph type and the inc/adj structure functions."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph.builders import hypergraph_from_edge_lists
+from repro.hypergraph.csr import CSRMatrix
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils.validation import ValidationError
+
+
+class TestShape:
+    def test_basic_counts(self, paper_example):
+        assert paper_example.num_vertices == 6
+        assert paper_example.num_edges == 4
+        assert paper_example.num_incidences == 3 + 3 + 5 + 2
+
+    def test_edge_sizes(self, paper_example):
+        assert paper_example.edge_sizes().tolist() == [3, 3, 5, 2]
+        assert paper_example.edge_size(2) == 5
+
+    def test_vertex_degrees(self, paper_example):
+        # a:2, b:3, c:3, d:2, e:2, f:1 in first-seen order a,b,c,d,e,f
+        assert paper_example.vertex_degrees().tolist() == [2, 3, 3, 2, 2, 1]
+        assert paper_example.vertex_degree(1) == 3
+
+    def test_memberships(self, paper_example):
+        assert paper_example.edge_members(3).tolist() == [4, 5]
+        assert paper_example.vertex_memberships(0).tolist() == [0, 2]
+
+    def test_iter_edges(self, paper_example):
+        edges = dict(paper_example.iter_edges())
+        assert len(edges) == 4
+        assert edges[0].tolist() == [0, 1, 2]
+
+    def test_edges_as_sets(self, paper_example_unlabelled):
+        sets = paper_example_unlabelled.edges_as_sets()
+        assert sets[2] == frozenset({0, 1, 2, 3, 4})
+
+
+class TestLabels:
+    def test_names_roundtrip(self, paper_example):
+        assert paper_example.edge_names == [1, 2, 3, 4]
+        assert paper_example.vertex_names == ["a", "b", "c", "d", "e", "f"]
+        assert paper_example.edge_name(0) == 1
+        assert paper_example.vertex_name(5) == "f"
+
+    def test_unlabelled_falls_back_to_ids(self, paper_example_unlabelled):
+        assert paper_example_unlabelled.edge_name(3) == 3
+        assert paper_example_unlabelled.vertex_name(2) == 2
+
+    def test_label_length_validation(self):
+        edges = CSRMatrix.from_lists([[0, 1]])
+        with pytest.raises(ValidationError):
+            Hypergraph(edges=edges, edge_names=["a", "b"])
+        with pytest.raises(ValidationError):
+            Hypergraph(edges=edges, vertex_names=["x"])
+
+
+class TestStructureFunctions:
+    def test_inc_pairwise(self, paper_example):
+        # inc(1,2)=|{b,c}|=2, inc(1,3)=3, inc(2,3)=3, inc(3,4)=1, inc(1,4)=0.
+        assert paper_example.inc(0, 1) == 2
+        assert paper_example.inc(0, 2) == 3
+        assert paper_example.inc(1, 2) == 3
+        assert paper_example.inc(2, 3) == 1
+        assert paper_example.inc(0, 3) == 0
+
+    def test_adj_pairwise(self, paper_example):
+        # adj(b, c) = 3 (the paper's example value).
+        assert paper_example.adj(1, 2) == 3
+        assert paper_example.adj(0, 5) == 0
+
+    def test_inc_set(self, paper_example):
+        # inc({1,2,3}) = 2 (the paper's example value: {b, c}).
+        assert paper_example.inc_set([0, 1, 2]) == 2
+        assert paper_example.inc_set([2]) == 5  # inc({e}) = |e|
+
+    def test_adj_set(self, paper_example):
+        assert paper_example.adj_set([1, 2]) == 3
+        assert paper_example.adj_set([0]) == 2  # adj({v}) = deg(v)
+
+    def test_empty_argument_raises(self, paper_example):
+        with pytest.raises(ValidationError):
+            paper_example.inc_set([])
+        with pytest.raises(ValidationError):
+            paper_example.adj_set([])
+
+
+class TestDerivedStructures:
+    def test_dual_shape(self, paper_example):
+        dual = paper_example.dual()
+        assert dual.num_vertices == paper_example.num_edges
+        assert dual.num_edges == paper_example.num_vertices
+        assert dual.num_incidences == paper_example.num_incidences
+
+    def test_dual_involution(self, paper_example):
+        assert paper_example.dual().dual() == paper_example
+
+    def test_dual_swaps_labels(self, paper_example):
+        dual = paper_example.dual()
+        assert dual.edge_names == ["a", "b", "c", "d", "e", "f"]
+        assert dual.vertex_names == [1, 2, 3, 4]
+
+    def test_incidence_matrix(self, paper_example):
+        H = paper_example.incidence_matrix()
+        assert H.shape == (6, 4)
+        assert H.nnz == paper_example.num_incidences
+        # vertex b (index 1) is in edges 1, 2, 3 (indices 0, 1, 2).
+        assert H[1].toarray().ravel().tolist() == [1, 1, 1, 0]
+
+    def test_to_bipartite(self, paper_example):
+        b = paper_example.to_bipartite()
+        assert b.number_of_nodes() == 6 + 4
+        assert b.number_of_edges() == paper_example.num_incidences
+        assert b.has_edge(("e", 3), ("v", 4))
+
+
+class TestValidation:
+    def test_transpose_mismatch_rejected(self):
+        edges = CSRMatrix.from_lists([[0, 1], [1]])
+        bad_vertices = CSRMatrix.from_lists([[0], [0]])  # wrong nnz
+        with pytest.raises(ValidationError):
+            Hypergraph(edges=edges, vertices=bad_vertices)
+
+    def test_non_csr_rejected(self):
+        with pytest.raises(ValidationError):
+            Hypergraph(edges=np.eye(3))
+
+    def test_equality(self):
+        a = hypergraph_from_edge_lists([[0, 1], [1, 2]])
+        b = hypergraph_from_edge_lists([[1, 0], [2, 1]])
+        c = hypergraph_from_edge_lists([[0, 1], [0, 2]])
+        assert a == b
+        assert a != c
+
+    def test_repr(self, paper_example):
+        assert "num_edges=4" in repr(paper_example)

@@ -1,0 +1,54 @@
+"""Unit tests for incidence-matrix helpers and the L / W weight matrices."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph.incidence import (
+    clique_expansion_weight_matrix,
+    from_incidence,
+    incidence_matrix,
+    line_graph_weight_matrix,
+)
+
+
+class TestIncidenceMatrix:
+    def test_shape_and_pattern(self, paper_example):
+        H = incidence_matrix(paper_example)
+        assert H.shape == (6, 4)
+        assert H.nnz == 13
+
+    def test_roundtrip(self, paper_example):
+        h2 = from_incidence(incidence_matrix(paper_example))
+        assert h2 == paper_example
+
+
+class TestLineGraphWeightMatrix:
+    def test_values_match_inc(self, paper_example):
+        L = line_graph_weight_matrix(paper_example).toarray()
+        # Diagonal holds edge sizes.
+        assert np.array_equal(np.diag(L), [3, 3, 5, 2])
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    assert L[i, j] == paper_example.inc(i, j)
+
+    def test_symmetry(self, community_hypergraph):
+        L = line_graph_weight_matrix(community_hypergraph)
+        assert (abs(L - L.T)).nnz == 0
+
+
+class TestCliqueExpansionWeightMatrix:
+    def test_values_match_adj(self, paper_example):
+        W = clique_expansion_weight_matrix(paper_example).toarray()
+        assert np.all(np.diag(W) == 0)
+        for u in range(6):
+            for v in range(6):
+                if u != v:
+                    assert W[u, v] == paper_example.adj(u, v)
+
+    def test_w_equals_hht_minus_degrees(self, paper_example):
+        H = incidence_matrix(paper_example)
+        full = (H @ H.T).toarray()
+        W = clique_expansion_weight_matrix(paper_example).toarray()
+        degrees = paper_example.vertex_degrees()
+        assert np.array_equal(full - np.diag(degrees), W)

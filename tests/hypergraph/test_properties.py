@@ -1,0 +1,50 @@
+"""Unit tests for hypergraph summary statistics (Table IV quantities)."""
+
+import pytest
+
+from repro.hypergraph.builders import hypergraph_from_edge_lists
+from repro.hypergraph.properties import compute_stats
+
+
+class TestComputeStats:
+    def test_paper_example(self, paper_example):
+        stats = compute_stats(paper_example)
+        assert stats.num_vertices == 6
+        assert stats.num_edges == 4
+        assert stats.num_incidences == 13
+        assert stats.max_edge_size == 5
+        assert stats.max_vertex_degree == 3
+        assert stats.avg_edge_size == pytest.approx(13 / 4)
+        assert stats.avg_vertex_degree == pytest.approx(13 / 6)
+        assert stats.num_empty_edges == 0
+        assert stats.num_isolated_vertices == 0
+
+    def test_empty_and_isolated_counts(self):
+        h = hypergraph_from_edge_lists([[0], []], num_vertices=3)
+        stats = compute_stats(h)
+        assert stats.num_empty_edges == 1
+        assert stats.num_isolated_vertices == 2
+
+    def test_skewness_positive_for_skewed_sizes(self):
+        h = hypergraph_from_edge_lists(
+            [[0], [1], [2], [0, 1], [1, 2], list(range(30))], num_vertices=30
+        )
+        stats = compute_stats(h)
+        assert stats.degree_skewness > 1.0
+
+    def test_skewness_zero_for_uniform_sizes(self):
+        h = hypergraph_from_edge_lists([[0, 1], [1, 2], [2, 3]])
+        assert compute_stats(h).degree_skewness == pytest.approx(0.0)
+
+    def test_as_dict_and_table_row(self, paper_example):
+        stats = compute_stats(paper_example)
+        d = stats.as_dict()
+        assert d["num_edges"] == 4
+        row = stats.as_table_row("example")
+        assert "example" in row and "|E|=" in row
+
+    def test_degenerate_hypergraph(self):
+        h = hypergraph_from_edge_lists([[]], num_vertices=1)
+        stats = compute_stats(h)
+        assert stats.avg_edge_size == 0.0
+        assert stats.max_edge_size == 0

@@ -1,0 +1,76 @@
+"""Unit tests for toplex (maximal hyperedge) computation — Stage 2."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph.builders import hypergraph_from_edge_lists
+from repro.hypergraph.toplexes import is_simple, simplify, toplexes
+
+
+class TestToplexes:
+    def test_paper_example(self, paper_example):
+        # Edges 1 ({a,b,c}) and 2 ({b,c,d}) are contained in edge 3; edge 4 is maximal.
+        assert toplexes(paper_example).tolist() == [2, 3]
+
+    def test_no_containment_all_maximal(self):
+        h = hypergraph_from_edge_lists([[0, 1], [1, 2], [2, 3]])
+        assert toplexes(h).tolist() == [0, 1, 2]
+        assert is_simple(h)
+
+    def test_duplicate_edges_keep_smallest_id(self):
+        h = hypergraph_from_edge_lists([[0, 1], [0, 1], [0, 1, 2]])
+        assert toplexes(h).tolist() == [2]
+
+    def test_duplicate_maximal_edges(self):
+        h = hypergraph_from_edge_lists([[0, 1, 2], [0, 1, 2]])
+        assert toplexes(h).tolist() == [0]
+
+    def test_singleton_contained(self):
+        h = hypergraph_from_edge_lists([[0], [0, 1]])
+        assert toplexes(h).tolist() == [1]
+
+    def test_empty_edge_not_maximal_when_others_exist(self):
+        h = hypergraph_from_edge_lists([[], [0, 1]], num_vertices=2)
+        assert toplexes(h).tolist() == [1]
+
+    def test_single_empty_edge_is_kept(self):
+        h = hypergraph_from_edge_lists([[]], num_vertices=2)
+        assert toplexes(h).tolist() == [0]
+
+    def test_brute_force_consistency(self, community_hypergraph):
+        h = community_hypergraph
+        sets = h.edges_as_sets()
+        expected = []
+        for i, ei in enumerate(sets):
+            contained = False
+            for j, ej in enumerate(sets):
+                if i == j:
+                    continue
+                if ei < ej or (ei == ej and j < i):
+                    contained = True
+                    break
+            if not contained:
+                expected.append(i)
+        assert toplexes(h).tolist() == expected
+
+
+class TestSimplify:
+    def test_simplify_paper_example(self, paper_example):
+        simple = simplify(paper_example)
+        assert simple.num_edges == 2
+        assert simple.num_vertices == paper_example.num_vertices
+        assert simple.edges_as_sets() == [
+            frozenset({0, 1, 2, 3, 4}),
+            frozenset({4, 5}),
+        ]
+        assert simple.edge_names == [3, 4]
+
+    def test_simplify_is_idempotent(self, community_hypergraph):
+        once = simplify(community_hypergraph)
+        twice = simplify(once)
+        assert once == twice
+        assert is_simple(once)
+
+    def test_simplify_preserves_vertex_labels(self, paper_example):
+        simple = simplify(paper_example)
+        assert simple.vertex_names == paper_example.vertex_names

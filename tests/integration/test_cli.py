@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.generators.datasets import available_datasets
+from repro.io.edgelist import write_hyperedge_list
+from repro.hypergraph.builders import hypergraph_from_edge_lists
+
+
+@pytest.fixture
+def hyperedge_file(tmp_path, paper_example_unlabelled):
+    path = tmp_path / "example.hel"
+    write_hyperedge_list(paper_example_unlabelled, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("datasets", "stats", "slinegraph", "components", "centrality", "variants"):
+            args = parser.parse_args(
+                [command] + (["--s", "2"] if command in ("slinegraph", "components", "centrality") else [])
+            )
+            assert args.command == command
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(available_datasets())
+
+    def test_stats_on_file(self, hyperedge_file, capsys):
+        assert main(["stats", "--input", hyperedge_file]) == 0
+        assert "|E|=" in capsys.readouterr().out
+
+    def test_stats_on_dataset(self, capsys):
+        assert main(["stats", "--dataset", "email-euall", "--scale", "0.1"]) == 0
+        assert "|V|=" in capsys.readouterr().out
+
+    def test_stats_requires_an_input(self):
+        with pytest.raises(SystemExit):
+            main(["stats"])
+
+    def test_stats_rejects_both_inputs(self, hyperedge_file):
+        with pytest.raises(SystemExit):
+            main(["stats", "--input", hyperedge_file, "--dataset", "email-euall"])
+
+    def test_slinegraph_to_stdout(self, hyperedge_file, capsys):
+        assert main(["slinegraph", "--input", hyperedge_file, "--s", "2"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        # Figure 2, s=2: three edges with their overlap counts.
+        assert sorted(lines) == ["0 1 2", "0 2 3", "1 2 3"]
+
+    def test_slinegraph_to_file(self, hyperedge_file, tmp_path, capsys):
+        out_path = tmp_path / "lg.txt"
+        assert main(
+            ["slinegraph", "--input", hyperedge_file, "--s", "1", "--output", str(out_path)]
+        ) == 0
+        content = out_path.read_text().splitlines()
+        assert content[0].startswith("#")
+        assert len(content) == 1 + 4  # header + four s=1 edges
+
+    def test_components(self, hyperedge_file, capsys):
+        assert main(["components", "--input", hyperedge_file, "--s", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "s-connected components" in out
+        assert "size=3" in out
+
+    def test_centrality(self, hyperedge_file, capsys):
+        assert main(
+            ["centrality", "--input", hyperedge_file, "--s", "1", "--measure", "betweenness", "--top", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "betweenness" in out
+
+    def test_variants_on_small_dataset(self, capsys):
+        assert main(
+            ["variants", "--dataset", "email-euall", "--scale", "0.1", "--s", "2", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1CN" in out and "2BA" in out

@@ -1,0 +1,79 @@
+"""Unit tests for JSON / setsystem interchange."""
+
+import json
+
+import pytest
+
+from repro.core.dispatch import s_line_graph
+from repro.io.jsonio import (
+    hypergraph_from_setsystem,
+    hypergraph_to_setsystem,
+    load_hypergraph_json,
+    load_slinegraph_json,
+    save_hypergraph_json,
+    save_slinegraph_json,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestSetsystem:
+    def test_roundtrip_preserves_structure(self, paper_example):
+        setsystem = hypergraph_to_setsystem(paper_example)
+        assert setsystem == {
+            "1": ["a", "b", "c"],
+            "2": ["b", "c", "d"],
+            "3": ["a", "b", "c", "d", "e"],
+            "4": ["e", "f"],
+        }
+        back = hypergraph_from_setsystem(setsystem)
+        assert back.num_edges == 4
+        assert back.num_vertices == 6
+        assert back.inc(0, 2) == 3
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(ValidationError):
+            hypergraph_from_setsystem([["a", "b"]])
+
+
+class TestHypergraphJson:
+    def test_roundtrip(self, paper_example, tmp_path):
+        path = tmp_path / "h.json"
+        save_hypergraph_json(paper_example, path)
+        back = load_hypergraph_json(path)
+        assert back.num_edges == paper_example.num_edges
+        assert back.num_incidences == paper_example.num_incidences
+        assert s_line_graph(back, 2).edge_set() == s_line_graph(paper_example, 2).edge_set()
+
+    def test_accepts_bare_setsystem(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps({"e1": ["x", "y"], "e2": ["y"]}))
+        h = load_hypergraph_json(path)
+        assert h.num_edges == 2 and h.num_vertices == 2
+
+    def test_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else", "edges": {}}))
+        with pytest.raises(ValidationError):
+            load_hypergraph_json(path)
+
+    def test_rejects_non_object(self, tmp_path):
+        path = tmp_path / "array.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValidationError):
+            load_hypergraph_json(path)
+
+
+class TestSLineGraphJson:
+    def test_roundtrip(self, paper_example, tmp_path):
+        graph = s_line_graph(paper_example, 2)
+        path = tmp_path / "lg.json"
+        save_slinegraph_json(graph, path)
+        back = load_slinegraph_json(path)
+        assert back == graph
+        assert back.active_vertices.tolist() == graph.active_vertices.tolist()
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "repro-hypergraph", "edges": {}}))
+        with pytest.raises(ValidationError):
+            load_slinegraph_json(path)

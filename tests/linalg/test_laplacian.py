@@ -1,0 +1,110 @@
+"""Unit tests for Laplacians, algebraic connectivity and eigenvalue helpers."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.linalg.laplacian import (
+    algebraic_connectivity,
+    laplacian_matrix,
+    normalized_algebraic_connectivity,
+    normalized_laplacian,
+)
+from repro.linalg.spectral import fiedler_value, largest_eigenvalue, smallest_eigenvalues
+from repro.utils.validation import ValidationError
+
+
+def adjacency_of(nx_graph):
+    return nx.to_scipy_sparse_array(nx_graph, format="csr").astype(float)
+
+
+class TestLaplacians:
+    def test_combinatorial_laplacian_matches_networkx(self):
+        g = nx.karate_club_graph()
+        ours = laplacian_matrix(adjacency_of(g)).toarray()
+        theirs = nx.laplacian_matrix(g).toarray()
+        assert np.allclose(ours, theirs)
+
+    def test_normalized_laplacian_matches_networkx(self):
+        g = nx.karate_club_graph()
+        ours = normalized_laplacian(adjacency_of(g)).toarray()
+        theirs = nx.normalized_laplacian_matrix(g).toarray()
+        assert np.allclose(ours, theirs)
+
+    def test_isolated_vertices_give_identity_rows(self):
+        adj = sparse.csr_matrix(np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 0.0]]))
+        L = normalized_laplacian(adj).toarray()
+        assert L[2, 2] == pytest.approx(1.0)
+        assert L[2, 0] == 0.0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError):
+            laplacian_matrix(sparse.csr_matrix((2, 3)))
+
+    def test_asymmetric_rejected(self):
+        adj = sparse.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        with pytest.raises(ValidationError):
+            normalized_laplacian(adj)
+
+
+class TestAlgebraicConnectivity:
+    def test_matches_networkx_on_connected_graphs(self):
+        for g in (nx.path_graph(10), nx.cycle_graph(9), nx.karate_club_graph()):
+            ours = algebraic_connectivity(adjacency_of(g))
+            theirs = nx.algebraic_connectivity(g, method="lanczos")
+            assert ours == pytest.approx(theirs, rel=1e-5, abs=1e-8)
+
+    def test_normalized_matches_networkx(self):
+        g = nx.karate_club_graph()
+        ours = normalized_algebraic_connectivity(adjacency_of(g))
+        theirs = nx.algebraic_connectivity(g, normalized=True, method="lanczos")
+        assert ours == pytest.approx(theirs, rel=1e-5, abs=1e-8)
+
+    def test_disconnected_graph_has_zero_connectivity(self):
+        g = nx.disjoint_union(nx.path_graph(3), nx.path_graph(3))
+        assert algebraic_connectivity(adjacency_of(g)) == pytest.approx(0.0, abs=1e-8)
+
+    def test_complete_graph_normalized_value(self):
+        # Normalized Laplacian of K_n has eigenvalues {0, n/(n-1) × (n-1 times)}.
+        n = 6
+        value = normalized_algebraic_connectivity(adjacency_of(nx.complete_graph(n)))
+        assert value == pytest.approx(n / (n - 1))
+
+    def test_tiny_graphs(self):
+        assert algebraic_connectivity(sparse.csr_matrix((1, 1))) == 0.0
+        assert normalized_algebraic_connectivity(sparse.csr_matrix((0, 0))) == 0.0
+
+
+class TestEigenvalueHelpers:
+    def test_smallest_eigenvalues_sorted(self):
+        g = nx.path_graph(30)
+        lap = laplacian_matrix(adjacency_of(g))
+        eigs = smallest_eigenvalues(lap, k=3)
+        assert eigs.tolist() == sorted(eigs.tolist())
+        assert eigs[0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_k_larger_than_n_is_clamped(self):
+        lap = laplacian_matrix(adjacency_of(nx.path_graph(3)))
+        assert smallest_eigenvalues(lap, k=10).size == 3
+
+    def test_invalid_k(self):
+        lap = laplacian_matrix(adjacency_of(nx.path_graph(3)))
+        with pytest.raises(ValidationError):
+            smallest_eigenvalues(lap, k=0)
+
+    def test_large_sparse_path_uses_arpack(self):
+        g = nx.path_graph(200)
+        lap = laplacian_matrix(adjacency_of(g))
+        ours = smallest_eigenvalues(lap, k=2)[1]
+        theirs = nx.algebraic_connectivity(g, method="lanczos")
+        assert ours == pytest.approx(theirs, rel=1e-4, abs=1e-8)
+
+    def test_fiedler_value(self):
+        lap = laplacian_matrix(adjacency_of(nx.complete_graph(5)))
+        assert fiedler_value(lap) == pytest.approx(5.0)
+
+    def test_largest_eigenvalue(self):
+        adj = adjacency_of(nx.complete_graph(5))
+        assert largest_eigenvalue(adj) == pytest.approx(4.0)
+        assert largest_eigenvalue(sparse.csr_matrix((0, 0))) == 0.0

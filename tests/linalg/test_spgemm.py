@@ -1,0 +1,61 @@
+"""Unit tests for the Gustavson SpGEMM kernels."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.linalg.spgemm import spgemm_gustavson, spgemm_scipy, spgemm_upper_triangle
+from repro.utils.validation import ValidationError
+
+
+def random_sparse(rows, cols, density, seed):
+    rng = np.random.default_rng(seed)
+    return sparse.random(
+        rows, cols, density=density, random_state=rng, format="csr",
+        data_rvs=lambda n: rng.integers(1, 5, size=n),
+    ).astype(np.int64)
+
+
+class TestSpGEMM:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_gustavson_matches_scipy(self, seed):
+        A = random_sparse(12, 8, 0.3, seed)
+        B = random_sparse(8, 10, 0.3, seed + 100)
+        ours = spgemm_gustavson(A, B).toarray()
+        theirs = (A @ B).toarray()
+        assert np.array_equal(ours, theirs)
+
+    def test_scipy_wrapper(self):
+        A = random_sparse(5, 4, 0.5, 3)
+        B = random_sparse(4, 6, 0.5, 4)
+        assert np.array_equal(spgemm_scipy(A, B).toarray(), (A @ B).toarray())
+
+    def test_dimension_mismatch(self):
+        A = random_sparse(3, 4, 0.5, 0)
+        B = random_sparse(5, 3, 0.5, 0)
+        for fn in (spgemm_scipy, spgemm_gustavson, spgemm_upper_triangle):
+            with pytest.raises(ValidationError):
+                fn(A, B)
+
+    def test_empty_matrices(self):
+        A = sparse.csr_matrix((3, 4), dtype=np.int64)
+        B = sparse.csr_matrix((4, 2), dtype=np.int64)
+        assert spgemm_gustavson(A, B).nnz == 0
+        assert spgemm_upper_triangle(A, B.T @ B if False else sparse.csr_matrix((4, 4), dtype=np.int64)).nnz == 0
+
+
+class TestUpperTriangle:
+    @pytest.mark.parametrize("strict", [True, False])
+    def test_matches_full_product_upper_part(self, paper_example, strict):
+        H = paper_example.incidence_matrix().astype(np.int64)
+        full = (H.T @ H).toarray()
+        ours = spgemm_upper_triangle(H.T, H, strict=strict).toarray()
+        k = 1 if strict else 0
+        expected = np.triu(full, k=k)
+        assert np.array_equal(ours, expected)
+
+    def test_halves_the_stored_entries(self, community_hypergraph):
+        H = community_hypergraph.incidence_matrix().astype(np.int64)
+        full = spgemm_gustavson(H.T, H)
+        upper = spgemm_upper_triangle(H.T, H, strict=True)
+        assert upper.nnz < full.nnz

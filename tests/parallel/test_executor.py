@@ -1,0 +1,74 @@
+"""Unit tests for the partitioned executor (serial / thread / process backends)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.executor import ParallelConfig, available_backends, run_partitioned
+from repro.utils.validation import ValidationError
+
+
+def summing_kernel(items, worker_id):
+    """Module-level kernel (picklable for the process backend)."""
+    return int(np.sum(items)), worker_id
+
+
+class TestParallelConfig:
+    def test_defaults(self):
+        config = ParallelConfig()
+        assert config.num_workers == 1
+        assert config.strategy == "blocked"
+        assert config.backend == "serial"
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ParallelConfig(num_workers=0)
+        with pytest.raises(ValidationError):
+            ParallelConfig(strategy="hexagonal")
+        with pytest.raises(ValidationError):
+            ParallelConfig(backend="gpu")
+        with pytest.raises(ValidationError):
+            ParallelConfig(grainsize=-1)
+
+    def test_partitions_helper(self):
+        config = ParallelConfig(num_workers=3, strategy="cyclic")
+        parts = config.partitions(np.arange(7))
+        assert len(parts) == 3
+        assert parts[0].tolist() == [0, 3, 6]
+
+    def test_available_backends(self):
+        assert set(available_backends()) == {"serial", "thread", "process"}
+
+
+class TestRunPartitioned:
+    def test_serial_results_in_partition_order(self):
+        config = ParallelConfig(num_workers=4, strategy="blocked")
+        results = run_partitioned(summing_kernel, np.arange(20), config)
+        assert [worker for _, worker in results] == [0, 1, 2, 3]
+        assert sum(total for total, _ in results) == sum(range(20))
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("strategy", ["blocked", "cyclic"])
+    def test_parallel_backends_match_serial(self, backend, strategy):
+        serial = run_partitioned(
+            summing_kernel,
+            np.arange(50),
+            ParallelConfig(num_workers=4, strategy=strategy, backend="serial"),
+        )
+        parallel = run_partitioned(
+            summing_kernel,
+            np.arange(50),
+            ParallelConfig(num_workers=4, strategy=strategy, backend=backend),
+        )
+        assert serial == parallel
+
+    def test_single_worker_short_circuits_to_serial(self):
+        results = run_partitioned(
+            summing_kernel, np.arange(5), ParallelConfig(num_workers=1, backend="thread")
+        )
+        assert len(results) == 1
+
+    def test_empty_item_array(self):
+        results = run_partitioned(
+            summing_kernel, np.empty(0, dtype=np.int64), ParallelConfig(num_workers=3)
+        )
+        assert [total for total, _ in results] == [0, 0, 0]

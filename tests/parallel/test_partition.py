@@ -1,0 +1,81 @@
+"""Unit tests for blocked/cyclic partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.partition import (
+    blocked_partitions,
+    cyclic_partitions,
+    partition_items,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestBlocked:
+    def test_covers_range_contiguously(self):
+        parts = blocked_partitions(10, 3)
+        assert len(parts) == 3
+        assert np.concatenate(parts).tolist() == list(range(10))
+        # Each partition is contiguous.
+        for p in parts:
+            if p.size > 1:
+                assert np.all(np.diff(p) == 1)
+
+    def test_more_parts_than_items(self):
+        parts = blocked_partitions(2, 5)
+        assert len(parts) == 5
+        assert sum(p.size for p in parts) == 2
+
+    def test_zero_items(self):
+        parts = blocked_partitions(0, 4)
+        assert len(parts) == 4
+        assert all(p.size == 0 for p in parts)
+
+    def test_grainsize_splits_blocks(self):
+        parts = blocked_partitions(100, 2, grainsize=10)
+        assert len(parts) == 10
+        assert all(p.size <= 10 for p in parts)
+        assert np.concatenate(parts).tolist() == list(range(100))
+
+    def test_balanced_sizes(self):
+        parts = blocked_partitions(11, 4)
+        sizes = [p.size for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            blocked_partitions(10, 0)
+        with pytest.raises(ValidationError):
+            blocked_partitions(-1, 2)
+        with pytest.raises(ValidationError):
+            blocked_partitions(10, 2, grainsize=0)
+
+
+class TestCyclic:
+    def test_strided_assignment(self):
+        parts = cyclic_partitions(10, 3)
+        assert parts[0].tolist() == [0, 3, 6, 9]
+        assert parts[1].tolist() == [1, 4, 7]
+        assert parts[2].tolist() == [2, 5, 8]
+
+    def test_covers_all_items(self):
+        parts = cyclic_partitions(17, 4)
+        assert sorted(np.concatenate(parts).tolist()) == list(range(17))
+
+    def test_zero_items(self):
+        parts = cyclic_partitions(0, 3)
+        assert all(p.size == 0 for p in parts)
+
+
+class TestPartitionItems:
+    def test_partitions_arbitrary_item_array(self):
+        items = np.array([10, 20, 30, 40, 50])
+        blocked = partition_items(items, 2, strategy="blocked")
+        cyclic = partition_items(items, 2, strategy="cyclic")
+        assert np.concatenate(blocked).tolist() == [10, 20, 30, 40, 50]
+        assert cyclic[0].tolist() == [10, 30, 50]
+        assert cyclic[1].tolist() == [20, 40]
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValidationError):
+            partition_items(np.arange(3), 2, strategy="diagonal")

@@ -1,0 +1,91 @@
+"""Unit tests for the chunked dynamic-scheduling model (grain-size control)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.scheduler import (
+    ScheduleResult,
+    dynamic_chunk_schedule,
+    grainsize_sweep,
+    wedge_costs,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestDynamicChunkSchedule:
+    def test_all_work_assigned(self):
+        costs = np.arange(1, 21, dtype=float)
+        result = dynamic_chunk_schedule(costs, num_workers=4, grainsize=3)
+        assert result.total_work == pytest.approx(costs.sum())
+        assert result.num_chunks == 7
+        assert len(result.chunk_assignment) == 7
+        assert result.num_workers == 4
+
+    def test_single_worker_makespan_is_total(self):
+        costs = np.array([5.0, 1.0, 3.0])
+        result = dynamic_chunk_schedule(costs, num_workers=1, grainsize=1)
+        assert result.makespan == pytest.approx(9.0)
+        assert result.imbalance() == pytest.approx(1.0)
+
+    def test_fine_grain_balances_uniform_work(self):
+        costs = np.ones(100)
+        result = dynamic_chunk_schedule(costs, num_workers=4, grainsize=1)
+        assert result.imbalance() == pytest.approx(1.0)
+        assert result.efficiency() == pytest.approx(1.0)
+
+    def test_coarse_grain_creates_stragglers(self):
+        # One heavy item inside a huge chunk dominates the makespan.
+        costs = np.ones(64)
+        costs[0] = 100.0
+        fine = dynamic_chunk_schedule(costs, num_workers=4, grainsize=1)
+        coarse = dynamic_chunk_schedule(costs, num_workers=4, grainsize=32)
+        assert coarse.makespan >= fine.makespan
+
+    def test_overhead_penalises_tiny_chunks(self):
+        costs = np.ones(256)
+        tiny = dynamic_chunk_schedule(costs, 4, grainsize=1, per_chunk_overhead=1.0)
+        medium = dynamic_chunk_schedule(costs, 4, grainsize=32, per_chunk_overhead=1.0)
+        assert tiny.makespan > medium.makespan
+
+    def test_empty_costs(self):
+        result = dynamic_chunk_schedule(np.empty(0), num_workers=3, grainsize=4)
+        assert result.makespan == 0.0
+        assert result.num_chunks == 0
+        assert result.imbalance() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            dynamic_chunk_schedule(np.array([-1.0]), 2, 1)
+        with pytest.raises(ValidationError):
+            dynamic_chunk_schedule(np.ones((2, 2)), 2, 1)
+        with pytest.raises(ValidationError):
+            dynamic_chunk_schedule(np.ones(4), 0, 1)
+        with pytest.raises(ValidationError):
+            dynamic_chunk_schedule(np.ones(4), 2, 0)
+
+
+class TestGrainsizeSweep:
+    def test_sweep_returns_all_grainsizes(self):
+        costs = np.random.default_rng(0).random(200)
+        sweep = grainsize_sweep(costs, 8, [1, 16, 64, 200])
+        assert set(sweep) == {1, 16, 64, 200}
+        # All grain sizes schedule the same total work.
+        totals = {round(r.total_work, 9) for r in sweep.values()}
+        assert len(totals) == 1
+        # The whole range in one chunk cannot beat fine-grained scheduling.
+        assert sweep[200].makespan >= sweep[1].makespan
+
+
+class TestWedgeCosts:
+    def test_matches_workload_counters(self, paper_example):
+        from repro.core.algorithms.hashmap import s_line_graph_hashmap
+
+        costs = wedge_costs(paper_example, s=1)
+        result = s_line_graph_hashmap(paper_example, 1)
+        assert costs.sum() == result.workload.total_wedges()
+
+    def test_pruned_edges_cost_zero(self, paper_example):
+        costs = wedge_costs(paper_example, s=3)
+        # Edge 3 has size 2 < 3, so it is pruned.
+        assert costs[3] == 0.0
+        assert costs[2] > 0.0

@@ -1,0 +1,94 @@
+"""Unit tests for per-worker storage policies and workload statistics."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.tls import DynamicCounter, PreallocatedCounter, WorkerLocalStorage
+from repro.parallel.workload import WorkerCounters, WorkloadStats
+
+
+class TestWorkerLocalStorage:
+    def test_per_worker_values(self):
+        storage = WorkerLocalStorage(factory=list)
+        a = storage.get(0)
+        b = storage.get(1)
+        a.append("x")
+        assert storage.get(0) is a
+        assert storage.get(1) == []
+        assert len(storage) == 2
+        assert sorted(len(v) for v in storage.values()) == [0, 1]
+
+
+class TestCounterPolicies:
+    def test_dynamic_counter_gives_fresh_dicts(self):
+        policy = DynamicCounter()
+        first = policy.fresh()
+        first["a"] = 1
+        second = policy.fresh()
+        assert second == {}
+        policy.reset(first)  # no-op
+
+    def test_preallocated_counter_reset_clears_only_touched(self):
+        counter = PreallocatedCounter(num_edges=10)
+        counter.increment(3)
+        counter.increment(3)
+        counter.increment(7)
+        assert dict(counter.items()) == {3: 2, 7: 1}
+        assert len(counter) == 2
+        counter.reset()
+        assert len(counter) == 0
+        assert dict(counter.items()) == {}
+        counter.increment(1)
+        assert dict(counter.items()) == {1: 1}
+
+    def test_preallocated_fresh_returns_self(self):
+        counter = PreallocatedCounter(num_edges=4)
+        assert counter.fresh() is counter
+
+
+class TestWorkloadStats:
+    def make_stats(self):
+        return WorkloadStats.from_counters(
+            [
+                WorkerCounters(worker_id=1, wedges_visited=30, set_intersections=2),
+                WorkerCounters(worker_id=0, wedges_visited=10, set_intersections=1),
+            ]
+        )
+
+    def test_sorted_by_worker_id(self):
+        stats = self.make_stats()
+        assert [w.worker_id for w in stats.workers] == [0, 1]
+        assert stats.visits_per_worker().tolist() == [10, 30]
+
+    def test_totals(self):
+        stats = self.make_stats()
+        assert stats.total_wedges() == 40
+        assert stats.total_set_intersections() == 3
+        assert stats.num_workers == 2
+
+    def test_imbalance(self):
+        stats = self.make_stats()
+        assert stats.imbalance() == pytest.approx(30 / 20)
+        balanced = WorkloadStats.from_counters(
+            [WorkerCounters(0, wedges_visited=5), WorkerCounters(1, wedges_visited=5)]
+        )
+        assert balanced.imbalance() == pytest.approx(1.0)
+
+    def test_empty_stats(self):
+        stats = WorkloadStats()
+        assert stats.total_wedges() == 0
+        assert stats.imbalance() == 1.0
+
+    def test_merge_counters(self):
+        a = WorkerCounters(0, edges_processed=1, wedges_visited=2)
+        b = WorkerCounters(0, edges_processed=3, wedges_visited=4, line_edges_emitted=5)
+        a.merge(b)
+        assert a.edges_processed == 4
+        assert a.wedges_visited == 6
+        assert a.line_edges_emitted == 5
+
+    def test_as_dict(self):
+        stats = self.make_stats()
+        d = stats.as_dict()
+        assert d["num_workers"] == 2
+        assert d["visits_per_worker"] == [10, 30]

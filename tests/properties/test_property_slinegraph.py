@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the s-line-graph algorithms.
+
+The central invariants:
+
+* every algorithm computes exactly the same edge set and overlap weights as
+  the brute-force all-pairs oracle;
+* edge sets shrink monotonically as s grows (filtration nesting);
+* duality: the s-clique graph (s-line graph of the dual) of a 2-uniform
+  hypergraph at s = 1 is the underlying graph's 2-section.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithms.hashmap import s_line_graph_hashmap
+from repro.core.algorithms.heuristic import s_line_graph_heuristic
+from repro.core.algorithms.spgemm import s_line_graph_spgemm, s_line_graph_spgemm_upper
+from repro.core.algorithms.vectorized import s_line_graph_vectorized
+from repro.core.dispatch import s_line_graph_ensemble
+from repro.hypergraph.builders import hypergraph_from_edge_lists
+
+from tests.conftest import brute_force_s_line_edges
+
+
+@st.composite
+def hypergraphs(draw, max_vertices=12, max_edges=10, max_edge_size=6):
+    """Random small hypergraphs, including empty edges and duplicate edges."""
+    num_vertices = draw(st.integers(min_value=1, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=1, max_value=max_edges))
+    edge_lists = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=num_vertices - 1),
+                min_size=0,
+                max_size=max_edge_size,
+            ),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    return hypergraph_from_edge_lists(edge_lists, num_vertices=num_vertices)
+
+
+ALGORITHMS = [
+    s_line_graph_heuristic,
+    s_line_graph_hashmap,
+    s_line_graph_vectorized,
+    s_line_graph_spgemm,
+    s_line_graph_spgemm_upper,
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(h=hypergraphs(), s=st.integers(min_value=1, max_value=5))
+def test_all_algorithms_match_brute_force(h, s):
+    expected = brute_force_s_line_edges(h, s)
+    for algorithm in ALGORITHMS:
+        result = algorithm(h, s)
+        assert result.graph.edge_set() == set(expected), algorithm.__name__
+        assert result.graph.weight_map() == expected, algorithm.__name__
+
+
+@settings(max_examples=40, deadline=None)
+@given(h=hypergraphs())
+def test_edge_sets_nest_as_s_grows(h):
+    ensemble, _ = None, None
+    graphs = {s: s_line_graph_hashmap(h, s).graph for s in (1, 2, 3, 4)}
+    for s in (2, 3, 4):
+        assert graphs[s].edge_set() <= graphs[s - 1].edge_set()
+
+
+@settings(max_examples=40, deadline=None)
+@given(h=hypergraphs(), s_values=st.lists(st.integers(1, 5), min_size=1, max_size=4))
+def test_ensemble_matches_individual_runs(h, s_values):
+    ensemble = s_line_graph_ensemble(h, s_values)
+    for s in set(s_values):
+        assert ensemble[s] == s_line_graph_hashmap(h, s).graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(h=hypergraphs(), s=st.integers(min_value=1, max_value=4))
+def test_weights_are_bounded_by_edge_sizes(h, s):
+    graph = s_line_graph_hashmap(h, s).graph
+    sizes = h.edge_sizes()
+    for (i, j), w in graph.weight_map().items():
+        assert s <= w <= min(sizes[i], sizes[j])
+
+
+@settings(max_examples=40, deadline=None)
+@given(h=hypergraphs(), s=st.integers(min_value=1, max_value=4))
+def test_dual_of_dual_gives_same_line_graph(h, s):
+    direct = s_line_graph_hashmap(h, s).graph
+    via_double_dual = s_line_graph_hashmap(h.dual().dual(), s).graph
+    assert direct == via_double_dual
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(lambda e: e[0] != e[1]),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_one_clique_graph_of_graph_is_two_section(edges):
+    """For a 2-uniform hypergraph (a graph), L_1(H*) is the underlying graph itself."""
+    h = hypergraph_from_edge_lists([list(e) for e in edges], num_vertices=10)
+    clique_graph = s_line_graph_hashmap(h.dual(), 1).graph
+    expected = {(min(u, v), max(u, v)) for u, v in edges}
+    assert clique_graph.edge_set() == expected

@@ -1,0 +1,119 @@
+"""Property-based tests for the data-structure substrates (CSR, Graph, preprocessing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.connected_components import connected_components, label_propagation_components
+from repro.graph.graph import Graph
+from repro.hypergraph.builders import hypergraph_from_edge_lists
+from repro.hypergraph.csr import CSRMatrix
+from repro.hypergraph.preprocessing import relabel_edges_by_degree, squeeze_ids
+from repro.hypergraph.toplexes import simplify, toplexes
+
+
+@st.composite
+def csr_matrices(draw):
+    num_rows = draw(st.integers(1, 8))
+    num_cols = draw(st.integers(1, 8))
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, num_rows - 1), st.integers(0, num_cols - 1)),
+            max_size=30,
+        )
+    )
+    rows = np.array([p[0] for p in pairs], dtype=np.int64)
+    cols = np.array([p[1] for p in pairs], dtype=np.int64)
+    return CSRMatrix.from_pairs(rows, cols, num_rows=num_rows, num_cols=num_cols)
+
+
+@st.composite
+def edge_lists(draw, max_vertices=10):
+    n = draw(st.integers(2, max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=25,
+        )
+    )
+    return n, np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(mat=csr_matrices())
+def test_transpose_is_involution(mat):
+    assert mat.transpose().transpose().same_pattern(mat)
+    assert mat.transpose().same_pattern(mat.transpose_fast())
+
+
+@settings(max_examples=50, deadline=None)
+@given(mat=csr_matrices())
+def test_nnz_preserved_by_transpose(mat):
+    assert mat.transpose().nnz == mat.nnz
+    assert mat.transpose().row_degrees().sum() == mat.nnz
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data(), mat=csr_matrices())
+def test_row_permutation_preserves_rows(data, mat):
+    perm = data.draw(st.permutations(range(mat.num_rows)))
+    permuted = mat.permute_rows(np.array(perm, dtype=np.int64))
+    for new_i, old_i in enumerate(perm):
+        assert np.array_equal(np.sort(permuted.row(new_i)), np.sort(mat.row(old_i)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(args=edge_lists())
+def test_cc_and_lpcc_induce_identical_partitions(args):
+    n, edges = args
+    g = Graph.from_edge_list(n, edges)
+    a = connected_components(g)
+    b = label_propagation_components(g)
+    same_a = a[:, None] == a[None, :]
+    same_b = b[:, None] == b[None, :]
+    assert np.array_equal(same_a, same_b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ids=st.lists(st.integers(0, 10**6), min_size=1, max_size=40))
+def test_squeeze_ids_roundtrip(ids):
+    result = squeeze_ids(ids)
+    for original in set(ids):
+        assert result.to_original(result.to_squeezed(original)) == original
+    assert result.num_ids == len(set(ids))
+
+
+@st.composite
+def small_hypergraphs(draw):
+    num_vertices = draw(st.integers(1, 10))
+    lists = draw(
+        st.lists(
+            st.lists(st.integers(0, num_vertices - 1), min_size=0, max_size=5),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return hypergraph_from_edge_lists(lists, num_vertices=num_vertices)
+
+
+@settings(max_examples=50, deadline=None)
+@given(h=small_hypergraphs())
+def test_relabel_is_a_bijection_preserving_multiset_of_edges(h):
+    for order in ("ascending", "descending"):
+        result = relabel_edges_by_degree(h, order)
+        original = sorted(h.edges_as_sets(), key=sorted)
+        relabelled = sorted(result.hypergraph.edges_as_sets(), key=sorted)
+        assert original == relabelled
+        assert sorted(result.new_to_old.tolist()) == list(range(h.num_edges))
+
+
+@settings(max_examples=50, deadline=None)
+@given(h=small_hypergraphs())
+def test_toplexes_cover_all_edges(h):
+    """Every hyperedge is contained in at least one toplex of the simplification."""
+    top_sets = simplify(h).edges_as_sets()
+    assert len(top_sets) >= 1
+    for edge in h.edges_as_sets():
+        assert any(edge <= t for t in top_sets)

@@ -1,0 +1,55 @@
+"""Unit tests for s-distance, s-diameter and spectral s-measures."""
+
+import pytest
+
+from repro.hypergraph.builders import hypergraph_from_edge_lists
+from repro.smetrics.distance import s_diameter, s_distance
+from repro.smetrics.spectral import (
+    connectivity_profile,
+    s_algebraic_connectivity,
+    s_normalized_algebraic_connectivity,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestSDistance:
+    def test_paper_example_distances(self, paper_example):
+        # s = 1 line graph: triangle {0,1,2} with pendant 3 attached to 2.
+        assert s_distance(paper_example, 0, 1, 1) == 1
+        assert s_distance(paper_example, 0, 3, 1) == 2
+        assert s_distance(paper_example, 2, 2, 1) == 0
+
+    def test_disconnected_pair_returns_minus_one(self):
+        h = hypergraph_from_edge_lists([[0, 1], [1, 2], [5, 6], [6, 7]])
+        assert s_distance(h, 0, 2, 1) == -1
+
+    def test_requires_both_edges_in_Es(self, paper_example):
+        with pytest.raises(ValidationError):
+            s_distance(paper_example, 0, 3, 3)  # edge 3 has size 2 < 3
+
+    def test_s_diameter(self, paper_example):
+        assert s_diameter(paper_example, 1) == 2
+        assert s_diameter(paper_example, 2) == 1
+        assert s_diameter(paper_example, 5) == 0
+
+
+class TestSpectral:
+    def test_triangle_connectivity(self, paper_example):
+        # s = 2 line graph is a triangle (K3): normalized connectivity = 1.5.
+        assert s_normalized_algebraic_connectivity(paper_example, 2) == pytest.approx(1.5)
+        # Combinatorial algebraic connectivity of K3 is 3.
+        assert s_algebraic_connectivity(paper_example, 2) == pytest.approx(3.0)
+
+    def test_trivial_line_graph_gives_zero(self, paper_example):
+        assert s_normalized_algebraic_connectivity(paper_example, 5) == 0.0
+
+    def test_connectivity_profile_matches_per_s_calls(self, paper_example):
+        profile = connectivity_profile(paper_example, [1, 2, 3])
+        for s, value in profile.items():
+            assert value == pytest.approx(
+                s_normalized_algebraic_connectivity(paper_example, s)
+            )
+
+    def test_profile_unnormalized(self, paper_example):
+        profile = connectivity_profile(paper_example, [2], normalized=False)
+        assert profile[2] == pytest.approx(3.0)

@@ -1,0 +1,69 @@
+"""Unit tests for the shared benchmark harness helpers (repro.benchmarks)."""
+
+import pytest
+
+from repro.benchmarks.harness import (
+    scaling_series,
+    speedup_table,
+    stage_breakdown,
+    time_callable,
+)
+from repro.benchmarks.reporting import (
+    format_series,
+    format_speedups,
+    format_table,
+    print_experiment_header,
+)
+from repro.utils.timing import StageTimes
+
+
+class TestHarness:
+    def test_time_callable_returns_result_and_time(self):
+        seconds, result = time_callable(lambda: sum(range(1000)), repeats=3)
+        assert result == sum(range(1000))
+        assert seconds >= 0.0
+
+    def test_stage_breakdown(self):
+        times = StageTimes({"preprocessing": 0.1, "s_overlap": 0.6, "squeeze": 0.05})
+        out = stage_breakdown(times, ["preprocessing", "s_overlap", "missing"])
+        assert out["preprocessing"] == pytest.approx(0.1)
+        assert out["missing"] == 0.0
+        assert out["total"] == pytest.approx(0.75)
+
+    def test_speedup_table(self):
+        speedups = speedup_table({"1CN": 2.0, "2BA": 0.5, "zero": 0.0}, baseline="1CN")
+        assert speedups["1CN"] == pytest.approx(1.0)
+        assert speedups["2BA"] == pytest.approx(4.0)
+        assert speedups["zero"] == float("inf")
+
+    def test_scaling_series(self):
+        series = scaling_series([1, 2, 4], run=lambda p: 1.0 / p)
+        assert series == [(1, 1.0), (2, 0.5), (4, 0.25)]
+
+
+class TestReporting:
+    def test_format_table_alignment_and_floats(self):
+        table = format_table(["name", "value"], [["a", 1.23456], ["long-name", 2]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.2346" in table
+        assert "long-name" in table
+        # Header, separator and two data rows.
+        assert len(lines) == 4
+
+    def test_format_series_from_mapping_and_pairs(self):
+        from_mapping = format_series({1: 0.5, 2: 0.25}, x_label="s", y_label="value")
+        from_pairs = format_series([(1, 0.5), (2, 0.25)], x_label="s", y_label="value")
+        assert from_mapping == from_pairs
+        assert "s" in from_mapping.splitlines()[0]
+
+    def test_format_speedups_sorted_descending(self):
+        table = format_speedups({"slow": 1.0, "fast": 8.0, "mid": 3.0}, baseline="slow")
+        rows = table.splitlines()[2:]
+        assert rows[0].startswith("fast")
+        assert rows[-1].startswith("slow")
+
+    def test_print_experiment_header(self, capsys):
+        print_experiment_header("Table I", "per-stage runtime")
+        out = capsys.readouterr().out
+        assert "Table I" in out and "per-stage runtime" in out

@@ -1,0 +1,59 @@
+"""Unit tests for the DOT / ASCII visualisation helpers."""
+
+import pytest
+
+from repro.core.dispatch import s_line_graph
+from repro.viz import (
+    ascii_bar_chart,
+    degree_histogram_ascii,
+    hypergraph_to_dot,
+    slinegraph_to_dot,
+)
+
+
+class TestDotExport:
+    def test_slinegraph_dot_contains_nodes_and_edges(self, paper_example):
+        graph = s_line_graph(paper_example, 2)
+        dot = slinegraph_to_dot(graph, h=paper_example, name="fig2-s2")
+        assert dot.startswith('graph "fig2-s2" {')
+        assert dot.rstrip().endswith("}")
+        # Three edges with their overlap labels, node labels from the hypergraph.
+        assert dot.count(" -- ") == 3
+        assert 'label="1"' in dot and 'label="3"' in dot
+        assert "penwidth=" in dot
+
+    def test_slinegraph_dot_without_hypergraph(self, paper_example):
+        graph = s_line_graph(paper_example, 1)
+        dot = slinegraph_to_dot(graph)
+        assert dot.count(" -- ") == 4
+
+    def test_hypergraph_dot_bipartite(self, paper_example):
+        dot = hypergraph_to_dot(paper_example)
+        assert dot.count(" -- ") == paper_example.num_incidences
+        assert "shape=box" in dot and "shape=circle" in dot
+
+
+class TestAsciiCharts:
+    def test_bar_chart_basic(self):
+        chart = ascii_bar_chart({"a": 2.0, "b": 4.0}, width=10, title="demo")
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_bar_chart_log_scale(self):
+        chart = ascii_bar_chart({1: 10.0, 2: 1000.0}, width=30, log_scale=True)
+        first, second = chart.splitlines()
+        # Log scale compresses the ratio: the smaller bar is more than 1/100th.
+        assert first.count("#") > second.count("#") / 10
+
+    def test_empty_series(self):
+        assert ascii_bar_chart({}, title="nothing") == "nothing"
+
+    def test_degree_histogram(self):
+        out = degree_histogram_ascii([1, 1, 2, 3, 10, 10, 10], bins=3, title="degrees")
+        assert out.splitlines()[0] == "degrees"
+        assert "[" in out and "#" in out
+
+    def test_degree_histogram_empty(self):
+        assert degree_histogram_ascii([], title="t") == "t"
