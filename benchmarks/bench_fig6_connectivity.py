@@ -4,14 +4,23 @@ The paper computes an ensemble of s-line graphs (s = 1..16) of the condMat
 author–paper hypergraph and plots the normalized algebraic connectivity:
 the values decrease through s = 12 (sparse collaboration) and rise sharply
 at s = 13 (authors with 13+ joint papers form dense collectives).
+
+The multi-s sweep is served by the overlap-index engine
+(:class:`repro.engine.QueryEngine`): the weighted overlap structure is
+computed once and every s-line graph is a threshold view of it, instead of
+one full recomputation per s.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
 from repro.apps.authors import coauthorship_connectivity
 from repro.benchmarks.reporting import format_series
+from repro.core.pipeline import SLinePipeline
+from repro.engine.engine import QueryEngine
 from repro.generators.datasets import condmat_surrogate
 
 S_RANGE = range(1, 17)
@@ -23,8 +32,9 @@ def condmat(bench_seed):
 
 
 def test_fig6_normalized_algebraic_connectivity(condmat, benchmark, report):
+    engine = QueryEngine(condmat)
     result = benchmark.pedantic(
-        lambda: coauthorship_connectivity(condmat, s_values=S_RANGE),
+        lambda: coauthorship_connectivity(engine=engine, s_values=S_RANGE),
         rounds=1, iterations=1,
     )
     series = {s: round(result.connectivity[s], 4) for s in result.s_values}
@@ -40,6 +50,38 @@ def test_fig6_normalized_algebraic_connectivity(condmat, benchmark, report):
     assert result.rises_at() == 13
     assert result.connectivity[13] > 5 * result.connectivity[12]
     assert result.max_nontrivial_s() == 16
+
+
+def test_fig6_engine_speedup_per_s(condmat, report):
+    """Per-s cost of the engine sweep vs. one pipeline run per s."""
+    pipeline = SLinePipeline(metrics=())
+    baseline = {}
+    for s in S_RANGE:
+        start = time.perf_counter()
+        pipeline.run(condmat, s)
+        baseline[s] = time.perf_counter() - start
+
+    engine = QueryEngine(condmat)
+    engine_times = {}
+    for s in S_RANGE:
+        start = time.perf_counter()
+        engine.line_graph(s)
+        engine_times[s] = time.perf_counter() - start
+    build_seconds = sum(engine_times.values())
+
+    series = {s: round(baseline[s] / max(engine_times[s], 1e-9), 1) for s in S_RANGE}
+    total_speedup = sum(baseline.values()) / max(build_seconds, 1e-9)
+    report(
+        "Figure 6 sweep, per-s speedup of the engine over the per-s pipeline\n"
+        + format_series(series, x_label="s", y_label="speedup (x)")
+        + f"\ntotal: {sum(baseline.values()):.4f}s vs {build_seconds:.4f}s "
+        + f"({total_speedup:.1f}x; engine column includes the one-off index build at s=1)",
+        name="fig6_engine_speedup",
+    )
+    # Every s after the index build amortises to a threshold view.
+    for s in range(2, 17):
+        assert engine_times[s] < baseline[s]
+    assert total_speedup > 1.0
 
 
 def test_bench_connectivity_ensemble(condmat, benchmark):

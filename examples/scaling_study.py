@@ -4,7 +4,9 @@
 Runs the twelve algorithm/partitioning/relabelling variants of the paper's
 Table III on a Table IV surrogate dataset, reports speedups relative to the
 1CN baseline (Figure 7), a strong-scaling sweep over worker counts
-(Figure 8) and the per-worker workload distribution (Figure 10).
+(Figure 8), the per-worker workload distribution (Figure 10), and a multi-s
+sweep served by the overlap-index engine with its per-s speedup over the
+per-s pipeline baseline.
 
 Run:  python examples/scaling_study.py [--dataset livejournal] [--scale 0.4] [--s 8]
 """
@@ -17,6 +19,8 @@ import time
 import repro
 from repro.benchmarks.reporting import format_series, format_speedups, format_table
 from repro.core.algorithms.registry import ALL_VARIANTS, run_variant
+from repro.core.pipeline import SLinePipeline
+from repro.engine.engine import QueryEngine
 from repro.generators.datasets import available_datasets, load_dataset
 from repro.parallel.executor import ParallelConfig
 
@@ -70,6 +74,33 @@ def main() -> None:
         rows.append([notation, result.workload.imbalance()] + visits)
     headers = ["variant", "imbalance"] + [f"w{i}" for i in range(8)]
     print(format_table(headers, rows, float_format="{:.2f}"))
+
+    # ------------------------------------------------------------------ #
+    # Multi-s sweep: overlap-index engine vs. one pipeline run per s.
+    # ------------------------------------------------------------------ #
+    s_values = range(1, args.s + 1)
+    print(f"\n== Multi-s sweep s=1..{args.s} (engine vs per-s pipeline) ==")
+    pipeline = SLinePipeline(metrics=("connected_components",))
+    start = time.perf_counter()
+    baseline = {s: pipeline.run(h, s) for s in s_values}
+    baseline_seconds = time.perf_counter() - start
+
+    engine = QueryEngine(h)
+    start = time.perf_counter()
+    sweep = engine.sweep(s_values, metrics=("connected_components",))
+    engine_seconds = time.perf_counter() - start
+
+    rows = [
+        [s, sweep.edge_counts[s], sweep.num_components(s)] for s in sweep.s_values
+    ]
+    print(format_table(["s", "edges", "components"], rows))
+    assert all(
+        sweep.edge_counts[s] == baseline[s].num_line_graph_edges for s in s_values
+    )
+    print(
+        f"per-s pipeline: {baseline_seconds:.4f}s   engine sweep: "
+        f"{engine_seconds:.4f}s ({baseline_seconds / engine_seconds:.1f}x)"
+    )
 
 
 if __name__ == "__main__":

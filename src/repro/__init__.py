@@ -47,6 +47,7 @@ from repro.core import (
     ALL_VARIANTS,
     ALGORITHMS,
 )
+from repro.engine import OverlapIndex, QueryEngine, SweepResult
 from repro.parallel import ParallelConfig
 from repro.smetrics import (
     s_connected_components,
@@ -83,6 +84,9 @@ __all__ = [
     "parse_variant",
     "ALL_VARIANTS",
     "ALGORITHMS",
+    "OverlapIndex",
+    "QueryEngine",
+    "SweepResult",
     "ParallelConfig",
     "s_connected_components",
     "s_betweenness_centrality",

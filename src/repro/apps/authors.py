@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.dispatch import s_line_graph_ensemble
+from repro.engine.engine import QueryEngine
 from repro.generators.datasets import condmat_surrogate
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.smetrics.spectral import s_normalized_algebraic_connectivity
@@ -55,6 +55,7 @@ def coauthorship_connectivity(
     hypergraph: Optional[Hypergraph] = None,
     s_values: Sequence[int] = tuple(range(1, 17)),
     seed: int = 0,
+    engine: Optional[QueryEngine] = None,
 ) -> CoauthorshipResult:
     """Run the Section V-B analysis on an author–paper hypergraph.
 
@@ -68,12 +69,29 @@ def coauthorship_connectivity(
         non-singleton components).
     seed:
         Seed for the surrogate dataset when ``hypergraph`` is omitted.
+    engine:
+        Optional pre-built :class:`~repro.engine.QueryEngine` to serve the
+        sweep from (its hypergraph takes precedence); one is created
+        otherwise.  The whole s-range is a single counting pass either way —
+        the engine additionally caches the per-s views for later queries.
     """
-    h = hypergraph if hypergraph is not None else condmat_surrogate(seed=seed)
+    if engine is None:
+        h = hypergraph if hypergraph is not None else condmat_surrogate(seed=seed)
+        engine = QueryEngine(h)
+    elif (
+        hypergraph is not None
+        and hypergraph.fingerprint() != engine.fingerprint()
+    ):
+        raise ValueError(
+            "hypergraph and engine disagree: pass one or the other, or an "
+            "engine built over the same hypergraph"
+        )
+    h = engine.hypergraph
     s_list = sorted(set(int(s) for s in s_values))
-    ensemble = s_line_graph_ensemble(h, s_list)
+    sweep = engine.sweep(s_list)
     result = CoauthorshipResult(s_values=s_list)
-    for s, line_graph in ensemble.items():
+    for s in s_list:
+        line_graph = sweep.line_graphs[s]
         result.line_graph_sizes[s] = line_graph.num_edges
         result.connectivity[s] = s_normalized_algebraic_connectivity(
             h, s, line_graph=line_graph

@@ -9,7 +9,9 @@ the built-in surrogate datasets:
 ``components``   report the s-connected components;
 ``centrality``   report the top hyperedges by an s-centrality measure;
 ``datasets``     list the built-in surrogate datasets;
-``variants``     run the Table III variants and print their speedups.
+``variants``     run the Table III variants and print their speedups;
+``query``        serve one s/metric query from the overlap-index engine;
+``sweep``        batched multi-s sweep from one overlap-index build.
 
 Examples
 --------
@@ -20,6 +22,8 @@ Examples
     python -m repro slinegraph --dataset email-euall --s 4 --output lg.txt
     python -m repro components --input hyperedges.txt --format hyperedges --s 3
     python -m repro variants --dataset web --s 8 --workers 4
+    python -m repro query --dataset email-euall --s 3 --metric pagerank --top 5
+    python -m repro sweep --dataset email-euall --s-max 8 --metrics connected_components
 """
 
 from __future__ import annotations
@@ -30,8 +34,11 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.benchmarks.reporting import format_table
 from repro.core.algorithms.registry import ALL_VARIANTS, run_variant
 from repro.core.dispatch import ALGORITHMS, s_line_graph
+from repro.core.pipeline import METRIC_FUNCTIONS
+from repro.engine.engine import QueryEngine
 from repro.generators.datasets import available_datasets, load_dataset
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.properties import compute_stats
@@ -145,6 +152,54 @@ def _cmd_variants(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    h = _load_hypergraph(args)
+    engine = QueryEngine(h, algorithm=args.algorithm)
+    graph = engine.line_graph(args.s)
+    print(
+        f"L_{args.s}: {graph.num_edges} edges over {graph.num_active_vertices} "
+        f"active hyperedges (index: {engine.index.num_pairs} weighted pairs, "
+        f"max s = {engine.max_s()})"
+    )
+    ranked = sorted(
+        engine.metric_by_hyperedge(args.s, args.metric).items(),
+        key=lambda kv: (-kv[1], kv[0]),
+    )[: args.top]
+    print(f"top {len(ranked)} hyperedges by {args.metric} (s={args.s})")
+    for edge_id, score in ranked:
+        print(f"  {h.edge_name(edge_id)}\t{score:.6f}")
+    return 0
+
+
+def _metric_summary(name: str, values: np.ndarray):
+    """One table cell per (s, metric): component count, or the max value."""
+    if name in ("connected_components", "lpcc"):
+        return int(values.max()) + 1 if values.size else 0
+    return float(values.max()) if values.size else 0.0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    h = _load_hypergraph(args)
+    engine = QueryEngine(h, algorithm=args.algorithm)
+    metrics = [m for m in (args.metrics or "").split(",") if m]
+    result = engine.sweep(range(args.s_min, args.s_max + 1), metrics=metrics)
+    headers = ["s", "active", "edges"] + [
+        "components" if m in ("connected_components", "lpcc") else f"max {m}"
+        for m in metrics
+    ]
+    rows = []
+    for s in result.s_values:
+        row = [s, result.active_counts[s], result.edge_counts[s]]
+        row.extend(_metric_summary(m, result.metrics[s][m]) for m in metrics)
+        rows.append(row)
+    print(
+        f"sweep s={args.s_min}..{args.s_max} from one overlap index "
+        f"({engine.index.num_pairs} pairs, {result.elapsed_seconds:.4f}s)"
+    )
+    print(format_table(headers, rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -186,6 +241,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--s", type=int, default=8)
     p.add_argument("--workers", type=int, default=4)
     p.set_defaults(func=_cmd_variants)
+
+    p = sub.add_parser("query", help="serve one s/metric query from the overlap-index engine")
+    _add_input_arguments(p)
+    p.add_argument("--s", type=int, required=True, help="overlap threshold")
+    p.add_argument("--metric", choices=sorted(METRIC_FUNCTIONS), default="connected_components")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="hashmap")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("sweep", help="batched multi-s sweep from one overlap-index build")
+    _add_input_arguments(p)
+    p.add_argument("--s-min", type=int, default=1)
+    p.add_argument("--s-max", type=int, required=True)
+    p.add_argument(
+        "--metrics",
+        default="connected_components",
+        help="comma-separated Stage-5 metrics (empty string for none)",
+    )
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="hashmap")
+    p.set_defaults(func=_cmd_sweep)
 
     return parser
 

@@ -51,15 +51,56 @@ def filter_weighted_edges(
     )
 
 
-def line_graph_from_filtration(h, s: int) -> SLineGraph:
+def filter_weighted_arrays(
+    edges: np.ndarray,
+    weights: np.ndarray,
+    s: int,
+    num_hyperedges: int,
+    active_vertices: np.ndarray | None = None,
+) -> SLineGraph:
+    """Vectorised filtration of a ``(k, 2)`` pair array at threshold ``s``.
+
+    The array counterpart of :func:`filter_weighted_edges`, used by the
+    :class:`repro.engine.OverlapIndex` hot path: given all weighted overlap
+    pairs as flat arrays, keep those with ``weight >= s`` without a Python
+    loop.
+    """
+    s = check_s_value(s)
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    weights = np.asarray(weights, dtype=np.int64)
+    if weights.size != edges.shape[0]:
+        raise ValueError("weights length must equal the number of pairs")
+    mask = weights >= s
+    return SLineGraph(
+        s=s,
+        edges=edges[mask],
+        weights=weights[mask],
+        num_hyperedges=num_hyperedges,
+        active_vertices=active_vertices,
+    )
+
+
+def line_graph_from_filtration(h, s: int, index=None) -> SLineGraph:
     """Build ``L_s(H)`` directly from the filtration of ``L = H^T H``.
 
     A convenience wrapper used in tests as yet another independent oracle.
+    When an :class:`repro.engine.OverlapIndex` built from ``h`` is passed as
+    ``index``, the filtration is delegated to its precomputed weight-sorted
+    pair store instead of re-multiplying ``H^T H``.
     """
     from repro.core.algorithms.base import active_hyperedges
     from repro.hypergraph.incidence import line_graph_weight_matrix
 
     s = check_s_value(s)
+    if index is not None:
+        if index.num_hyperedges != h.num_edges or not np.array_equal(
+            index.edge_sizes, h.edge_sizes()
+        ):
+            raise ValueError(
+                "index does not describe this hypergraph (hyperedge count or "
+                "sizes differ)"
+            )
+        return index.line_graph(s)
     L = line_graph_weight_matrix(h)
     coo = sparse.coo_matrix(L)
     mask = (coo.row < coo.col) & (coo.data >= s)

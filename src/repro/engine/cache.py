@@ -1,0 +1,79 @@
+"""A small LRU result cache for the query engine.
+
+Keys are ``(hypergraph fingerprint, s, kind)`` tuples where ``kind`` names
+what is cached ("line_graph", "squeezed", or a Stage-5 metric name).  The
+fingerprint component makes entries from superseded hypergraph versions
+unreachable; the engine additionally *re-keys* entries that provably cannot
+have changed after an incremental update (see
+:meth:`repro.engine.QueryEngine.add_hyperedge`), so the cache doubles as the
+bookkeeping structure for selective invalidation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, List, Optional, Tuple
+
+from repro.utils.validation import ValidationError
+
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping with hit/miss/eviction counters."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValidationError("cache maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test without touching recency or counters."""
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, marking it most recently used."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the LRU entry when full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return ``key`` (no counter updates)."""
+        return self._data.pop(key, default)
+
+    def keys(self) -> List[Hashable]:
+        """Snapshot of the cached keys, LRU first."""
+        return list(self._data.keys())
+
+    def rekey(self, old_key: Hashable, new_key: Hashable) -> bool:
+        """Move an entry to a new key preserving its value; False if absent."""
+        value = self._data.pop(old_key, _MISSING)
+        if value is _MISSING:
+            return False
+        self._data[new_key] = value
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (counters are retained)."""
+        self._data.clear()

@@ -1,0 +1,399 @@
+"""The query engine: an LRU-cached, incrementally maintained s-query service.
+
+:class:`QueryEngine` fronts one hypergraph and serves s-line graphs,
+s-metrics and batched multi-s sweeps from a single
+:class:`~repro.engine.index.OverlapIndex`.  Results are cached under
+``(hypergraph fingerprint, s, kind)`` keys, so repeated queries — the
+dominant pattern of a long-running analytics service — cost a dictionary
+lookup.  Squeezing work (Stage 4) is shared between all metrics of the same
+s.
+
+Incremental updates (:meth:`~QueryEngine.add_hyperedge`,
+:meth:`~QueryEngine.remove_hyperedge`) patch only the affected overlap rows
+of the index — avoiding the wedge-enumeration pass that dominates a rebuild
+— and invalidate only cache entries whose result could actually change: a
+hyperedge of size ``k`` can never appear in — nor contribute a pair to —
+any ``L_s`` with ``s > k``, so those entries are re-keyed to the new
+fingerprint instead of being recomputed.  (Refreshing the immutable
+:class:`Hypergraph` and its fingerprint is still one vectorised O(|H|)
+pass per update; only the overlap *counting* is incremental.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import METRIC_FUNCTIONS
+from repro.core.slinegraph import SLineGraph
+from repro.engine.cache import LRUCache
+from repro.engine.index import OverlapIndex, overlap_counts_for_members
+from repro.graph.graph import Graph
+from repro.hypergraph.csr import CSRMatrix
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.preprocessing import SqueezeResult
+from repro.parallel.executor import ParallelConfig
+from repro.utils.validation import ValidationError, check_s_value
+
+
+@dataclass
+class QueryStats:
+    """Counters describing the engine's work since construction."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_entries: int = 0
+    index_builds: int = 0
+    incremental_adds: int = 0
+    incremental_removes: int = 0
+    invalidated_entries: int = 0
+    retained_entries: int = 0
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one batched multi-s sweep."""
+
+    s_values: List[int]
+    #: ``s -> L_s`` (the same objects held by the engine cache).
+    line_graphs: Dict[int, SLineGraph] = field(default_factory=dict)
+    #: ``s -> number of line-graph edges`` (the Figure 4 quantity).
+    edge_counts: Dict[int, int] = field(default_factory=dict)
+    #: ``s -> |E_s|`` (active hyperedges).
+    active_counts: Dict[int, int] = field(default_factory=dict)
+    #: ``s -> metric name -> array over squeezed vertex IDs``.
+    metrics: Dict[int, Dict[str, np.ndarray]] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def num_components(self, s: int) -> Optional[int]:
+        """Number of s-connected components, if a component metric ran."""
+        for key in ("connected_components", "lpcc"):
+            values = self.metrics.get(s, {}).get(key)
+            if values is not None:
+                return int(values.max()) + 1 if values.size else 0
+        return None
+
+
+class QueryEngine:
+    """Compute-once/serve-many facade over a hypergraph's overlap structure.
+
+    Parameters
+    ----------
+    h:
+        The hypergraph to serve queries for.
+    algorithm:
+        Stage-3 algorithm used for the one-off index build (and rebuilds).
+    config:
+        Parallel configuration forwarded to the index build.
+    cache_size:
+        Maximum number of cached results (line graphs, squeezed graphs and
+        per-metric arrays each count as one entry).
+
+    Examples
+    --------
+    >>> from repro.hypergraph import hypergraph_from_edge_lists
+    >>> h = hypergraph_from_edge_lists([[0, 1, 2], [1, 2, 3], [0, 1, 2, 3, 4], [4, 5]])
+    >>> engine = QueryEngine(h)
+    >>> engine.line_graph(2).edge_set()
+    {(0, 1), (0, 2), (1, 2)}
+    >>> engine.index.edge_count(1)
+    4
+    """
+
+    def __init__(
+        self,
+        h: Hypergraph,
+        algorithm: str = "hashmap",
+        config: Optional[ParallelConfig] = None,
+        cache_size: int = 256,
+    ) -> None:
+        if not isinstance(h, Hypergraph):
+            raise ValidationError("QueryEngine requires a Hypergraph")
+        self._h = h
+        self.algorithm = algorithm
+        self.config = config or ParallelConfig()
+        self._index: Optional[OverlapIndex] = None
+        self._cache = LRUCache(maxsize=cache_size)
+        self._index_builds = 0
+        self._incremental_adds = 0
+        self._incremental_removes = 0
+        self._invalidated = 0
+        self._retained = 0
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def hypergraph(self) -> Hypergraph:
+        """The current (possibly incrementally updated) hypergraph."""
+        return self._h
+
+    @property
+    def index(self) -> OverlapIndex:
+        """The overlap index, built lazily on first access."""
+        if self._index is None:
+            self._index = OverlapIndex.build(
+                self._h, algorithm=self.algorithm, config=self.config
+            )
+            self._index_builds += 1
+        return self._index
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the current hypergraph (the cache-key prefix)."""
+        return self._h.fingerprint()
+
+    def stats(self) -> QueryStats:
+        """Snapshot of cache and maintenance counters."""
+        return QueryStats(
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+            cache_evictions=self._cache.evictions,
+            cache_entries=len(self._cache),
+            index_builds=self._index_builds,
+            incremental_adds=self._incremental_adds,
+            incremental_removes=self._incremental_removes,
+            invalidated_entries=self._invalidated,
+            retained_entries=self._retained,
+        )
+
+    def max_s(self) -> int:
+        """Largest s with a non-empty s-line graph."""
+        return self.index.max_weight
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def _key(self, s: int, kind: str) -> Tuple[str, int, str]:
+        return (self._h.fingerprint(), int(s), kind)
+
+    def line_graph(self, s: int) -> SLineGraph:
+        """``L_s(H)`` in original hyperedge IDs (cached threshold view)."""
+        s = check_s_value(s)
+        key = self._key(s, "line_graph")
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        graph = self.index.line_graph(s)
+        self._cache.put(key, graph)
+        return graph
+
+    def squeezed_graph(self, s: int) -> Tuple[Graph, SqueezeResult]:
+        """Stage-4 view of ``L_s``: the squeezed CSR graph plus ID mapping.
+
+        Cached per s so every metric of the same s shares one squeeze.
+        """
+        s = check_s_value(s)
+        key = self._key(s, "squeezed")
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        squeezed_line, mapping = self.line_graph(s).squeeze()
+        graph = squeezed_line.to_graph(squeezed=False)
+        self._cache.put(key, (graph, mapping))
+        return graph, mapping
+
+    def metric(self, s: int, name: str) -> np.ndarray:
+        """A Stage-5 metric of ``L_s`` over squeezed vertex IDs (cached)."""
+        if name not in METRIC_FUNCTIONS:
+            raise ValidationError(
+                f"unknown metric {name!r}; available: {sorted(METRIC_FUNCTIONS)}"
+            )
+        s = check_s_value(s)
+        key = self._key(s, name)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        graph, _ = self.squeezed_graph(s)
+        values = METRIC_FUNCTIONS[name](graph)
+        self._cache.put(key, values)
+        return values
+
+    def metric_by_hyperedge(self, s: int, name: str) -> Dict[int, float]:
+        """A metric keyed by *original* hyperedge IDs."""
+        values = self.metric(s, name)
+        _, mapping = self.squeezed_graph(s)
+        return {
+            int(mapping.new_to_old[i]): float(v) for i, v in enumerate(values)
+        }
+
+    def metrics(self, s: int, names: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Several metrics of the same s, sharing one squeeze."""
+        return {name: self.metric(s, name) for name in names}
+
+    def sweep(
+        self,
+        s_values: Iterable[int],
+        metrics: Sequence[str] = (),
+    ) -> SweepResult:
+        """Batched multi-s query: line graphs (and metrics) for every s.
+
+        The index is built at most once; each s is a binary-search slice.
+        Squeezing work is shared per s across the requested metrics, and all
+        intermediate results land in the cache for later point queries.
+        """
+        s_list = sorted({check_s_value(s) for s in s_values})
+        if not s_list:
+            raise ValidationError("sweep requires at least one s value")
+        unknown = [m for m in metrics if m not in METRIC_FUNCTIONS]
+        if unknown:
+            raise ValidationError(
+                f"unknown metrics {unknown}; available: {sorted(METRIC_FUNCTIONS)}"
+            )
+        start = time.perf_counter()
+        result = SweepResult(s_values=s_list)
+        for s in s_list:
+            graph = self.line_graph(s)
+            result.line_graphs[s] = graph
+            result.edge_counts[s] = graph.num_edges
+            result.active_counts[s] = graph.num_active_vertices
+            if metrics:
+                result.metrics[s] = self.metrics(s, metrics)
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+    def add_hyperedge(
+        self, members: Iterable[int], name: Optional[object] = None
+    ) -> int:
+        """Append a hyperedge, patching the index and cache incrementally.
+
+        Only the overlap row of the new edge is computed (a wedge walk from
+        its members); cached results for every ``s > |members|`` provably
+        cannot change and are retained under the new fingerprint.
+
+        Returns the ID assigned to the new hyperedge.
+        """
+        member_arr = np.unique(np.asarray(list(members), dtype=np.int64))
+        if member_arr.size and int(member_arr.min()) < 0:
+            raise ValidationError("vertex IDs must be non-negative")
+        old_fp = self._h.fingerprint()
+        new_id = self._h.num_edges
+        if self._index is not None:
+            pair_ids, pair_weights = overlap_counts_for_members(self._h, member_arr)
+            self._index.add_hyperedge(
+                new_id, member_arr.size, pair_ids, pair_weights
+            )
+        self._h = _with_appended_edge(self._h, member_arr, name)
+        self._incremental_adds += 1
+        self._migrate_cache(old_fp, threshold_s=int(member_arr.size))
+        return new_id
+
+    def remove_hyperedge(self, edge_id: int) -> None:
+        """Remove a hyperedge (tombstoning its ID slot at size 0).
+
+        Keeping the slot preserves every other hyperedge ID, so results for
+        ``s > |removed edge|`` — which the edge could never appear in — stay
+        valid and are retained in the cache.
+        """
+        if edge_id < 0 or edge_id >= self._h.num_edges:
+            raise ValidationError(
+                f"hyperedge ID {edge_id} out of range [0, {self._h.num_edges})"
+            )
+        old_size = self._h.edge_size(edge_id)
+        if old_size == 0:
+            return  # already empty: removing it changes nothing
+        old_fp = self._h.fingerprint()
+        if self._index is not None:
+            self._index.remove_hyperedge(edge_id)
+        self._h = _with_emptied_edge(self._h, edge_id)
+        self._incremental_removes += 1
+        self._migrate_cache(old_fp, threshold_s=int(old_size))
+
+    def _migrate_cache(self, old_fp: str, threshold_s: int) -> None:
+        """Selective invalidation after an update affecting sizes ``<= threshold_s``.
+
+        Entries keyed at ``s > threshold_s`` cannot have changed (the edge
+        involved has size ``<= threshold_s``, so it is inactive and pairless
+        at those thresholds): they are re-keyed to the new fingerprint.
+        Everything else under the old fingerprint is dropped.  Retained line
+        graphs get their ID-space bound refreshed so they compare equal to a
+        full rebuild after ``add_hyperedge`` grew the hyperedge count.
+        """
+        new_fp = self._h.fingerprint()
+        num_edges = self._h.num_edges
+        for key in self._cache.keys():
+            fp, s, kind = key
+            if fp != old_fp:
+                continue
+            if s > threshold_s:
+                if kind == "line_graph":
+                    graph = self._cache.pop(key)
+                    if graph.num_hyperedges != num_edges:
+                        graph = _resize_id_space(graph, num_edges)
+                    self._cache.put((new_fp, s, kind), graph)
+                else:
+                    self._cache.rekey(key, (new_fp, s, kind))
+                self._retained += 1
+            else:
+                self._cache.pop(key)
+                self._invalidated += 1
+
+
+def _resize_id_space(graph: SLineGraph, num_hyperedges: int) -> SLineGraph:
+    """Rebind a line graph to a larger hyperedge-ID space without copying.
+
+    Bypasses ``__post_init__``: the arrays are already canonical and shared
+    with the original; only the ID-space bound changes (it can only grow,
+    via :meth:`QueryEngine.add_hyperedge`).
+    """
+    resized = SLineGraph.__new__(SLineGraph)
+    resized.s = graph.s
+    resized.edges = graph.edges
+    resized.weights = graph.weights
+    resized.num_hyperedges = int(num_hyperedges)
+    resized.active_vertices = graph.active_vertices
+    return resized
+
+
+def _with_appended_edge(
+    h: Hypergraph, members: np.ndarray, name: Optional[object]
+) -> Hypergraph:
+    """A new hypergraph equal to ``h`` plus one trailing hyperedge."""
+    edges = h.edges_csr
+    num_vertices = h.num_vertices
+    if members.size:
+        num_vertices = max(num_vertices, int(members.max()) + 1)
+    new_indptr = np.append(edges.indptr, edges.indptr[-1] + members.size)
+    new_indices = np.concatenate([edges.indices, members])
+    edge_names = None
+    if h.edge_names is not None:
+        edge_names = list(h.edge_names) + [name if name is not None else h.num_edges]
+    vertex_names = None
+    if h.vertex_names is not None:
+        vertex_names = list(h.vertex_names) + list(
+            range(h.num_vertices, num_vertices)
+        )
+    return Hypergraph(
+        edges=CSRMatrix(
+            indptr=new_indptr, indices=new_indices, num_cols=num_vertices
+        ),
+        edge_names=edge_names,
+        vertex_names=vertex_names,
+    )
+
+
+def _with_emptied_edge(h: Hypergraph, edge_id: int) -> Hypergraph:
+    """A new hypergraph equal to ``h`` with one hyperedge emptied in place."""
+    edges = h.edges_csr
+    start, stop = int(edges.indptr[edge_id]), int(edges.indptr[edge_id + 1])
+    new_indices = np.delete(edges.indices, slice(start, stop))
+    new_indptr = edges.indptr.copy()
+    new_indptr[edge_id + 1 :] -= stop - start
+    return Hypergraph(
+        edges=CSRMatrix(
+            indptr=new_indptr, indices=new_indices, num_cols=edges.num_cols
+        ),
+        edge_names=h.edge_names,
+        vertex_names=h.vertex_names,
+    )

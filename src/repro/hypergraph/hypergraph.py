@@ -17,6 +17,7 @@ algorithms.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Hashable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
@@ -45,7 +46,7 @@ class Hypergraph:
         labels (author names, gene symbols, …).
     """
 
-    __slots__ = ("_edges", "_vertices", "_edge_names", "_vertex_names")
+    __slots__ = ("_edges", "_vertices", "_edge_names", "_vertex_names", "_fingerprint")
 
     def __init__(
         self,
@@ -76,6 +77,7 @@ class Hypergraph:
             raise ValidationError("vertex_names length must equal the number of vertices")
         self._edge_names = None if edge_names is None else list(edge_names)
         self._vertex_names = None if vertex_names is None else list(vertex_names)
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Basic shape
@@ -203,6 +205,37 @@ class Hypergraph:
         for v in ids[1:]:
             common = np.intersect1d(common, self.vertex_memberships(v), assume_unique=True)
         return int(common.size)
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Content hash of the incidence structure (hex SHA-256 digest).
+
+        The hash covers the shape and the edge→vertex CSR with columns
+        sorted within each row, so two hypergraphs with the same incidence
+        pattern produce the same fingerprint regardless of how they were
+        built or in what order rows listed their members.  Labels are
+        ignored: the fingerprint identifies the *structure*, which is what
+        every s-line-graph computation depends on.  Used as the cache key of
+        :class:`repro.engine.QueryEngine`.  The digest is computed once and
+        memoised (instances are immutable by convention).
+        """
+        if self._fingerprint is None:
+            edges = self._edges
+            row_ids = np.repeat(
+                np.arange(edges.num_rows, dtype=np.int64), edges.row_degrees()
+            )
+            order = np.lexsort((edges.indices, row_ids))
+            hasher = hashlib.sha256()
+            hasher.update(np.int64(edges.num_rows).tobytes())
+            hasher.update(np.int64(edges.num_cols).tobytes())
+            hasher.update(np.ascontiguousarray(edges.indptr, dtype=np.int64).tobytes())
+            hasher.update(
+                np.ascontiguousarray(edges.indices[order], dtype=np.int64).tobytes()
+            )
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------ #
     # Derived structures

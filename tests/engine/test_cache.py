@@ -1,0 +1,69 @@
+"""Tests for the engine's LRU result cache."""
+
+import pytest
+
+from repro.engine.cache import LRUCache
+from repro.utils.validation import ValidationError
+
+
+class TestLRUCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_returns_default(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("nope") is None
+        assert cache.get("nope", 42) == 42
+        assert cache.misses == 2
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a" → "b" is now LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, no growth
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_contains_does_not_touch_recency(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache  # membership probe must not refresh "a"
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_rekey_moves_value(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("old", 7)
+        assert cache.rekey("old", "new") is True
+        assert "old" not in cache
+        assert cache.get("new") == 7
+        assert cache.rekey("gone", "anywhere") is False
+
+    def test_pop_and_clear(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a", "fallback") == "fallback"
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValidationError):
+            LRUCache(maxsize=0)

@@ -1,0 +1,160 @@
+"""Tests for incremental maintenance of :class:`repro.engine.QueryEngine`.
+
+The invariant throughout: after any sequence of ``add_hyperedge`` /
+``remove_hyperedge`` calls, the engine serves exactly what a full rebuild
+(a fresh engine over ``engine.hypergraph``) would serve, for every s.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.filtration import line_graph_from_filtration
+from repro.engine.engine import QueryEngine
+from repro.hypergraph.builders import hypergraph_from_edge_lists
+from repro.utils.validation import ValidationError
+
+
+def assert_matches_full_rebuild(engine, s_range=range(1, 7)):
+    rebuilt = QueryEngine(engine.hypergraph)
+    for s in s_range:
+        served = engine.line_graph(s)
+        fresh = rebuilt.line_graph(s)
+        assert served == fresh, s
+        assert np.array_equal(served.active_vertices, fresh.active_vertices), s
+        assert served == line_graph_from_filtration(engine.hypergraph, s), s
+
+
+@pytest.fixture
+def engine(paper_example_unlabelled):
+    engine = QueryEngine(paper_example_unlabelled)
+    engine.sweep(range(1, 6))  # warm the index and cache
+    return engine
+
+
+class TestAddHyperedge:
+    def test_returns_next_id(self, engine):
+        assert engine.add_hyperedge([0, 3, 4]) == 4
+        assert engine.hypergraph.num_edges == 5
+
+    def test_matches_full_rebuild(self, engine):
+        engine.add_hyperedge([0, 1, 2, 5])
+        assert_matches_full_rebuild(engine)
+
+    def test_duplicate_members_collapse(self, engine):
+        engine.add_hyperedge([3, 3, 4, 4])
+        assert engine.hypergraph.edge_size(4) == 2
+        assert_matches_full_rebuild(engine)
+
+    def test_new_vertices_grow_the_vertex_space(self, engine):
+        engine.add_hyperedge([5, 6, 9])
+        assert engine.hypergraph.num_vertices == 10
+        assert_matches_full_rebuild(engine)
+
+    def test_empty_hyperedge(self, engine):
+        engine.add_hyperedge([])
+        assert engine.hypergraph.edge_size(4) == 0
+        assert_matches_full_rebuild(engine)
+
+    def test_rejects_negative_vertices(self, engine):
+        with pytest.raises(ValidationError):
+            engine.add_hyperedge([-1, 2])
+
+    def test_extends_labels(self, paper_example):
+        engine = QueryEngine(paper_example)
+        engine.line_graph(1)
+        new_id = engine.add_hyperedge([0, 1], name="new-paper")
+        assert engine.hypergraph.edge_name(new_id) == "new-paper"
+        assert_matches_full_rebuild(engine)
+
+    def test_update_before_index_build_defers_to_lazy_build(
+        self, paper_example_unlabelled
+    ):
+        engine = QueryEngine(paper_example_unlabelled)
+        engine.add_hyperedge([0, 1, 3])  # index not built yet
+        assert engine.stats().index_builds == 0
+        assert_matches_full_rebuild(engine)
+        assert engine.stats().index_builds == 1
+
+
+class TestRemoveHyperedge:
+    def test_matches_full_rebuild(self, engine):
+        engine.remove_hyperedge(2)
+        assert_matches_full_rebuild(engine)
+
+    def test_tombstone_preserves_ids(self, engine):
+        engine.remove_hyperedge(0)
+        assert engine.hypergraph.num_edges == 4
+        assert engine.hypergraph.edge_size(0) == 0
+        assert engine.line_graph(1).edge_set() == {(1, 2), (2, 3)}
+
+    def test_removing_empty_edge_is_noop(self, engine):
+        fp = engine.fingerprint()
+        engine.remove_hyperedge(2)
+        engine.remove_hyperedge(2)  # second removal: already a tombstone
+        assert engine.stats().incremental_removes == 1
+        assert engine.fingerprint() != fp
+
+    def test_out_of_range_rejected(self, engine):
+        with pytest.raises(ValidationError):
+            engine.remove_hyperedge(4)
+        with pytest.raises(ValidationError):
+            engine.remove_hyperedge(-1)
+
+
+class TestSelectiveInvalidation:
+    def test_small_edge_add_retains_large_s_entries(self, engine):
+        large_s_graph = engine.line_graph(3)
+        engine.add_hyperedge([4, 5])  # size 2: cannot affect any s > 2
+        stats = engine.stats()
+        assert stats.retained_entries > 0
+        assert stats.invalidated_entries > 0
+        served = engine.line_graph(3)
+        # Same arrays, rebased to the grown ID space — and still correct.
+        assert served.edges is large_s_graph.edges
+        assert served == QueryEngine(engine.hypergraph).line_graph(3)
+
+    def test_small_edge_removal_retains_large_s_entries(self, engine):
+        engine.line_graph(3)
+        hits_before = engine.stats().cache_hits
+        engine.remove_hyperedge(3)  # size 2: L_3 and L_4 untouched
+        assert engine.stats().retained_entries > 0
+        engine.line_graph(3)
+        assert engine.stats().cache_hits == hits_before + 1
+
+    def test_large_edge_add_invalidates_affected_s(self, engine):
+        engine.add_hyperedge([0, 1, 2, 3, 4, 5])  # size 6 touches every cached s
+        stats = engine.stats()
+        assert stats.retained_entries == 0
+        assert_matches_full_rebuild(engine)
+
+
+class TestInterleavedUpdates:
+    def test_mixed_sequence_with_queries_between(self):
+        h = hypergraph_from_edge_lists(
+            [[0, 1, 2], [1, 2, 3], [0, 1, 2, 3, 4], [4, 5], [2, 3, 5]],
+            num_vertices=6,
+        )
+        engine = QueryEngine(h)
+        engine.sweep(range(1, 6), metrics=("connected_components",))
+
+        engine.add_hyperedge([0, 2, 4, 5])
+        assert_matches_full_rebuild(engine)
+
+        engine.remove_hyperedge(1)
+        engine.metric(2, "connected_components")
+        assert_matches_full_rebuild(engine)
+
+        engine.add_hyperedge([1, 3])
+        engine.remove_hyperedge(5)
+        assert_matches_full_rebuild(engine)
+
+        rebuilt = QueryEngine(engine.hypergraph)
+        for s in range(1, 6):
+            assert np.array_equal(
+                engine.metric(s, "connected_components"),
+                rebuilt.metric(s, "connected_components"),
+            )
+        stats = engine.stats()
+        assert stats.incremental_adds == 2
+        assert stats.incremental_removes == 2
+        assert stats.index_builds == 1

@@ -1,0 +1,129 @@
+"""Tests for :class:`repro.engine.OverlapIndex` — the weight-sorted pair store."""
+
+import numpy as np
+import pytest
+
+from repro.core.dispatch import s_line_graph
+from repro.engine.index import OverlapIndex, overlap_counts_for_members
+from repro.hypergraph.builders import hypergraph_from_edge_lists
+from repro.utils.validation import ValidationError
+
+from tests.conftest import PAPER_EXAMPLE_OVERLAPS, PAPER_EXAMPLE_SLINE_EDGES
+
+
+@pytest.fixture
+def index(paper_example_unlabelled):
+    return OverlapIndex.build(paper_example_unlabelled)
+
+
+class TestBuild:
+    def test_stores_exact_overlap_pairs(self, index):
+        expected = {pair: w for pair, w in PAPER_EXAMPLE_OVERLAPS.items() if w > 0}
+        stored = {
+            (int(i), int(j)): int(w)
+            for (i, j), w in zip(*index.pairs_at_least(1))
+        }
+        assert stored == expected
+
+    def test_weights_sorted_ascending(self, index):
+        _, weights = index.pairs_at_least(1)
+        assert np.all(np.diff(weights) >= 0)
+
+    def test_shape_properties(self, index, paper_example_unlabelled):
+        assert index.num_hyperedges == paper_example_unlabelled.num_edges
+        assert index.num_pairs == 4
+        assert index.max_weight == 3
+        assert index.nbytes() > 0
+
+    @pytest.mark.parametrize("algorithm", ["naive", "heuristic", "hashmap", "spgemm"])
+    def test_algorithm_choice_is_equivalent(self, paper_example_unlabelled, algorithm):
+        built = OverlapIndex.build(paper_example_unlabelled, algorithm=algorithm)
+        for s in range(1, 5):
+            assert built.line_graph(s) == s_line_graph(paper_example_unlabelled, s)
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValidationError):
+            OverlapIndex(
+                edges=np.array([[0, 1]]), weights=np.array([1, 2]), edge_sizes=np.array([2, 2])
+            )
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(ValidationError):
+            OverlapIndex(
+                edges=np.array([[0, 1]]), weights=np.array([0]), edge_sizes=np.array([2, 2])
+            )
+
+
+class TestThresholdViews:
+    @pytest.mark.parametrize("s", [1, 2, 3, 4])
+    def test_line_graph_matches_figure_2(self, index, s):
+        assert index.line_graph(s).edge_set() == PAPER_EXAMPLE_SLINE_EDGES[s]
+
+    def test_edge_count_matches_slice(self, index):
+        for s in range(1, 6):
+            assert index.edge_count(s) == index.line_graph(s).num_edges
+
+    def test_slice_is_a_view(self, index):
+        edges, weights = index.pairs_at_least(2)
+        assert edges.base is not None and weights.base is not None
+
+    def test_active_vertices_follow_edge_sizes(self, index, paper_example_unlabelled):
+        for s in range(1, 7):
+            expected = np.flatnonzero(paper_example_unlabelled.edge_sizes() >= s)
+            assert np.array_equal(index.active_vertices(s), expected)
+
+    def test_s_above_max_weight_is_empty(self, index):
+        graph = index.line_graph(index.max_weight + 1)
+        assert graph.num_edges == 0
+
+    def test_s_profile(self, index):
+        assert index.s_profile() == {1: 4, 2: 3, 3: 2}
+
+
+class TestIncrementalMaintenance:
+    def test_add_hyperedge_requires_next_id(self, index):
+        with pytest.raises(ValidationError):
+            index.add_hyperedge(99, 2, np.array([0]), np.array([1]))
+
+    def test_add_hyperedge_rejects_unknown_pair_ids(self, index):
+        with pytest.raises(ValidationError):
+            index.add_hyperedge(4, 2, np.array([17]), np.array([1]))
+
+    def test_add_keeps_weight_order(self, index):
+        index.add_hyperedge(4, 3, np.array([0, 2]), np.array([3, 1]))
+        _, weights = index.pairs_at_least(1)
+        assert np.all(np.diff(weights) >= 0)
+        assert index.num_pairs == 6
+        assert index.num_hyperedges == 5
+
+    def test_remove_drops_incident_pairs(self, index):
+        removed = index.remove_hyperedge(2)
+        assert removed == 3  # pairs (0,2), (1,2), (2,3)
+        assert index.line_graph(1).edge_set() == {(0, 1)}
+        assert 2 not in index.active_vertices(1)
+
+    def test_remove_out_of_range(self, index):
+        with pytest.raises(ValidationError):
+            index.remove_hyperedge(4)
+
+
+class TestOverlapCountsForMembers:
+    def test_counts_match_inc(self, paper_example_unlabelled):
+        h = paper_example_unlabelled
+        members = np.array([0, 3, 4], dtype=np.int64)
+        ids, counts = overlap_counts_for_members(h, members)
+        for e, c in zip(ids, counts):
+            shared = np.intersect1d(members, h.edge_members(int(e)))
+            assert int(c) == shared.size
+
+    def test_out_of_range_vertices_are_ignored(self, paper_example_unlabelled):
+        ids, counts = overlap_counts_for_members(
+            paper_example_unlabelled, np.array([99, 100], dtype=np.int64)
+        )
+        assert ids.size == 0 and counts.size == 0
+
+    def test_empty_members(self, paper_example_unlabelled):
+        ids, counts = overlap_counts_for_members(
+            paper_example_unlabelled, np.empty(0, dtype=np.int64)
+        )
+        assert ids.size == 0 and counts.size == 0

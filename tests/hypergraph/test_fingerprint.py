@@ -1,0 +1,82 @@
+"""Tests for :meth:`Hypergraph.fingerprint` (the engine cache key)."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph.builders import (
+    hypergraph_from_edge_dict,
+    hypergraph_from_edge_lists,
+)
+from repro.hypergraph.csr import CSRMatrix
+from repro.hypergraph.hypergraph import Hypergraph
+
+EDGE_LISTS = [[0, 1, 2], [1, 2, 3], [0, 1, 2, 3, 4], [4, 5]]
+
+
+class TestFingerprintStability:
+    def test_is_hex_sha256(self, paper_example_unlabelled):
+        fp = paper_example_unlabelled.fingerprint()
+        assert isinstance(fp, str)
+        assert len(fp) == 64
+        int(fp, 16)  # raises if not hex
+
+    def test_memoised_and_deterministic(self, paper_example_unlabelled):
+        first = paper_example_unlabelled.fingerprint()
+        assert paper_example_unlabelled.fingerprint() is first
+        rebuilt = hypergraph_from_edge_lists(EDGE_LISTS, num_vertices=6)
+        assert rebuilt.fingerprint() == first
+
+    def test_member_order_does_not_matter(self):
+        a = hypergraph_from_edge_lists(EDGE_LISTS, num_vertices=6)
+        shuffled = [list(reversed(members)) for members in EDGE_LISTS]
+        b = hypergraph_from_edge_lists(shuffled, num_vertices=6)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_labels_do_not_matter(self, paper_example, paper_example_unlabelled):
+        assert paper_example.fingerprint() == paper_example_unlabelled.fingerprint()
+
+    def test_duplicate_members_collapse(self):
+        a = hypergraph_from_edge_lists([[0, 1, 1, 2], [2, 3]], num_vertices=4)
+        b = hypergraph_from_edge_lists([[0, 1, 2], [3, 2]], num_vertices=4)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_unsorted_direct_csr_matches_builder(self):
+        # A CSR built by hand with unsorted rows hashes like the canonical one.
+        direct = Hypergraph(
+            edges=CSRMatrix(
+                indptr=np.array([0, 3, 5]),
+                indices=np.array([2, 0, 1, 3, 2]),
+                num_cols=4,
+            )
+        )
+        built = hypergraph_from_edge_lists([[0, 1, 2], [2, 3]], num_vertices=4)
+        assert direct.fingerprint() == built.fingerprint()
+
+
+class TestFingerprintSensitivity:
+    def test_structure_changes_fingerprint(self):
+        base = hypergraph_from_edge_lists(EDGE_LISTS, num_vertices=6)
+        changed = hypergraph_from_edge_lists(
+            [[0, 1, 2], [1, 2, 3], [0, 1, 2, 3, 5], [4, 5]], num_vertices=6
+        )
+        assert base.fingerprint() != changed.fingerprint()
+
+    def test_edge_order_matters(self):
+        # Hyperedge IDs are semantic (they are the s-line-graph vertex IDs).
+        a = hypergraph_from_edge_lists([[0, 1], [2, 3]], num_vertices=4)
+        b = hypergraph_from_edge_lists([[2, 3], [0, 1]], num_vertices=4)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_vertex_count_matters(self):
+        a = hypergraph_from_edge_lists([[0, 1]], num_vertices=2)
+        b = hypergraph_from_edge_lists([[0, 1]], num_vertices=3)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_empty_trailing_edge_matters(self):
+        a = hypergraph_from_edge_lists([[0, 1]], num_vertices=2)
+        b = hypergraph_from_edge_lists([[0, 1], []], num_vertices=2)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_dual_differs_for_asymmetric_shape(self, paper_example_unlabelled):
+        h = paper_example_unlabelled
+        assert h.fingerprint() != h.dual().fingerprint()

@@ -22,10 +22,18 @@ class TestParser:
 
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for command in ("datasets", "stats", "slinegraph", "components", "centrality", "variants"):
-            args = parser.parse_args(
-                [command] + (["--s", "2"] if command in ("slinegraph", "components", "centrality") else [])
-            )
+        extra_args = {
+            "slinegraph": ["--s", "2"],
+            "components": ["--s", "2"],
+            "centrality": ["--s", "2"],
+            "query": ["--s", "2"],
+            "sweep": ["--s-max", "4"],
+        }
+        for command in (
+            "datasets", "stats", "slinegraph", "components",
+            "centrality", "variants", "query", "sweep",
+        ):
+            args = parser.parse_args([command] + extra_args.get(command, []))
             assert args.command == command
 
 
@@ -85,3 +93,36 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "1CN" in out and "2BA" in out
+
+    def test_query(self, hyperedge_file, capsys):
+        assert main(
+            ["query", "--input", hyperedge_file, "--s", "2", "--metric", "pagerank", "--top", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "L_2: 3 edges" in out
+        assert "top 2 hyperedges by pagerank" in out
+
+    def test_query_reports_index_stats(self, hyperedge_file, capsys):
+        assert main(["query", "--input", hyperedge_file, "--s", "1"]) == 0
+        out = capsys.readouterr().out
+        # Paper example: four weighted overlap pairs, largest overlap is 3.
+        assert "4 weighted pairs" in out
+        assert "max s = 3" in out
+
+    def test_sweep(self, hyperedge_file, capsys):
+        assert main(
+            ["sweep", "--input", hyperedge_file, "--s-min", "1", "--s-max", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep s=1..4" in out
+        assert "components" in out
+        # Figure 2 edge counts per s: 4, 3, 2, 0.
+        rows = [l.split() for l in out.splitlines() if l and l[0].isdigit()]
+        assert [int(row[2]) for row in rows] == [4, 3, 2, 0]
+
+    def test_sweep_without_metrics(self, hyperedge_file, capsys):
+        assert main(
+            ["sweep", "--input", hyperedge_file, "--s-max", "3", "--metrics", ""]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "components" not in out
