@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""A persistent s-query service: build once, reopen warm, survive crashes.
+
+The lifecycle the store subsystem targets:
+
+1. **first boot** — compute the overlap index once, persist it as a sharded
+   snapshot (plus the source hypergraph) under ``--store``;
+2. **every later boot** — open the snapshot via mmap in milliseconds and
+   serve any s; no wedge enumeration ever runs again;
+3. **live updates** — hyperedges arrive and retire; each is appended to the
+   write-ahead log *before* being acknowledged, so an abrupt death loses
+   nothing that was confirmed;
+4. **crash recovery** — a torn half-written record at the log tail (the
+   signature of dying mid-append) is detected by checksum and truncated;
+5. **compaction** — the log is folded back into a fresh snapshot
+   generation, keeping recovery fast.
+
+Run:  python examples/persistent_service.py [--store DIR] [--dataset email-euall]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+
+from repro.benchmarks.reporting import format_table
+from repro.generators.datasets import available_datasets, load_dataset
+from repro.store import IndexStore, PersistentQueryEngine
+from repro.utils.rng import make_rng
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", default=None, help="store directory (default: temp)")
+    parser.add_argument("--dataset", default="email-euall", choices=available_datasets())
+    parser.add_argument("--scale", type=float, default=0.6)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    store_dir = args.store or os.path.join(tempfile.mkdtemp(), "idx")
+
+    # ------------------------------------------------------------------ #
+    # 1. First boot: pay the counting pass once, persist everything.
+    # ------------------------------------------------------------------ #
+    h = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    start = time.perf_counter()
+    engine = PersistentQueryEngine.build(h, store_dir, num_shards=8)
+    built = time.perf_counter() - start
+    m = engine.store.manifest
+    print(
+        f"[boot 1] built + persisted snapshot in {built:.4f}s: "
+        f"{m.num_pairs} pairs, {len(m.shards)} shards, max s = {m.max_weight}"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 2. Every later boot: warm open (mmap), serve immediately.
+    # ------------------------------------------------------------------ #
+    start = time.perf_counter()
+    warm = PersistentQueryEngine.open(store_dir, sharded=True)
+    sweep = warm.sweep(range(1, 9), metrics=("connected_components",))
+    print(
+        f"[boot 2] warm open + s=1..8 sweep in {time.perf_counter() - start:.4f}s "
+        f"({built / max(time.perf_counter() - start, 1e-9):.0f}x faster than boot 1; "
+        f"index builds this boot: {warm.stats().index_builds})"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 3. Live updates, WAL-logged before acknowledgement.
+    # ------------------------------------------------------------------ #
+    rng = make_rng(args.seed)
+    for _ in range(5):
+        members = rng.choice(h.num_vertices, size=5, replace=False).tolist()
+        warm.add_hyperedge(members)
+    warm.remove_hyperedge(int(rng.integers(h.num_edges)))
+    print(
+        f"[updates] 6 updates acknowledged, WAL holds "
+        f"{warm.store.num_wal_records()} records"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 4. Crash: die mid-append, then recover on the next open.
+    # ------------------------------------------------------------------ #
+    with open(warm.store.wal.path, "ab") as handle:
+        handle.write(b'7\tdeadbeef\t{"op": "add", "edge_id"')  # torn record
+    recovered = IndexStore.open(store_dir)
+    print(
+        f"[recovery] torn tail detected and truncated: "
+        f"{recovered.num_wal_records()} acknowledged records survive "
+        f"(torn={recovered.recovered_torn_tail})"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 5. Compact: fold the log into generation 1, reopen, serve.
+    # ------------------------------------------------------------------ #
+    start = time.perf_counter()
+    recovered.compact()
+    served = PersistentQueryEngine.open(store_dir, sharded=True)
+    final = served.sweep(range(1, 9), metrics=("connected_components",))
+    print(
+        f"[compact] generation {served.store.manifest.generation}, WAL empty, "
+        f"reopen + sweep in {time.perf_counter() - start:.4f}s"
+    )
+    rows = [
+        [s, final.active_counts[s], final.edge_counts[s], final.num_components(s)]
+        for s in final.s_values
+    ]
+    print(format_table(["s", "active", "edges", "components"], rows))
+
+
+if __name__ == "__main__":
+    main()

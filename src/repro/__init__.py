@@ -48,6 +48,7 @@ from repro.core import (
     ALGORITHMS,
 )
 from repro.engine import OverlapIndex, QueryEngine, SweepResult
+from repro.store import IndexStore, PersistentQueryEngine, ShardedIndex
 from repro.parallel import ParallelConfig
 from repro.smetrics import (
     s_connected_components,
@@ -87,6 +88,9 @@ __all__ = [
     "OverlapIndex",
     "QueryEngine",
     "SweepResult",
+    "IndexStore",
+    "PersistentQueryEngine",
+    "ShardedIndex",
     "ParallelConfig",
     "s_connected_components",
     "s_betweenness_centrality",

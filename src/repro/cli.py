@@ -11,7 +11,10 @@ the built-in surrogate datasets:
 ``datasets``     list the built-in surrogate datasets;
 ``variants``     run the Table III variants and print their speedups;
 ``query``        serve one s/metric query from the overlap-index engine;
-``sweep``        batched multi-s sweep from one overlap-index build.
+``sweep``        batched multi-s sweep from one overlap-index build;
+``index``        manage persistent overlap-index stores:
+                 ``index build`` / ``index info`` / ``index compact`` /
+                 ``index query`` (warm-serve from an mmap'd snapshot).
 
 Examples
 --------
@@ -24,12 +27,16 @@ Examples
     python -m repro variants --dataset web --s 8 --workers 4
     python -m repro query --dataset email-euall --s 3 --metric pagerank --top 5
     python -m repro sweep --dataset email-euall --s-max 8 --metrics connected_components
+    python -m repro index build --dataset email-euall --path idx/ --shards 8
+    python -m repro index query --path idx/ --s 3 --metric pagerank --sharded
+    python -m repro index compact --path idx/
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 import numpy as np
@@ -200,6 +207,78 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.store import IndexStore
+
+    h = _load_hypergraph(args)
+    source = args.dataset or args.input or "hypergraph"
+    start = time.perf_counter()
+    store = IndexStore.build(
+        h,
+        args.path,
+        algorithm=args.algorithm,
+        num_shards=args.shards,
+        provenance={"source": str(source)},
+    )
+    elapsed = time.perf_counter() - start
+    m = store.manifest
+    print(
+        f"built snapshot at {store.path} in {elapsed:.4f}s: "
+        f"{m.num_pairs} pairs over {m.num_hyperedges} hyperedges, "
+        f"{len(m.shards)} shards, max s = {m.max_weight}"
+    )
+    return 0
+
+
+def _cmd_index_info(args: argparse.Namespace) -> int:
+    from repro.store import IndexStore
+
+    info = IndexStore.open(args.path).info()
+    width = max(len(k) for k in info)
+    for key, value in info.items():
+        print(f"{key:<{width}}  {value}")
+    return 0
+
+
+def _cmd_index_compact(args: argparse.Namespace) -> int:
+    from repro.store import IndexStore
+
+    store = IndexStore.open(args.path)
+    folded = store.num_wal_records()
+    start = time.perf_counter()
+    manifest = store.compact(num_shards=args.shards)
+    print(
+        f"compacted {folded} WAL records into generation "
+        f"{manifest.generation} ({manifest.num_pairs} pairs, "
+        f"{len(manifest.shards)} shards) in {time.perf_counter() - start:.4f}s"
+    )
+    return 0
+
+
+def _cmd_index_query(args: argparse.Namespace) -> int:
+    from repro.store import PersistentQueryEngine
+
+    start = time.perf_counter()
+    engine = PersistentQueryEngine.open(args.path, sharded=args.sharded)
+    opened = time.perf_counter() - start
+    graph = engine.line_graph(args.s)
+    print(
+        f"L_{args.s}: {graph.num_edges} edges over {graph.num_active_vertices} "
+        f"active hyperedges (store opened in {opened:.4f}s, "
+        f"{'sharded/mmap' if args.sharded else 'materialised'}, "
+        f"{engine.index.num_pairs} pairs, max s = {engine.max_s()})"
+    )
+    ranked = sorted(
+        engine.metric_by_hyperedge(args.s, args.metric).items(),
+        key=lambda kv: (-kv[1], kv[0]),
+    )[: args.top]
+    print(f"top {len(ranked)} hyperedges by {args.metric} (s={args.s})")
+    h = engine.hypergraph
+    for edge_id, score in ranked:
+        print(f"  {h.edge_name(edge_id)}\t{score:.6f}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -261,6 +340,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="hashmap")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("index", help="manage persistent overlap-index stores")
+    isub = p.add_subparsers(dest="index_command", required=True)
+
+    ip = isub.add_parser("build", help="build and persist a sharded index snapshot")
+    _add_input_arguments(ip)
+    ip.add_argument("--path", required=True, help="store directory to create")
+    ip.add_argument("--shards", type=int, default=4, help="number of row-block shards")
+    ip.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="hashmap")
+    ip.set_defaults(func=_cmd_index_build)
+
+    ip = isub.add_parser("info", help="print a store's manifest and WAL state")
+    ip.add_argument("--path", required=True, help="store directory")
+    ip.set_defaults(func=_cmd_index_info)
+
+    ip = isub.add_parser("compact", help="fold the WAL into a fresh snapshot")
+    ip.add_argument("--path", required=True, help="store directory")
+    ip.add_argument("--shards", type=int, default=None, help="reshard during compaction")
+    ip.set_defaults(func=_cmd_index_compact)
+
+    ip = isub.add_parser("query", help="warm-serve one s/metric query from a store")
+    ip.add_argument("--path", required=True, help="store directory")
+    ip.add_argument("--s", type=int, required=True, help="overlap threshold")
+    ip.add_argument("--metric", choices=sorted(METRIC_FUNCTIONS), default="connected_components")
+    ip.add_argument("--top", type=int, default=10)
+    ip.add_argument(
+        "--sharded",
+        action="store_true",
+        help="stream from mmap'd shards instead of materialising the index",
+    )
+    ip.set_defaults(func=_cmd_index_query)
 
     return parser
 

@@ -125,6 +125,14 @@ class SLinePipeline:
         Stage 4/5 results are shared with the engine's cache.  Incompatible
         with ``compute_toplexes`` (the index describes the unsimplified
         hypergraph).
+    store_path:
+        Optional path of a persistent index store
+        (:class:`repro.store.IndexStore`).  The first :meth:`run` builds
+        the overlap index once and persists it there; every later run —
+        including in a *new process* — reuses the snapshot instead of
+        recomputing, provided the hypergraph fingerprint matches (a stale
+        snapshot for a different hypergraph is rebuilt in place).  Mutually
+        exclusive with ``engine`` and ``compute_toplexes``.
 
     Examples
     --------
@@ -146,6 +154,7 @@ class SLinePipeline:
         drop_empty_edges: bool = True,
         drop_isolated_vertices: bool = True,
         engine: Optional["QueryEngine"] = None,
+        store_path: Optional[str] = None,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise ValidationError(
@@ -158,12 +167,19 @@ class SLinePipeline:
             )
         if metrics and not squeeze:
             raise ValidationError("Stage-5 metrics require squeeze=True")
-        if engine is not None and compute_toplexes:
+        if (engine is not None or store_path is not None) and compute_toplexes:
             raise ValidationError(
-                "engine reuse is incompatible with compute_toplexes: the "
-                "overlap index describes the unsimplified hypergraph"
+                "engine/store reuse is incompatible with compute_toplexes: "
+                "the overlap index describes the unsimplified hypergraph"
+            )
+        if engine is not None and store_path is not None:
+            raise ValidationError(
+                "pass either engine= or store_path=, not both (a persistent "
+                "engine can be opened with QueryEngine.from_store)"
             )
         self.engine = engine
+        self.store_path = None if store_path is None else str(store_path)
+        self._store_engine: Optional["QueryEngine"] = None
         self.algorithm = algorithm
         self.relabel: RelabelOrder = relabel
         self.compute_toplexes = compute_toplexes
@@ -177,7 +193,9 @@ class SLinePipeline:
         """Execute all configured stages on ``h`` for overlap threshold ``s``."""
         s = check_s_value(s)
         if self.engine is not None:
-            return self._run_via_engine(h, s)
+            return self._run_via_engine(h, s, self.engine)
+        if self.store_path is not None:
+            return self._run_via_engine(h, s, self._engine_for_store(h))
         times = StageTimes()
 
         # Stage 1 — preprocessing.
@@ -238,7 +256,33 @@ class SLinePipeline:
             preprocess_info=prep,
         )
 
-    def _run_via_engine(self, h: Hypergraph, s: int) -> PipelineResult:
+    def _engine_for_store(self, h: Hypergraph) -> "QueryEngine":
+        """The persist/reuse path: open (or build) the store-backed engine.
+
+        The engine is cached across runs; a different hypergraph than the
+        cached one re-opens the store, rebuilding its snapshot in place when
+        the fingerprints disagree (stale persisted index).
+        """
+        from repro.engine.engine import QueryEngine
+
+        cached = self._store_engine
+        if cached is not None and (
+            h is cached.hypergraph or h.fingerprint() == cached.fingerprint()
+        ):
+            return cached
+        self._store_engine = QueryEngine.from_store(
+            self.store_path,
+            hypergraph=h,
+            create=True,
+            on_mismatch="rebuild",
+            algorithm=self.algorithm,
+            config=self.config,
+        )
+        return self._store_engine
+
+    def _run_via_engine(
+        self, h: Hypergraph, s: int, engine: "QueryEngine"
+    ) -> PipelineResult:
         """Serve Stage 3–5 from the engine's overlap index and result cache.
 
         Pairwise overlaps are invariant under Stage-1 preprocessing (dropping
@@ -247,7 +291,6 @@ class SLinePipeline:
         hypergraph anyway), so the engine's threshold view *is* the Stage-3
         result in original IDs.  Stage 1 still runs for its diagnostics.
         """
-        engine = self.engine
         if h is not engine.hypergraph and h.fingerprint() != engine.fingerprint():
             raise ValidationError(
                 "engine reuse requires the same hypergraph the engine serves "

@@ -49,6 +49,19 @@ class LRUCache:
         self.hits += 1
         return value
 
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key`` with *no* side effects.
+
+        Unlike :meth:`get`, peeking neither marks the entry recently used
+        nor counts a hit/miss — it is for bookkeeping passes (the engine's
+        selective invalidation inspects entries while re-keying them, which
+        must not distort the service-traffic statistics or the LRU order).
+        """
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        return value
+
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``, evicting the LRU entry when full."""
         if key in self._data:

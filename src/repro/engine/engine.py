@@ -115,19 +115,110 @@ class QueryEngine:
         algorithm: str = "hashmap",
         config: Optional[ParallelConfig] = None,
         cache_size: int = 256,
+        index: Optional[OverlapIndex] = None,
     ) -> None:
         if not isinstance(h, Hypergraph):
             raise ValidationError("QueryEngine requires a Hypergraph")
         self._h = h
         self.algorithm = algorithm
         self.config = config or ParallelConfig()
-        self._index: Optional[OverlapIndex] = None
+        if index is not None and (
+            index.num_hyperedges != h.num_edges
+            or not np.array_equal(index.edge_sizes, h.edge_sizes())
+        ):
+            raise ValidationError(
+                "injected index does not describe this hypergraph "
+                "(hyperedge count or sizes differ)"
+            )
+        self._index: Optional[OverlapIndex] = index
         self._cache = LRUCache(maxsize=cache_size)
         self._index_builds = 0
         self._incremental_adds = 0
         self._incremental_removes = 0
         self._invalidated = 0
         self._retained = 0
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_store(
+        cls,
+        path,
+        hypergraph: Optional[Hypergraph] = None,
+        create: bool = False,
+        on_mismatch: str = "raise",
+        sharded: bool = False,
+        algorithm: str = "hashmap",
+        num_shards: int = 4,
+        config: Optional[ParallelConfig] = None,
+        **kwargs,
+    ) -> "QueryEngine":
+        """Open (or build) a persistent store and serve queries from it.
+
+        Parameters
+        ----------
+        path:
+            Store directory (see :class:`repro.store.IndexStore`).
+        hypergraph:
+            The hypergraph the engine should serve.  Optional when the
+            store saved its own copy; required to ``create`` or rebuild.
+        create:
+            Build the store when ``path`` holds no snapshot yet.
+        on_mismatch:
+            What to do when the store describes a *different* hypergraph
+            than the one supplied: ``"raise"`` (default) raises
+            :class:`repro.store.FingerprintMismatchError`; ``"rebuild"``
+            replaces the snapshot with one for ``hypergraph``.
+        sharded:
+            Serve out-of-core from mmap'd shards instead of materialising
+            the index in memory.
+
+        Returns a :class:`repro.store.PersistentQueryEngine` — updates are
+        WAL-logged and survive the process.
+        """
+        from repro.store import (
+            FingerprintMismatchError,
+            IndexStore,
+            PersistentQueryEngine,
+        )
+
+        if on_mismatch not in ("raise", "rebuild"):
+            raise ValidationError(
+                f"on_mismatch must be 'raise' or 'rebuild', got {on_mismatch!r}"
+            )
+        if not IndexStore.exists(path):
+            if not create:
+                raise ValidationError(
+                    f"no snapshot at {path}; pass create=True to build one"
+                )
+            if hypergraph is None:
+                raise ValidationError("building a store requires a hypergraph")
+            return PersistentQueryEngine.build(
+                hypergraph,
+                path,
+                algorithm=algorithm,
+                num_shards=num_shards,
+                config=config,
+                sharded=sharded,
+                **kwargs,
+            )
+        try:
+            return PersistentQueryEngine.open(
+                path, hypergraph=hypergraph, sharded=sharded, config=config, **kwargs
+            )
+        except FingerprintMismatchError:
+            if on_mismatch != "rebuild" or hypergraph is None:
+                raise
+            return PersistentQueryEngine.build(
+                hypergraph,
+                path,
+                algorithm=algorithm,
+                num_shards=num_shards,
+                config=config,
+                sharded=sharded,
+                **kwargs,
+            )
 
     # ------------------------------------------------------------------ #
     # State
@@ -185,6 +276,9 @@ class QueryEngine:
         graph = self.index.line_graph(s)
         self._cache.put(key, graph)
         return graph
+
+    #: ``extract(s)`` is the service-facing name for a threshold view.
+    extract = line_graph
 
     def squeezed_graph(self, s: int) -> Tuple[Graph, SqueezeResult]:
         """Stage-4 view of ``L_s``: the squeezed CSR graph plus ID mapping.
@@ -279,14 +373,16 @@ class QueryEngine:
             raise ValidationError("vertex IDs must be non-negative")
         old_fp = self._h.fingerprint()
         new_id = self._h.num_edges
+        pair_ids = pair_weights = None
         if self._index is not None:
             pair_ids, pair_weights = overlap_counts_for_members(self._h, member_arr)
             self._index.add_hyperedge(
                 new_id, member_arr.size, pair_ids, pair_weights
             )
-        self._h = _with_appended_edge(self._h, member_arr, name)
+        self._h = with_appended_edge(self._h, member_arr, name)
         self._incremental_adds += 1
         self._migrate_cache(old_fp, threshold_s=int(member_arr.size))
+        self._record_add(new_id, member_arr, name, pair_ids, pair_weights)
         return new_id
 
     def remove_hyperedge(self, edge_id: int) -> None:
@@ -306,9 +402,16 @@ class QueryEngine:
         old_fp = self._h.fingerprint()
         if self._index is not None:
             self._index.remove_hyperedge(edge_id)
-        self._h = _with_emptied_edge(self._h, edge_id)
+        self._h = with_emptied_edge(self._h, edge_id)
         self._incremental_removes += 1
         self._migrate_cache(old_fp, threshold_s=int(old_size))
+        self._record_remove(edge_id)
+
+    def _record_add(self, new_id, members, name, pair_ids, pair_weights) -> None:
+        """Durability hook: no-op here, WAL-appended by the persistent engine."""
+
+    def _record_remove(self, edge_id) -> None:
+        """Durability hook: no-op here, WAL-appended by the persistent engine."""
 
     def _migrate_cache(self, old_fp: str, threshold_s: int) -> None:
         """Selective invalidation after an update affecting sizes ``<= threshold_s``.
@@ -328,10 +431,15 @@ class QueryEngine:
                 continue
             if s > threshold_s:
                 if kind == "line_graph":
-                    graph = self._cache.pop(key)
+                    # peek: bookkeeping must not inflate hit/miss stats nor
+                    # promote the entry in the LRU order.
+                    graph = self._cache.peek(key)
                     if graph.num_hyperedges != num_edges:
                         graph = _resize_id_space(graph, num_edges)
-                    self._cache.put((new_fp, s, kind), graph)
+                        self._cache.pop(key)
+                        self._cache.put((new_fp, s, kind), graph)
+                    else:
+                        self._cache.rekey(key, (new_fp, s, kind))
                 else:
                     self._cache.rekey(key, (new_fp, s, kind))
                 self._retained += 1
@@ -356,7 +464,7 @@ def _resize_id_space(graph: SLineGraph, num_hyperedges: int) -> SLineGraph:
     return resized
 
 
-def _with_appended_edge(
+def with_appended_edge(
     h: Hypergraph, members: np.ndarray, name: Optional[object]
 ) -> Hypergraph:
     """A new hypergraph equal to ``h`` plus one trailing hyperedge."""
@@ -383,7 +491,7 @@ def _with_appended_edge(
     )
 
 
-def _with_emptied_edge(h: Hypergraph, edge_id: int) -> Hypergraph:
+def with_emptied_edge(h: Hypergraph, edge_id: int) -> Hypergraph:
     """A new hypergraph equal to ``h`` with one hyperedge emptied in place."""
     edges = h.edges_csr
     start, stop = int(edges.indptr[edge_id]), int(edges.indptr[edge_id + 1])

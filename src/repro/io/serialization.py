@@ -2,7 +2,12 @@
 
 Labels (edge/vertex names) are stored as JSON strings inside the ``.npz``
 archive so the round trip preserves application metadata (gene symbols,
-author names, …).
+author names, …).  The archive also records the structural
+:meth:`~repro.hypergraph.Hypergraph.fingerprint` of the saved hypergraph;
+loading verifies the rebuilt structure hashes to the same value, so a
+corrupted or hand-edited file cannot silently impersonate the original —
+the same guarantee the persistent index store's manifest validation relies
+on.
 """
 
 from __future__ import annotations
@@ -16,16 +21,18 @@ import numpy as np
 from repro.core.slinegraph import SLineGraph
 from repro.hypergraph.csr import CSRMatrix
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils.validation import ValidationError
 
 PathLike = Union[str, os.PathLike]
 
 
 def save_hypergraph_npz(h: Hypergraph, path: PathLike) -> None:
-    """Save a hypergraph (CSR arrays + optional labels) to ``path`` (.npz)."""
+    """Save a hypergraph (CSR arrays, optional labels, fingerprint) to ``path``."""
     payload = {
         "indptr": h.edges_csr.indptr,
         "indices": h.edges_csr.indices,
         "num_vertices": np.asarray([h.num_vertices], dtype=np.int64),
+        "fingerprint": np.asarray([h.fingerprint()]),
     }
     if h.edge_names is not None:
         payload["edge_names"] = np.asarray([json.dumps(list(map(str, h.edge_names)))])
@@ -34,8 +41,15 @@ def save_hypergraph_npz(h: Hypergraph, path: PathLike) -> None:
     np.savez_compressed(str(path), **payload)
 
 
-def load_hypergraph_npz(path: PathLike) -> Hypergraph:
-    """Load a hypergraph previously written by :func:`save_hypergraph_npz`."""
+def load_hypergraph_npz(path: PathLike, verify_fingerprint: bool = True) -> Hypergraph:
+    """Load a hypergraph previously written by :func:`save_hypergraph_npz`.
+
+    When the archive carries a fingerprint (all archives written since the
+    store subsystem do) the rebuilt hypergraph is re-hashed and compared;
+    a mismatch raises :class:`ValidationError`.  Pass
+    ``verify_fingerprint=False`` to skip the check (e.g. when salvaging a
+    damaged file).
+    """
     with np.load(str(path), allow_pickle=False) as data:
         edges = CSRMatrix(
             indptr=data["indptr"],
@@ -48,7 +62,26 @@ def load_hypergraph_npz(path: PathLike) -> Hypergraph:
         vertex_names = (
             json.loads(str(data["vertex_names"][0])) if "vertex_names" in data else None
         )
-    return Hypergraph(edges=edges, edge_names=edge_names, vertex_names=vertex_names)
+        saved_fp = str(data["fingerprint"][0]) if "fingerprint" in data else None
+    h = Hypergraph(edges=edges, edge_names=edge_names, vertex_names=vertex_names)
+    if verify_fingerprint and saved_fp is not None and h.fingerprint() != saved_fp:
+        raise ValidationError(
+            f"hypergraph loaded from {path} hashes to {h.fingerprint()[:12]}… "
+            f"but the archive recorded {saved_fp[:12]}… (file corrupted or "
+            "tampered with)"
+        )
+    return h
+
+
+def peek_hypergraph_fingerprint(path: PathLike) -> Optional[str]:
+    """The fingerprint recorded in a saved archive, without rebuilding it.
+
+    Returns ``None`` for archives written before fingerprints were stored.
+    """
+    with np.load(str(path), allow_pickle=False) as data:
+        if "fingerprint" not in data:
+            return None
+        return str(data["fingerprint"][0])
 
 
 def save_slinegraph_npz(graph: SLineGraph, path: PathLike) -> None:

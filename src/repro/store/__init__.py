@@ -1,0 +1,52 @@
+"""Persistent sharded overlap-index store: snapshot + WAL + out-of-core views.
+
+PR 1's :class:`~repro.engine.OverlapIndex` reified the paper's central
+observation — every s-line graph is a threshold view of one weighted overlap
+structure — but that structure died with the process.  This package makes it
+the system's storage layer:
+
+* :mod:`repro.store.format` / :mod:`repro.store.snapshot` — the versioned
+  snapshot format: the weight-sorted pair arrays partitioned into mmap-able
+  row-block shards plus a JSON manifest (fingerprint, shard boundaries,
+  format version, build provenance);
+* :mod:`repro.store.wal` — a checksummed write-ahead log of incremental
+  ``add`` / ``remove`` updates with torn-tail crash recovery;
+* :class:`ShardedIndex` — an out-of-core ``OverlapIndex`` drop-in streaming
+  threshold views from lazily mmap'd shards;
+* :class:`IndexStore` — the directory manager (build / open / update /
+  compact);
+* :class:`PersistentQueryEngine` — a store-backed
+  :class:`~repro.engine.QueryEngine` with durable updates and warm opens.
+"""
+
+from repro.store.format import (
+    FORMAT_VERSION,
+    FingerprintMismatchError,
+    Manifest,
+    ShardInfo,
+    StoreError,
+    StoreFormatError,
+    read_manifest,
+)
+from repro.store.persistent import PersistentQueryEngine
+from repro.store.sharded import ShardedIndex
+from repro.store.snapshot import materialize_index, write_snapshot
+from repro.store.store import IndexStore
+from repro.store.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FingerprintMismatchError",
+    "IndexStore",
+    "Manifest",
+    "PersistentQueryEngine",
+    "ShardInfo",
+    "ShardedIndex",
+    "StoreError",
+    "StoreFormatError",
+    "WalRecord",
+    "WriteAheadLog",
+    "materialize_index",
+    "read_manifest",
+    "write_snapshot",
+]

@@ -1,0 +1,137 @@
+"""A query engine whose overlap index lives on disk.
+
+:class:`PersistentQueryEngine` is a :class:`~repro.engine.engine.QueryEngine`
+whose index is opened from (or built into) an :class:`~repro.store.IndexStore`
+instead of being recomputed per process:
+
+* **warm opens** — a process serving queries pays a manifest read plus mmap
+  setup, never the wedge-enumeration pass;
+* **durable updates** — every ``add_hyperedge`` / ``remove_hyperedge`` is
+  appended to the store's write-ahead log *before* it is acknowledged, so a
+  later process recovers the updated index without a rebuild;
+* **out-of-core serving** — with ``sharded=True`` the engine streams
+  threshold views from mmap'd shards (:class:`~repro.store.ShardedIndex`),
+  so the full overlap structure never has to fit in RAM.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.engine.engine import QueryEngine
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.parallel.executor import ParallelConfig
+from repro.store.format import FingerprintMismatchError, PathLike
+from repro.store.store import IndexStore
+from repro.utils.validation import ValidationError
+
+
+class PersistentQueryEngine(QueryEngine):
+    """Store-backed query engine (see the module docstring).
+
+    Construct via :meth:`open` or :meth:`build`; the plain constructor
+    expects an already-opened :class:`IndexStore`.
+    """
+
+    def __init__(
+        self,
+        store: IndexStore,
+        hypergraph: Optional[Hypergraph] = None,
+        sharded: bool = False,
+        max_resident_shards: Optional[int] = None,
+        config: Optional[ParallelConfig] = None,
+        cache_size: int = 256,
+    ) -> None:
+        h = hypergraph if hypergraph is not None else store.load_hypergraph()
+        current = store.current_fingerprint()
+        if current is not None and current != h.fingerprint():
+            raise FingerprintMismatchError(
+                f"store at {store.path} describes hypergraph {current[:12]}…, "
+                f"not {h.fingerprint()[:12]}…"
+            )
+        if sharded:
+            index = store.sharded_index(max_resident_shards=max_resident_shards)
+        else:
+            index = store.load_index()
+        super().__init__(
+            h,
+            algorithm=index.algorithm or "hashmap",
+            config=config,
+            cache_size=cache_size,
+            index=index,
+        )
+        self.store = store
+        self.sharded = bool(sharded)
+        self._max_resident_shards = max_resident_shards
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(cls, path: PathLike, hypergraph: Optional[Hypergraph] = None, **kwargs):
+        """Open an existing store (recovering its WAL) and serve from it."""
+        return cls(IndexStore.open(path), hypergraph=hypergraph, **kwargs)
+
+    @classmethod
+    def build(
+        cls,
+        h: Hypergraph,
+        path: PathLike,
+        algorithm: str = "hashmap",
+        num_shards: int = 4,
+        config: Optional[ParallelConfig] = None,
+        save_hypergraph: bool = True,
+        **kwargs,
+    ):
+        """Build a fresh store for ``h`` at ``path`` and serve from it."""
+        store = IndexStore.build(
+            h,
+            path,
+            algorithm=algorithm,
+            num_shards=num_shards,
+            config=config,
+            save_hypergraph=save_hypergraph,
+        )
+        return cls(store, hypergraph=h, config=config, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Durability hooks (called by QueryEngine after each update)
+    # ------------------------------------------------------------------ #
+    def _record_add(self, new_id, members, name, pair_ids, pair_weights) -> None:
+        if pair_ids is None:
+            raise ValidationError(
+                "persistent engine updated without an overlap row (index "
+                "was not loaded); this is a bug"
+            )
+        self.store.append_add(
+            new_id,
+            members,
+            pair_ids,
+            pair_weights,
+            fingerprint=self.fingerprint(),
+            name=None if name is None else str(name),
+        )
+
+    def _record_remove(self, edge_id) -> None:
+        self.store.append_remove(edge_id, fingerprint=self.fingerprint())
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def compact(self, num_shards: Optional[int] = None) -> None:
+        """Fold the WAL into a fresh snapshot generation.
+
+        The served index is re-opened against the new generation —
+        compaction sweeps the old generation's shard files, so a sharded
+        (mmap-streaming) index must not keep referencing them.  Cached
+        query results stay valid: compaction changes the representation,
+        never the logical state (the fingerprint is unchanged).
+        """
+        self.store.compact(num_shards=num_shards)
+        if self.sharded:
+            self._index = self.store.sharded_index(
+                max_resident_shards=self._max_resident_shards
+            )
+        else:
+            self._index = self.store.load_index()

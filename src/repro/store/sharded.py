@@ -1,0 +1,372 @@
+"""Out-of-core threshold views over a sharded snapshot.
+
+:class:`ShardedIndex` is a drop-in for :class:`~repro.engine.index.OverlapIndex`
+that never materialises the full pair store: shards are opened lazily as
+``np.load(mmap_mode="r")`` views (at most ``max_resident_shards`` handles are
+kept, LRU), and every query streams per-shard weight slices.  Because each
+shard keeps the ascending-weight invariant, ``weight >= s`` is one binary
+search per shard, and shards whose recorded ``max_weight`` is below ``s``
+are skipped without touching disk — so a hypergraph whose full overlap
+structure exceeds RAM still serves ``extract(s)`` / ``sweep()``.
+
+Incremental updates are held as an in-memory overlay (appended pairs,
+tombstoned hyperedges, refreshed sizes) merged into every query — the
+replayed image of a write-ahead log on top of an immutable base snapshot.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.filtration import filter_weighted_arrays
+from repro.core.slinegraph import SLineGraph
+from repro.parallel.workload import WorkloadStats
+from repro.store.format import Manifest, PathLike, read_manifest
+from repro.store.snapshot import load_edge_sizes, load_shard
+from repro.utils.validation import ValidationError, check_s_value
+
+
+class ShardedIndex:
+    """Lazily loaded, shard-streaming view of a persistent overlap index.
+
+    Parameters
+    ----------
+    store_path:
+        Store directory holding ``manifest.json`` and the shard files.
+    manifest:
+        Pre-read manifest (read from ``store_path`` when omitted).
+    max_resident_shards:
+        Upper bound on simultaneously open shard mmaps; the least recently
+        used handle is dropped when exceeded.  ``None`` keeps all open.
+    mmap:
+        Open shards memory-mapped (default) or copied into memory.
+    """
+
+    def __init__(
+        self,
+        store_path: PathLike,
+        manifest: Optional[Manifest] = None,
+        max_resident_shards: Optional[int] = None,
+        mmap: bool = True,
+    ) -> None:
+        self._path = str(store_path)
+        self._manifest = manifest if manifest is not None else read_manifest(store_path)
+        if max_resident_shards is not None and max_resident_shards < 1:
+            raise ValidationError("max_resident_shards must be >= 1 or None")
+        self._max_resident = max_resident_shards
+        self._mmap = bool(mmap)
+        self._resident: "OrderedDict[int, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+        self._edge_sizes = load_edge_sizes(self._path, self._manifest)
+        #: Number of shard file loads performed (observability / tests).
+        self.shard_loads = 0
+        # WAL overlay: appended pairs, tombstoned IDs, removed-base count.
+        self._extra_edges = np.empty((0, 2), dtype=np.int64)
+        self._extra_weights = np.empty(0, dtype=np.int64)
+        self._removed = np.empty(0, dtype=np.int64)  # sorted base-edge IDs
+        self._removed_base_pairs = 0
+        self._max_weight_cache: Optional[int] = None
+        self.workload = WorkloadStats()
+        self.algorithm = self._manifest.algorithm
+
+    # ------------------------------------------------------------------ #
+    # Shape (OverlapIndex drop-in surface)
+    # ------------------------------------------------------------------ #
+    @property
+    def manifest(self) -> Manifest:
+        return self._manifest
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._manifest.shards)
+
+    @property
+    def num_resident_shards(self) -> int:
+        """Currently open shard handles (<= ``max_resident_shards``)."""
+        return len(self._resident)
+
+    @property
+    def num_pairs(self) -> int:
+        return (
+            self._manifest.num_pairs
+            - self._removed_base_pairs
+            + int(self._extra_weights.size)
+        )
+
+    @property
+    def num_hyperedges(self) -> int:
+        return int(self._edge_sizes.size)
+
+    @property
+    def edge_sizes(self) -> np.ndarray:
+        return self._edge_sizes
+
+    @property
+    def max_weight(self) -> int:
+        if self._max_weight_cache is None:
+            self._max_weight_cache = self._compute_max_weight()
+        return self._max_weight_cache
+
+    def _compute_max_weight(self) -> int:
+        best = int(self._extra_weights.max()) if self._extra_weights.size else 0
+        if not self._manifest.num_pairs:
+            return best
+        if self._removed.size == 0:
+            return max(best, self._manifest.max_weight)
+        # Tombstones may have hidden the heaviest pairs.  Visit shards in
+        # descending recorded max_weight and stop as soon as no remaining
+        # shard can beat the best surviving weight found — usually after
+        # one shard, never the full-store scan an out-of-core index must
+        # avoid.
+        removed = self._removed
+        by_weight = sorted(
+            (i for i in self._manifest.shards if i.num_pairs),
+            key=lambda i: i.max_weight,
+            reverse=True,
+        )
+        for info in by_weight:
+            if info.max_weight <= best:
+                break
+            edges, weights = self._shard_arrays(info.shard_id)
+            keep = ~(np.isin(edges[:, 0], removed) | np.isin(edges[:, 1], removed))
+            if np.any(keep):
+                best = max(best, int(weights[keep].max()))
+        return best
+
+    def nbytes(self) -> int:
+        """Approximate on-disk footprint of the base pair store in bytes."""
+        # (i, j) int64 pair + int64 weight = 24 bytes per pair.
+        return int(self._manifest.num_pairs) * 24 + int(self._edge_sizes.nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Shard residency
+    # ------------------------------------------------------------------ #
+    def _shard_arrays(self, shard_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        cached = self._resident.get(shard_id)
+        if cached is not None:
+            self._resident.move_to_end(shard_id)
+            return cached
+        info = self._manifest.shards[shard_id]
+        arrays = load_shard(self._path, info, mmap=self._mmap)
+        self._resident[shard_id] = arrays
+        self.shard_loads += 1
+        if self._max_resident is not None and len(self._resident) > self._max_resident:
+            self._resident.popitem(last=False)
+        return arrays
+
+    def _iter_filtered(self, s: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Stream ``(edges, weights)`` slices with ``weight >= s``, overlay applied."""
+        removed = self._removed
+        for info in self._manifest.shards:
+            if info.num_pairs == 0 or info.max_weight < s:
+                continue  # pruned via manifest metadata: no disk touch
+            edges, weights = self._shard_arrays(info.shard_id)
+            lo = int(np.searchsorted(weights, s, side="left"))
+            if lo >= weights.shape[0]:
+                continue
+            e, w = edges[lo:], weights[lo:]
+            if removed.size:
+                keep = ~(
+                    np.isin(e[:, 0], removed) | np.isin(e[:, 1], removed)
+                )
+                if not np.all(keep):
+                    e, w = e[keep], w[keep]
+            if w.size:
+                yield e, w
+        if self._extra_weights.size:
+            mask = self._extra_weights >= s
+            if np.any(mask):
+                yield self._extra_edges[mask], self._extra_weights[mask]
+
+    # ------------------------------------------------------------------ #
+    # Threshold views
+    # ------------------------------------------------------------------ #
+    def pairs_at_least(self, s: int) -> Tuple[np.ndarray, np.ndarray]:
+        """All surviving pairs with overlap ``>= s`` (materialised slices).
+
+        Only the filtered output is concatenated in memory; the base pair
+        store itself stays on disk.
+        """
+        s = check_s_value(s)
+        parts = list(self._iter_filtered(s))
+        if not parts:
+            return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.int64)
+        edges = np.concatenate([np.asarray(e) for e, _ in parts], axis=0)
+        weights = np.concatenate([np.asarray(w) for _, w in parts])
+        return edges, weights
+
+    def edge_count(self, s: int) -> int:
+        """``|edges of L_s|`` without materialising the graph.
+
+        With no tombstones this is one binary search per shard on the
+        (mmap) weight arrays; shards with ``max_weight < s`` cost nothing.
+        """
+        s = check_s_value(s)
+        if self._removed.size == 0:
+            total = 0
+            for info in self._manifest.shards:
+                if info.num_pairs == 0 or info.max_weight < s:
+                    continue
+                _, weights = self._shard_arrays(info.shard_id)
+                total += weights.shape[0] - int(
+                    np.searchsorted(weights, s, side="left")
+                )
+            if self._extra_weights.size:
+                total += int(np.count_nonzero(self._extra_weights >= s))
+            return total
+        return sum(int(w.size) for _, w in self._iter_filtered(s))
+
+    def active_vertices(self, s: int) -> np.ndarray:
+        """The vertex set ``E_s``: hyperedges with ``|e| >= s``."""
+        s = check_s_value(s)
+        return np.flatnonzero(self._edge_sizes >= s).astype(np.int64)
+
+    def line_graph(self, s: int) -> SLineGraph:
+        """``L_s(H)`` streamed from the shard slices (plus the overlay)."""
+        s = check_s_value(s)
+        edges, weights = self.pairs_at_least(s)
+        return filter_weighted_arrays(
+            edges,
+            weights,
+            s,
+            num_hyperedges=self.num_hyperedges,
+            active_vertices=self.active_vertices(s),
+        )
+
+    #: ``extract(s)`` is the service-facing name for a threshold view.
+    extract = line_graph
+
+    def sweep(self, s_values: Iterable[int]) -> Dict[int, SLineGraph]:
+        """``s -> L_s`` for a batch of thresholds from *one* shard pass.
+
+        Streams the pairs surviving the smallest requested threshold once,
+        canonicalises them once (one pair-order sort instead of one per s —
+        the dominant cost of serving a sweep), then derives every ``L_s``
+        as a weight mask over the shared arrays.  Each result is equal to
+        the corresponding :meth:`line_graph` output.
+        """
+        s_list = sorted({check_s_value(v) for v in s_values})
+        if not s_list:
+            raise ValidationError("sweep requires at least one s value")
+        edges, weights = self.pairs_at_least(s_list[0])
+        order = np.lexsort((edges[:, 1], edges[:, 0]))
+        edges, weights = edges[order], weights[order]
+        out: Dict[int, SLineGraph] = {}
+        for s in s_list:
+            mask = weights >= s
+            out[s] = _canonical_line_graph(
+                s,
+                edges[mask],
+                weights[mask],
+                self.num_hyperedges,
+                self.active_vertices(s),
+            )
+        return out
+
+    def s_profile(self) -> Dict[int, int]:
+        """``s -> |edges of L_s|`` for every s in ``1..max_weight``."""
+        return {s: self.edge_count(s) for s in range(1, self.max_weight + 1)}
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance (WAL overlay)
+    # ------------------------------------------------------------------ #
+    def add_hyperedge(
+        self, new_id: int, size: int, pair_ids: np.ndarray, pair_weights: np.ndarray
+    ) -> int:
+        """Merge a new hyperedge's overlap row into the in-memory overlay."""
+        if new_id != self.num_hyperedges:
+            raise ValidationError(
+                f"new hyperedge ID must be {self.num_hyperedges}, got {new_id}"
+            )
+        pair_ids = np.asarray(pair_ids, dtype=np.int64)
+        pair_weights = np.asarray(pair_weights, dtype=np.int64)
+        if pair_ids.size:
+            if int(pair_ids.max()) >= self.num_hyperedges or int(pair_ids.min()) < 0:
+                raise ValidationError("pair IDs must reference existing hyperedges")
+            if self._removed.size and np.any(np.isin(pair_ids, self._removed)):
+                raise ValidationError("pair IDs must reference live hyperedges")
+            new_pairs = np.column_stack(
+                [pair_ids, np.full(pair_ids.size, new_id, dtype=np.int64)]
+            )
+            self._extra_edges = np.concatenate([self._extra_edges, new_pairs], axis=0)
+            self._extra_weights = np.concatenate([self._extra_weights, pair_weights])
+        self._edge_sizes = np.append(self._edge_sizes, np.int64(max(int(size), 0)))
+        self._max_weight_cache = None
+        return int(pair_ids.size)
+
+    def remove_hyperedge(self, edge_id: int) -> int:
+        """Tombstone ``edge_id``: drop its overlay pairs, mask its base pairs."""
+        if edge_id < 0 or edge_id >= self.num_hyperedges:
+            raise ValidationError(
+                f"hyperedge ID {edge_id} out of range [0, {self.num_hyperedges})"
+            )
+        removed = 0
+        if self._extra_weights.size:
+            keep = (self._extra_edges[:, 0] != edge_id) & (
+                self._extra_edges[:, 1] != edge_id
+            )
+            removed += int(keep.size - int(keep.sum()))
+            if removed:
+                self._extra_edges = self._extra_edges[keep]
+                self._extra_weights = self._extra_weights[keep]
+        if edge_id < self._manifest.num_hyperedges and not np.any(
+            self._removed == edge_id
+        ):
+            base_hits = self._count_base_pairs(edge_id)
+            removed += base_hits
+            self._removed_base_pairs += base_hits
+            self._removed = np.sort(np.append(self._removed, np.int64(edge_id)))
+        self._edge_sizes[edge_id] = 0
+        self._max_weight_cache = None
+        return removed
+
+    def _count_base_pairs(self, edge_id: int) -> int:
+        """Live base pairs incident to ``edge_id`` (scans candidate shards)."""
+        total = 0
+        removed = self._removed
+        for info in self._manifest.shards:
+            if info.num_pairs == 0:
+                continue
+            edges, _ = self._shard_arrays(info.shard_id)
+            hit = (edges[:, 0] == edge_id) | (edges[:, 1] == edge_id)
+            if removed.size and np.any(hit):
+                # Pairs already masked by earlier tombstones were counted then.
+                hit &= ~(
+                    np.isin(edges[:, 0], removed) | np.isin(edges[:, 1], removed)
+                )
+            total += int(np.count_nonzero(hit))
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Dunders
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedIndex(path={self._path!r}, num_shards={self.num_shards}, "
+            f"num_hyperedges={self.num_hyperedges}, num_pairs={self.num_pairs})"
+        )
+
+
+def _canonical_line_graph(
+    s: int,
+    edges: np.ndarray,
+    weights: np.ndarray,
+    num_hyperedges: int,
+    active_vertices: np.ndarray,
+) -> SLineGraph:
+    """Build an :class:`SLineGraph` from arrays already in canonical form.
+
+    The store's pair invariants — every row ``(i, j)`` with ``i < j``,
+    pairs unique — plus the caller's (lo, hi) sort and ``>= s`` mask are
+    exactly what ``SLineGraph.__post_init__`` would re-establish, so the
+    sweep fast path skips that second normalisation pass.
+    """
+    graph = SLineGraph.__new__(SLineGraph)
+    graph.s = int(s)
+    graph.edges = edges
+    graph.weights = weights
+    graph.num_hyperedges = int(num_hyperedges)
+    graph.active_vertices = active_vertices
+    return graph

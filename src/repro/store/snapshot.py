@@ -1,0 +1,227 @@
+"""Writing and reading overlap-index snapshots (the store's base images).
+
+A snapshot is the CSR-style weight-sorted pair arrays of an
+:class:`~repro.engine.index.OverlapIndex`, partitioned into row-block shards
+(see :mod:`repro.store.format`).  Shards are plain ``.npy`` files so a
+reader can either materialise them into memory or map them with
+``np.load(mmap_mode="r")`` and let the OS page slices in on demand.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.index import OverlapIndex
+from repro.parallel.partition import blocked_partitions
+from repro.store.format import (
+    EDGE_SIZES_NAME,
+    FORMAT_VERSION,
+    Manifest,
+    PathLike,
+    SHARD_DIR,
+    ShardInfo,
+    StoreFormatError,
+    edge_sizes_file_name,
+    fsync_path,
+    read_manifest,
+    shard_file_names,
+    write_manifest,
+)
+from repro.utils.validation import ValidationError, check_positive_int
+
+
+def write_snapshot(
+    index: OverlapIndex,
+    store_path: PathLike,
+    fingerprint: str,
+    num_shards: int = 1,
+    generation: int = 0,
+    provenance: Optional[Dict[str, object]] = None,
+) -> Manifest:
+    """Serialise ``index`` as a sharded snapshot under ``store_path``.
+
+    The hyperedge-ID space is split into ``num_shards`` contiguous row
+    blocks; pair ``(i, j)`` (``i < j``) goes to the block owning ``i``.
+    Slicing the weight-ascending pair store by a row mask preserves the
+    ascending order, so every shard keeps the binary-search invariant for
+    free.  Shard files are named by ``generation`` so a compaction can lay
+    down a fresh snapshot next to the live one before switching the
+    manifest atomically.
+    """
+    num_shards = check_positive_int(num_shards, "num_shards")
+    store_path = str(store_path)
+    shard_dir = os.path.join(store_path, SHARD_DIR)
+    os.makedirs(shard_dir, exist_ok=True)
+
+    edges, weights = index.pairs_at_least(1)
+    rows = edges[:, 0] if edges.size else np.empty(0, dtype=np.int64)
+    blocks = blocked_partitions(index.num_hyperedges, num_shards)
+
+    shards: List[ShardInfo] = []
+    start = 0
+    for shard_id, block in enumerate(blocks):
+        row_start = int(block[0]) if block.size else start
+        row_stop = int(block[-1]) + 1 if block.size else row_start
+        start = row_stop
+        mask = (rows >= row_start) & (rows < row_stop)
+        shard_edges = np.ascontiguousarray(edges[mask])
+        shard_weights = np.ascontiguousarray(weights[mask])
+        edges_file, weights_file = shard_file_names(generation, shard_id)
+        np.save(os.path.join(shard_dir, edges_file), shard_edges)
+        np.save(os.path.join(shard_dir, weights_file), shard_weights)
+        fsync_path(os.path.join(shard_dir, edges_file))
+        fsync_path(os.path.join(shard_dir, weights_file))
+        shards.append(
+            ShardInfo(
+                shard_id=shard_id,
+                row_start=row_start,
+                row_stop=row_stop,
+                num_pairs=int(shard_weights.size),
+                min_weight=int(shard_weights[0]) if shard_weights.size else 0,
+                max_weight=int(shard_weights[-1]) if shard_weights.size else 0,
+                edges_file=edges_file,
+                weights_file=weights_file,
+            )
+        )
+
+    # Generation-named: a newer snapshot being laid down never touches the
+    # size array the live manifest references (crash-window safety).
+    edge_sizes_file = edge_sizes_file_name(generation)
+    np.save(
+        os.path.join(store_path, edge_sizes_file),
+        np.ascontiguousarray(index.edge_sizes, dtype=np.int64),
+    )
+    fsync_path(os.path.join(store_path, edge_sizes_file))
+    # Data files must be durable BEFORE the manifest rename makes them
+    # reachable; otherwise power loss could leave a valid manifest pointing
+    # at torn shard arrays.
+    fsync_path(shard_dir)
+    meta = {"builder": "repro.store", "created_unix": time.time()}
+    if provenance:
+        meta.update(provenance)
+    manifest = Manifest(
+        format_version=FORMAT_VERSION,
+        fingerprint=str(fingerprint),
+        num_hyperedges=index.num_hyperedges,
+        num_pairs=index.num_pairs,
+        max_weight=index.max_weight,
+        algorithm=index.algorithm,
+        generation=int(generation),
+        shards=shards,
+        provenance=meta,
+        edge_sizes_file=edge_sizes_file,
+    )
+    write_manifest(store_path, manifest)
+    return manifest
+
+
+def sweep_orphan_shards(store_path: PathLike, manifest: Manifest) -> int:
+    """Delete snapshot files the live manifest does not reference.
+
+    Superseded generations (compaction, in-place rebuild) and half-written
+    generations abandoned by a crash both leave orphans; sweeping by
+    "not referenced" rather than "previous generation" catches them all —
+    shard arrays and generation-named edge-size files alike.  Assumes the
+    single-writer protocol: only the process holding the store open for
+    writing may sweep.  Returns the number of files removed.
+    """
+    removed = 0
+    shard_dir = os.path.join(str(store_path), SHARD_DIR)
+    if os.path.isdir(shard_dir):
+        live = {info.edges_file for info in manifest.shards}
+        live |= {info.weights_file for info in manifest.shards}
+        for name in os.listdir(shard_dir):
+            if name not in live:
+                try:
+                    os.remove(os.path.join(shard_dir, name))
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+    for name in os.listdir(str(store_path)):
+        is_sizes = name == EDGE_SIZES_NAME or name.endswith("-" + EDGE_SIZES_NAME)
+        if is_sizes and name != manifest.edge_sizes_file:
+            try:
+                os.remove(os.path.join(str(store_path), name))
+                removed += 1
+            except FileNotFoundError:
+                pass
+    return removed
+
+
+def load_edge_sizes(store_path: PathLike, manifest: Manifest) -> np.ndarray:
+    """The per-hyperedge size array of the snapshot (in memory, writable)."""
+    path = os.path.join(str(store_path), manifest.edge_sizes_file)
+    if not os.path.isfile(path):
+        raise StoreFormatError(
+            f"snapshot is missing {manifest.edge_sizes_file} at {path}"
+        )
+    return np.array(np.load(path), dtype=np.int64)
+
+
+def load_shard(
+    store_path: PathLike, info: ShardInfo, mmap: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(edges, weights)`` of one shard, memory-mapped by default."""
+    shard_dir = os.path.join(str(store_path), SHARD_DIR)
+    mode = "r" if mmap else None
+    try:
+        edges = np.load(os.path.join(shard_dir, info.edges_file), mmap_mode=mode)
+        weights = np.load(os.path.join(shard_dir, info.weights_file), mmap_mode=mode)
+    except FileNotFoundError as exc:
+        raise StoreFormatError(f"snapshot shard file missing: {exc}") from exc
+    if edges.ndim != 2 or edges.shape[1] != 2 or weights.shape[0] != edges.shape[0]:
+        raise StoreFormatError(
+            f"shard {info.shard_id} arrays are malformed: "
+            f"edges {edges.shape}, weights {weights.shape}"
+        )
+    if weights.shape[0] != info.num_pairs:
+        raise StoreFormatError(
+            f"shard {info.shard_id} holds {weights.shape[0]} pairs but the "
+            f"manifest records {info.num_pairs}"
+        )
+    return edges, weights
+
+
+def materialize_index(
+    store_path: PathLike, manifest: Optional[Manifest] = None
+) -> OverlapIndex:
+    """Rebuild the in-memory :class:`OverlapIndex` from a snapshot.
+
+    Loads every shard eagerly (no mmap) and re-canonicalises through the
+    ``OverlapIndex`` constructor; use :class:`repro.store.ShardedIndex` when
+    the full pair store should stay on disk.
+    """
+    manifest = manifest if manifest is not None else read_manifest(store_path)
+    parts_e: List[np.ndarray] = []
+    parts_w: List[np.ndarray] = []
+    for info in manifest.shards:
+        edges, weights = load_shard(store_path, info, mmap=False)
+        parts_e.append(edges)
+        parts_w.append(weights)
+    if parts_e:
+        all_edges = np.concatenate(parts_e, axis=0)
+        all_weights = np.concatenate(parts_w)
+    else:
+        all_edges = np.empty((0, 2), dtype=np.int64)
+        all_weights = np.empty(0, dtype=np.int64)
+    if all_weights.size != manifest.num_pairs:
+        raise StoreFormatError(
+            f"snapshot holds {all_weights.size} pairs but the manifest "
+            f"records {manifest.num_pairs}"
+        )
+    edge_sizes = load_edge_sizes(store_path, manifest)
+    if edge_sizes.size != manifest.num_hyperedges:
+        raise StoreFormatError(
+            f"edge_sizes has {edge_sizes.size} entries but the manifest "
+            f"records {manifest.num_hyperedges} hyperedges"
+        )
+    return OverlapIndex(
+        edges=all_edges,
+        weights=all_weights,
+        edge_sizes=edge_sizes,
+        algorithm=manifest.algorithm,
+    )

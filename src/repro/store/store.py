@@ -1,0 +1,414 @@
+"""The store manager: one directory = snapshot + WAL + source hypergraph.
+
+:class:`IndexStore` owns the lifecycle of a persistent overlap index:
+
+* :meth:`IndexStore.build` computes the overlap structure once (via the
+  Stage-3 algorithms) and lays down a sharded snapshot, the per-hyperedge
+  sizes, and — by default — the source hypergraph itself, so the store is a
+  self-contained artefact any later process can open;
+* :meth:`IndexStore.open` validates the manifest (format version and,
+  optionally, a caller-supplied hypergraph fingerprint) and recovers the
+  write-ahead log, truncating any torn tail left by a crash;
+* :meth:`append_add` / :meth:`append_remove` make incremental updates
+  durable before they are acknowledged;
+* :meth:`load_index` / :meth:`sharded_index` / :meth:`load_hypergraph`
+  reconstruct the *current* state — base snapshot plus replayed log — as an
+  in-memory :class:`~repro.engine.index.OverlapIndex`, an out-of-core
+  :class:`~repro.store.sharded.ShardedIndex`, or a
+  :class:`~repro.hypergraph.hypergraph.Hypergraph`;
+* :meth:`compact` folds the log back into a fresh snapshot generation and
+  truncates it, keeping recovery O(log length) between compactions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.index import OverlapIndex
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.io.serialization import load_hypergraph_npz, save_hypergraph_npz
+from repro.parallel.executor import ParallelConfig
+from repro.store.format import (
+    FingerprintMismatchError,
+    HYPERGRAPH_NAME,
+    Manifest,
+    PathLike,
+    SHARD_DIR,
+    StoreError,
+    StoreFormatError,
+    WAL_NAME,
+    fsync_path,
+    manifest_path,
+    read_manifest,
+)
+from repro.store.sharded import ShardedIndex
+from repro.store.snapshot import (
+    materialize_index,
+    sweep_orphan_shards,
+    write_snapshot,
+)
+from repro.store.wal import OP_ADD, WalRecord, WriteAheadLog
+from repro.utils.validation import ValidationError
+
+
+def _next_generation(path: PathLike) -> int:
+    """Generation for a snapshot written over ``path`` (0 when empty).
+
+    Continues the existing store's sequence so that WAL records stamped
+    with the superseded generation are recognisably stale.  Falls back to
+    scanning shard file names when the old manifest is unreadable.
+    """
+    try:
+        return read_manifest(path).generation + 1
+    except StoreError:
+        pass
+    shard_dir = os.path.join(str(path), SHARD_DIR)
+    best = -1
+    if os.path.isdir(shard_dir):
+        for name in os.listdir(shard_dir):
+            if name.startswith("g") and "-" in name:
+                prefix = name[1 : name.index("-")]
+                if prefix.isdigit():
+                    best = max(best, int(prefix))
+    return best + 1
+
+
+def _save_hypergraph_atomic(h: Hypergraph, path: str) -> None:
+    """Write ``hypergraph.npz`` via temp-fsync-rename-fsync-dir so a crash
+    mid-write can never clobber the store's only copy of the source
+    hypergraph, and a completed write survives power loss."""
+    tmp = path + ".tmp.npz"
+    save_hypergraph_npz(h, tmp)
+    with open(tmp, "rb") as handle:
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    fsync_path(os.path.dirname(path) or ".")
+
+
+class IndexStore:
+    """Handle on one persistent overlap-index directory."""
+
+    def __init__(self, path: PathLike, manifest: Optional[Manifest] = None) -> None:
+        self.path = str(path)
+        self._manifest = manifest if manifest is not None else read_manifest(path)
+        self.wal = WriteAheadLog(os.path.join(self.path, WAL_NAME))
+        #: Torn WAL tail detected (and truncated) when the store was opened.
+        self.recovered_torn_tail = False
+        #: A whole log predating the live snapshot was discarded on open
+        #: (crash between a compaction's manifest swap and its WAL truncate).
+        self.discarded_stale_wal = False
+        self._records: List[WalRecord] = self._recover_wal()
+
+    def _recover_wal(self) -> List[WalRecord]:
+        records, valid_bytes, torn = self.wal.replay()
+        self.recovered_torn_tail = torn
+        generation = self._manifest.generation
+        if any(
+            r.generation is not None and r.generation != generation
+            for r in records
+        ):
+            # The log was written against an earlier snapshot generation: a
+            # compaction folded it in, swapped the manifest, and died before
+            # truncating.  Replaying it would double-apply; discard it.
+            self.wal.truncate()
+            self.discarded_stale_wal = True
+            return []
+        self.wal.commit_recovery(records, valid_bytes, torn)
+        return records
+
+    # ------------------------------------------------------------------ #
+    # Creation / opening
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def exists(cls, path: PathLike) -> bool:
+        """True when ``path`` holds a snapshot manifest."""
+        return os.path.isfile(manifest_path(path))
+
+    @classmethod
+    def build(
+        cls,
+        h: Hypergraph,
+        path: PathLike,
+        algorithm: str = "hashmap",
+        num_shards: int = 4,
+        config: Optional[ParallelConfig] = None,
+        save_hypergraph: bool = True,
+        provenance: Optional[Dict[str, object]] = None,
+    ) -> "IndexStore":
+        """Compute the overlap index of ``h`` and persist it under ``path``."""
+        index = OverlapIndex.build(h, algorithm=algorithm, config=config)
+        return cls.from_index(
+            index,
+            h.fingerprint(),
+            path,
+            num_shards=num_shards,
+            hypergraph=h if save_hypergraph else None,
+            provenance=provenance,
+        )
+
+    @classmethod
+    def from_index(
+        cls,
+        index: OverlapIndex,
+        fingerprint: str,
+        path: PathLike,
+        num_shards: int = 4,
+        hypergraph: Optional[Hypergraph] = None,
+        provenance: Optional[Dict[str, object]] = None,
+    ) -> "IndexStore":
+        """Persist an already-built index (and optionally its hypergraph).
+
+        Rebuilding over an existing store continues its generation sequence
+        (so stale WAL records are recognisable) and sweeps the superseded
+        snapshot's shard files.
+        """
+        os.makedirs(str(path), exist_ok=True)
+        generation = _next_generation(path)
+        if hypergraph is not None:
+            _save_hypergraph_atomic(
+                hypergraph, os.path.join(str(path), HYPERGRAPH_NAME)
+            )
+        manifest = write_snapshot(
+            index,
+            path,
+            fingerprint=fingerprint,
+            num_shards=num_shards,
+            generation=generation,
+            provenance=provenance,
+        )
+        store = cls(path, manifest=manifest)
+        store.wal.truncate()  # a fresh snapshot starts with an empty log
+        store._records = []
+        sweep_orphan_shards(path, manifest)
+        return store
+
+    @classmethod
+    def open(
+        cls, path: PathLike, fingerprint: Optional[str] = None
+    ) -> "IndexStore":
+        """Open an existing store, recovering the WAL.
+
+        When ``fingerprint`` is given it must match the store's *current*
+        state (snapshot fingerprint advanced by any logged updates).
+        """
+        store = cls(path)
+        if fingerprint is not None:
+            current = store.current_fingerprint()
+            if current is not None and current != fingerprint:
+                raise FingerprintMismatchError(
+                    f"store at {store.path} describes hypergraph "
+                    f"{current[:12]}…, not {fingerprint[:12]}…"
+                )
+        return store
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def manifest(self) -> Manifest:
+        return self._manifest
+
+    @property
+    def wal_records(self) -> List[WalRecord]:
+        """The recovered (valid-prefix) log records, oldest first."""
+        return list(self._records)
+
+    def current_fingerprint(self) -> Optional[str]:
+        """Fingerprint of the current state: last logged one, else snapshot's.
+
+        Returns ``None`` when updates were logged without fingerprints (the
+        store can still be replayed, but cannot vouch for identity).
+        """
+        for record in reversed(self._records):
+            return record.fingerprint
+        return self._manifest.fingerprint
+
+    def num_wal_records(self) -> int:
+        return len(self._records)
+
+    def info(self) -> Dict[str, object]:
+        """Human-facing summary (the CLI's ``index info`` payload)."""
+        m = self._manifest
+        return {
+            "path": self.path,
+            "format_version": m.format_version,
+            "generation": m.generation,
+            "fingerprint": m.fingerprint,
+            "current_fingerprint": self.current_fingerprint(),
+            "num_hyperedges": m.num_hyperedges,
+            "num_pairs": m.num_pairs,
+            "max_weight": m.max_weight,
+            "algorithm": m.algorithm,
+            "num_shards": len(m.shards),
+            "wal_records": self.num_wal_records(),
+            "has_hypergraph": os.path.isfile(
+                os.path.join(self.path, HYPERGRAPH_NAME)
+            ),
+            "provenance": dict(m.provenance),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Reconstruction (snapshot + replayed WAL)
+    # ------------------------------------------------------------------ #
+    def _replay_into(self, index) -> None:
+        for record in self._records:
+            if record.op == OP_ADD:
+                index.add_hyperedge(
+                    record.edge_id,
+                    int(record.payload["size"]),
+                    np.asarray(record.payload["pair_ids"], dtype=np.int64),
+                    np.asarray(record.payload["pair_weights"], dtype=np.int64),
+                )
+            else:
+                index.remove_hyperedge(record.edge_id)
+
+    def load_index(self) -> OverlapIndex:
+        """The current index fully materialised in memory."""
+        index = materialize_index(self.path, self._manifest)
+        self._replay_into(index)
+        return index
+
+    def sharded_index(
+        self,
+        max_resident_shards: Optional[int] = None,
+        mmap: bool = True,
+    ) -> ShardedIndex:
+        """The current index as an out-of-core shard-streaming view."""
+        index = ShardedIndex(
+            self.path,
+            manifest=self._manifest,
+            max_resident_shards=max_resident_shards,
+            mmap=mmap,
+        )
+        self._replay_into(index)
+        return index
+
+    def load_hypergraph(self) -> Hypergraph:
+        """The current source hypergraph (saved copy + replayed WAL).
+
+        The archive's own fingerprint disambiguates *which* state the saved
+        copy holds: a copy already at the current (post-WAL) fingerprint —
+        e.g. written by a compaction that died before swapping the manifest
+        — is returned as-is, so log records are never double-applied.
+        """
+        path = os.path.join(self.path, HYPERGRAPH_NAME)
+        if not os.path.isfile(path):
+            raise StoreFormatError(
+                f"store at {self.path} was built without its hypergraph "
+                "(save_hypergraph=False); supply one when opening"
+            )
+        from repro.engine.engine import with_appended_edge, with_emptied_edge
+
+        h = load_hypergraph_npz(path)
+        target = self.current_fingerprint()
+        if target is not None and h.fingerprint() == target:
+            return h
+        for record in self._records:
+            if record.op == OP_ADD:
+                members = np.asarray(record.payload["members"], dtype=np.int64)
+                h = with_appended_edge(h, members, record.payload.get("name"))
+            else:
+                h = with_emptied_edge(h, record.edge_id)
+        if target is not None and h.fingerprint() != target:
+            raise StoreError(
+                f"store at {self.path} is inconsistent: saved hypergraph plus "
+                f"{len(self._records)} log records hashes to "
+                f"{h.fingerprint()[:12]}…, expected {target[:12]}…; rebuild "
+                "the store from its source hypergraph"
+            )
+        return h
+
+    # ------------------------------------------------------------------ #
+    # Durable incremental updates
+    # ------------------------------------------------------------------ #
+    def append_add(
+        self,
+        edge_id: int,
+        members,
+        pair_ids,
+        pair_weights,
+        fingerprint: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> WalRecord:
+        """Make one ``add_hyperedge`` durable (fsynced before returning)."""
+        record = self.wal.append_add(
+            edge_id,
+            members,
+            pair_ids,
+            pair_weights,
+            fingerprint=fingerprint,
+            name=name,
+            generation=self._manifest.generation,
+        )
+        self._records.append(record)
+        return record
+
+    def append_remove(
+        self, edge_id: int, fingerprint: Optional[str] = None
+    ) -> WalRecord:
+        """Make one ``remove_hyperedge`` durable (fsynced before returning)."""
+        record = self.wal.append_remove(
+            edge_id,
+            fingerprint=fingerprint,
+            generation=self._manifest.generation,
+        )
+        self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+    # ------------------------------------------------------------------ #
+    def compact(self, num_shards: Optional[int] = None) -> Manifest:
+        """Fold the WAL into a fresh snapshot generation and truncate it.
+
+        Crash-safe ordering: (1) the updated hypergraph is atomically
+        swapped in — if the process dies after this, the old manifest plus
+        the still-intact WAL remain authoritative and
+        :meth:`load_hypergraph` detects the already-current copy by its
+        fingerprint; (2) the new generation's shard files are laid down
+        (fsynced) next to the live ones; (3) the manifest is atomically
+        replaced — from this point the WAL is stale and recovery discards
+        it by its generation stamp even if (4) the truncate never runs.
+        Superseded and abandoned shard files are swept last.
+        """
+        old_manifest = self._manifest
+        if num_shards is None:
+            num_shards = max(1, len(old_manifest.shards))
+        index = self.load_index()
+        fingerprint = self.current_fingerprint() or old_manifest.fingerprint
+        hypergraph = None
+        if os.path.isfile(os.path.join(self.path, HYPERGRAPH_NAME)):
+            hypergraph = self.load_hypergraph()
+            fingerprint = hypergraph.fingerprint()
+        provenance = dict(old_manifest.provenance)
+        provenance["compacted_from_generation"] = old_manifest.generation
+        provenance["compacted_wal_records"] = self.num_wal_records()
+        if hypergraph is not None:
+            _save_hypergraph_atomic(
+                hypergraph, os.path.join(self.path, HYPERGRAPH_NAME)
+            )
+        manifest = write_snapshot(
+            index,
+            self.path,
+            fingerprint=fingerprint,
+            num_shards=num_shards,
+            generation=old_manifest.generation + 1,
+            provenance=provenance,
+        )
+        self.wal.truncate()
+        self._records = []
+        self._manifest = manifest
+        sweep_orphan_shards(self.path, manifest)
+        return manifest
+
+    # ------------------------------------------------------------------ #
+    # Dunders
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IndexStore(path={self.path!r}, generation={self._manifest.generation}, "
+            f"num_pairs={self._manifest.num_pairs}, wal={self.num_wal_records()})"
+        )

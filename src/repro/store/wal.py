@@ -1,0 +1,236 @@
+"""Write-ahead log of incremental overlap-index updates.
+
+Each ``add_hyperedge`` / ``remove_hyperedge`` appends one framed record, so
+an updated index is recoverable from ``snapshot + log`` without a rebuild.
+Records are line-delimited and self-checking::
+
+    <seq>\t<crc32 hex of payload>\t<payload JSON>\n
+
+A crash mid-append leaves a torn tail — a partial line, a payload whose
+CRC32 does not match, or a sequence break.  :meth:`WriteAheadLog.recover`
+replays the longest valid prefix and truncates the file to it, which is the
+standard redo-log recovery contract: every acknowledged (fsynced) record
+survives, a torn trailing record is dropped.
+
+Add records carry both the *member vertices* of the new hyperedge (so the
+source hypergraph can be replayed forward) and its precomputed *overlap
+row* (``pair_ids`` / ``pair_weights``, so the index overlay never repeats
+the wedge walk).  Records optionally carry the post-update hypergraph
+fingerprint, letting readers validate a live store against a hypergraph
+without replaying it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.store.format import PathLike, StoreFormatError
+
+OP_ADD = "add"
+OP_REMOVE = "remove"
+
+
+@dataclass
+class WalRecord:
+    """One decoded log record."""
+
+    seq: int
+    op: str
+    payload: dict
+
+    @property
+    def edge_id(self) -> int:
+        return int(self.payload["edge_id"])
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        return self.payload.get("fingerprint")
+
+    @property
+    def generation(self) -> Optional[int]:
+        """Snapshot generation the record applies on top of (None if unknown)."""
+        gen = self.payload.get("gen")
+        return None if gen is None else int(gen)
+
+
+def _frame(seq: int, payload: dict) -> bytes:
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{seq}\t{crc:08x}\t{body}\n".encode("utf-8")
+
+
+class WriteAheadLog:
+    """Append-only, checksummed redo log for one store directory."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = str(path)
+        self._next_seq: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def replay(self) -> Tuple[List[WalRecord], int, bool]:
+        """Decode the longest valid prefix of the log.
+
+        Returns ``(records, valid_bytes, torn)`` where ``valid_bytes`` is
+        the byte length of the prefix and ``torn`` reports whether anything
+        (a partial or corrupt tail) followed it.
+        """
+        if not os.path.isfile(self.path):
+            return [], 0, False
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        records: List[WalRecord] = []
+        offset = 0
+        expected_seq = 1
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                break  # partial trailing line: torn append
+            line = data[offset : newline]
+            record = self._decode(line, expected_seq)
+            if record is None:
+                break
+            records.append(record)
+            offset = newline + 1
+            expected_seq += 1
+        return records, offset, offset < len(data)
+
+    @staticmethod
+    def _decode(line: bytes, expected_seq: int) -> Optional[WalRecord]:
+        parts = line.split(b"\t", 2)
+        if len(parts) != 3:
+            return None
+        try:
+            seq = int(parts[0])
+            crc = int(parts[1], 16)
+        except ValueError:
+            return None
+        if seq != expected_seq:
+            return None
+        if zlib.crc32(parts[2]) & 0xFFFFFFFF != crc:
+            return None
+        try:
+            payload = json.loads(parts[2].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("op") not in (
+            OP_ADD,
+            OP_REMOVE,
+        ):
+            return None
+        return WalRecord(seq=seq, op=str(payload["op"]), payload=payload)
+
+    def commit_recovery(
+        self, records: List[WalRecord], valid_bytes: int, torn: bool
+    ) -> None:
+        """Finish a recovery decided from one :meth:`replay` result.
+
+        Truncates the torn tail (if any) and positions the append sequence,
+        without re-reading the log — callers that already hold a replay
+        result (e.g. :class:`repro.store.IndexStore` on open) use this to
+        keep recovery a single pass over the file.
+        """
+        if torn:
+            with open(self.path, "rb+") as handle:
+                handle.truncate(valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._next_seq = len(records) + 1
+
+    def recover(self) -> List[WalRecord]:
+        """Replay the valid prefix and truncate any torn tail in place."""
+        records, valid_bytes, torn = self.replay()
+        self.commit_recovery(records, valid_bytes, torn)
+        return records
+
+    def __len__(self) -> int:
+        records, _, _ = self.replay()
+        return len(records)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def _advance_seq(self) -> int:
+        if self._next_seq is None:
+            records, _, torn = self.replay()
+            if torn:
+                raise StoreFormatError(
+                    f"write-ahead log {self.path} has a torn tail; call "
+                    "recover() before appending"
+                )
+            self._next_seq = len(records) + 1
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _append(self, payload: dict) -> int:
+        seq = self._advance_seq()
+        frame = _frame(seq, payload)
+        with open(self.path, "ab") as handle:
+            handle.write(frame)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return seq
+
+    def append_add(
+        self,
+        edge_id: int,
+        members: Sequence[int] | np.ndarray,
+        pair_ids: Sequence[int] | np.ndarray,
+        pair_weights: Sequence[int] | np.ndarray,
+        fingerprint: Optional[str] = None,
+        name: Optional[str] = None,
+        generation: Optional[int] = None,
+    ) -> WalRecord:
+        """Log one ``add_hyperedge`` (members + precomputed overlap row).
+
+        ``generation`` stamps the snapshot generation the record applies on
+        top of; recovery uses it to discard a log that a completed
+        compaction already folded in (crash before the post-swap truncate).
+        """
+        members = np.asarray(members, dtype=np.int64)
+        payload = {
+            "op": OP_ADD,
+            "edge_id": int(edge_id),
+            "members": [int(v) for v in members],
+            "size": int(members.size),
+            "pair_ids": [int(i) for i in np.asarray(pair_ids, dtype=np.int64)],
+            "pair_weights": [
+                int(w) for w in np.asarray(pair_weights, dtype=np.int64)
+            ],
+        }
+        if fingerprint is not None:
+            payload["fingerprint"] = str(fingerprint)
+        if name is not None:
+            payload["name"] = str(name)
+        if generation is not None:
+            payload["gen"] = int(generation)
+        return WalRecord(seq=self._append(payload), op=OP_ADD, payload=payload)
+
+    def append_remove(
+        self,
+        edge_id: int,
+        fingerprint: Optional[str] = None,
+        generation: Optional[int] = None,
+    ) -> WalRecord:
+        """Log one ``remove_hyperedge`` (see :meth:`append_add` for ``generation``)."""
+        payload = {"op": OP_REMOVE, "edge_id": int(edge_id)}
+        if fingerprint is not None:
+            payload["fingerprint"] = str(fingerprint)
+        if generation is not None:
+            payload["gen"] = int(generation)
+        return WalRecord(seq=self._append(payload), op=OP_REMOVE, payload=payload)
+
+    def truncate(self) -> None:
+        """Reset the log to empty (after a compaction folded it in)."""
+        with open(self.path, "wb") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._next_seq = 1

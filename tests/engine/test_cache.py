@@ -47,6 +47,22 @@ class TestLRUCache:
         assert "a" not in cache
         assert cache.hits == 0 and cache.misses == 0
 
+    def test_peek_returns_value_without_side_effects(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.hits == 0 and cache.misses == 0
+        # Peeking must not refresh recency: "a" is still the LRU victim.
+        cache.put("c", 3)
+        assert "a" not in cache and "b" in cache
+
+    def test_peek_missing_returns_default_without_counting(self):
+        cache = LRUCache(maxsize=2)
+        assert cache.peek("nope") is None
+        assert cache.peek("nope", 42) == 42
+        assert cache.misses == 0
+
     def test_rekey_moves_value(self):
         cache = LRUCache(maxsize=4)
         cache.put("old", 7)

@@ -121,6 +121,18 @@ class TestSelectiveInvalidation:
         engine.line_graph(3)
         assert engine.stats().cache_hits == hits_before + 1
 
+    def test_migration_does_not_inflate_traffic_stats(self, engine):
+        """Re-keying bookkeeping uses peek: hit/miss counters reflect only
+        genuine query traffic, never selective invalidation passes."""
+        stats = engine.stats()
+        hits, misses = stats.cache_hits, stats.cache_misses
+        engine.add_hyperedge([4, 5])  # retains every s > 2 entry
+        engine.remove_hyperedge(engine.hypergraph.num_edges - 1)
+        stats = engine.stats()
+        assert stats.retained_entries > 0
+        assert stats.cache_hits == hits
+        assert stats.cache_misses == misses
+
     def test_large_edge_add_invalidates_affected_s(self, engine):
         engine.add_hyperedge([0, 1, 2, 3, 4, 5])  # size 6 touches every cached s
         stats = engine.stats()

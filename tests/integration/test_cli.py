@@ -126,3 +126,57 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "components" not in out
+
+
+class TestIndexCommands:
+    @pytest.fixture
+    def store_dir(self, hyperedge_file, tmp_path, capsys):
+        path = str(tmp_path / "idx")
+        assert main(
+            ["index", "build", "--input", hyperedge_file, "--path", path, "--shards", "2"]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_index_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["index"])
+
+    def test_build_reports_snapshot(self, hyperedge_file, tmp_path, capsys):
+        path = str(tmp_path / "idx")
+        assert main(["index", "build", "--input", hyperedge_file, "--path", path]) == 0
+        out = capsys.readouterr().out
+        # Paper example: 4 weighted pairs over 4 hyperedges, max overlap 3.
+        assert "4 pairs over 4 hyperedges" in out
+        assert "max s = 3" in out
+
+    def test_info(self, store_dir, capsys):
+        assert main(["index", "info", "--path", store_dir]) == 0
+        out = capsys.readouterr().out
+        fields = dict(
+            line.split(None, 1) for line in out.splitlines() if line.strip()
+        )
+        assert fields["format_version"] == "1"
+        assert fields["num_pairs"] == "4"
+        assert fields["num_shards"] == "2"
+        assert fields["wal_records"] == "0"
+        assert fields["has_hypergraph"] == "True"
+
+    def test_query_warm_serves(self, store_dir, capsys):
+        assert main(
+            ["index", "query", "--path", store_dir, "--s", "2", "--metric", "pagerank"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "L_2: 3 edges" in out
+        assert "top" in out
+
+    def test_query_sharded(self, store_dir, capsys):
+        assert main(
+            ["index", "query", "--path", store_dir, "--s", "2", "--sharded"]
+        ) == 0
+        assert "sharded/mmap" in capsys.readouterr().out
+
+    def test_compact(self, store_dir, capsys):
+        assert main(["index", "compact", "--path", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 0 WAL records into generation 1" in out

@@ -14,6 +14,7 @@ from repro.io.matrixmarket import read_incidence_matrixmarket, write_incidence_m
 from repro.io.serialization import (
     load_hypergraph_npz,
     load_slinegraph_npz,
+    peek_hypergraph_fingerprint,
     save_hypergraph_npz,
     save_slinegraph_npz,
 )
@@ -101,3 +102,53 @@ class TestNpzSerialization:
         back = load_slinegraph_npz(path)
         assert back == graph
         assert back.active_vertices.tolist() == graph.active_vertices.tolist()
+
+
+class TestNpzFingerprint:
+    """The archive carries the structural fingerprint (store manifest guard)."""
+
+    def test_fingerprint_stable_across_save_load(self, paper_example, tmp_path):
+        path = tmp_path / "h.npz"
+        save_hypergraph_npz(paper_example, path)
+        back = load_hypergraph_npz(path)
+        assert back.fingerprint() == paper_example.fingerprint()
+        # Another full cycle through the loaded copy stays fixed.
+        path2 = tmp_path / "h2.npz"
+        save_hypergraph_npz(back, path2)
+        assert load_hypergraph_npz(path2).fingerprint() == paper_example.fingerprint()
+
+    def test_peek_reads_fingerprint_without_rebuilding(self, paper_example, tmp_path):
+        path = tmp_path / "h.npz"
+        save_hypergraph_npz(paper_example, path)
+        assert peek_hypergraph_fingerprint(path) == paper_example.fingerprint()
+
+    def test_tampered_archive_rejected(self, paper_example_unlabelled, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "h.npz"
+        save_hypergraph_npz(paper_example_unlabelled, path)
+        with np.load(str(path), allow_pickle=False) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["indices"] = payload["indices"].copy()
+        payload["indices"][0] = (payload["indices"][0] + 1) % int(
+            payload["num_vertices"][0]
+        )
+        np.savez_compressed(str(path), **payload)
+        with pytest.raises(ValidationError, match="archive recorded"):
+            load_hypergraph_npz(path)
+        # The escape hatch still loads the (altered) structure.
+        salvaged = load_hypergraph_npz(path, verify_fingerprint=False)
+        assert salvaged.num_edges == paper_example_unlabelled.num_edges
+
+    def test_archive_without_fingerprint_still_loads(
+        self, paper_example_unlabelled, tmp_path
+    ):
+        import numpy as np
+
+        path = tmp_path / "h.npz"
+        save_hypergraph_npz(paper_example_unlabelled, path)
+        with np.load(str(path), allow_pickle=False) as data:
+            payload = {k: data[k] for k in data.files if k != "fingerprint"}
+        np.savez_compressed(str(path), **payload)  # a pre-store-era archive
+        assert peek_hypergraph_fingerprint(path) is None
+        assert load_hypergraph_npz(path) == paper_example_unlabelled

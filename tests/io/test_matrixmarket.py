@@ -1,0 +1,99 @@
+"""MatrixMarket incidence I/O: round trips, 1-based indexing, malformed input."""
+
+import numpy as np
+import pytest
+
+from repro.io.matrixmarket import (
+    read_incidence_matrixmarket,
+    write_incidence_matrixmarket,
+)
+
+
+class TestRoundTrip:
+    def test_paper_example(self, paper_example, tmp_path):
+        path = tmp_path / "h.mtx"
+        write_incidence_matrixmarket(paper_example, path)
+        back = read_incidence_matrixmarket(path)
+        assert back == paper_example
+        assert back.fingerprint() == paper_example.fingerprint()
+
+    def test_preserves_empty_hyperedge_column(self, tmp_path):
+        from repro.hypergraph.builders import hypergraph_from_edge_lists
+
+        h = hypergraph_from_edge_lists([[0, 1], [], [1, 2]], num_vertices=3)
+        path = tmp_path / "h.mtx"
+        write_incidence_matrixmarket(h, path)
+        back = read_incidence_matrixmarket(path)
+        assert back.num_edges == 3
+        assert back.edge_size(1) == 0
+        assert back == h
+
+    def test_preserves_isolated_vertex_row(self, tmp_path):
+        from repro.hypergraph.builders import hypergraph_from_edge_lists
+
+        h = hypergraph_from_edge_lists([[0, 2]], num_vertices=4)  # 1 and 3 isolated
+        path = tmp_path / "h.mtx"
+        write_incidence_matrixmarket(h, path)
+        back = read_incidence_matrixmarket(path)
+        assert back.num_vertices == 4
+        assert back == h
+
+
+class TestOneBasedIndexing:
+    def test_coordinates_are_one_based(self, tmp_path):
+        # MatrixMarket coordinate entries are 1-based: vertex 1 is row 1.
+        path = tmp_path / "h.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 2 3\n"
+            "1 1\n"
+            "2 1\n"
+            "3 2\n"
+        )
+        h = read_incidence_matrixmarket(path)
+        assert h.num_vertices == 3
+        assert h.num_edges == 2
+        assert h.edge_members(0).tolist() == [0, 1]
+        assert h.edge_members(1).tolist() == [2]
+
+    def test_integer_dialect_accepted(self, tmp_path):
+        path = tmp_path / "h.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 2 2\n"
+            "1 1 1\n"
+            "2 2 1\n"
+        )
+        h = read_incidence_matrixmarket(path)
+        assert h.num_edges == 2
+        assert h.edge_members(0).tolist() == [0]
+        assert h.edge_members(1).tolist() == [1]
+
+    def test_on_disk_entries_written_one_based(self, paper_example, tmp_path):
+        path = tmp_path / "h.mtx"
+        write_incidence_matrixmarket(paper_example, path)
+        lines = [
+            line.split()
+            for line in path.read_text().splitlines()
+            if line and not line.startswith("%")
+        ]
+        entries = np.array(lines[1:], dtype=np.int64)  # skip the size line
+        assert entries[:, :2].min() >= 1  # no 0-based coordinate leaks out
+
+
+class TestMalformedInput:
+    def test_bad_banner_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%NotMatrixMarket nonsense\n1 1 1\n1 1\n")
+        with pytest.raises(ValueError):
+            read_incidence_matrixmarket(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate\n")
+        with pytest.raises(ValueError):
+            read_incidence_matrixmarket(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises((FileNotFoundError, OSError)):
+            read_incidence_matrixmarket(tmp_path / "nowhere.mtx")

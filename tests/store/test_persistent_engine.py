@@ -1,0 +1,162 @@
+"""PersistentQueryEngine and the QueryEngine.from_store wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SLinePipeline
+from repro.engine.engine import QueryEngine
+from repro.store.format import FingerprintMismatchError
+from repro.store.persistent import PersistentQueryEngine
+from repro.store.store import IndexStore
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def store_path(community_hypergraph, tmp_path):
+    path = tmp_path / "idx"
+    IndexStore.build(community_hypergraph, path, num_shards=4)
+    return path
+
+
+class TestOpenAndServe:
+    @pytest.mark.parametrize("sharded", [False, True])
+    def test_matches_fresh_engine(self, store_path, community_hypergraph, sharded):
+        engine = PersistentQueryEngine.open(store_path, sharded=sharded)
+        fresh = QueryEngine(community_hypergraph)
+        sweep = engine.sweep(range(1, 9), metrics=("connected_components",))
+        expected = fresh.sweep(range(1, 9), metrics=("connected_components",))
+        for s in range(1, 9):
+            assert sweep.line_graphs[s] == expected.line_graphs[s]
+            assert sweep.num_components(s) == expected.num_components(s)
+        # Warm open: the wedge-enumeration pass never ran.
+        assert engine.stats().index_builds == 0
+
+    def test_open_with_explicit_hypergraph(self, store_path, community_hypergraph):
+        engine = PersistentQueryEngine.open(store_path, hypergraph=community_hypergraph)
+        assert engine.hypergraph is community_hypergraph
+
+    def test_open_rejects_wrong_hypergraph(self, store_path, paper_example):
+        with pytest.raises(FingerprintMismatchError):
+            PersistentQueryEngine.open(store_path, hypergraph=paper_example)
+
+    def test_build_classmethod(self, community_hypergraph, tmp_path):
+        engine = PersistentQueryEngine.build(
+            community_hypergraph, tmp_path / "fresh", num_shards=3
+        )
+        assert engine.line_graph(2) == QueryEngine(community_hypergraph).line_graph(2)
+        assert IndexStore.exists(tmp_path / "fresh")
+
+
+class TestDurability:
+    def test_updates_survive_reopen(self, store_path, community_hypergraph):
+        engine = PersistentQueryEngine.open(store_path)
+        new_id = engine.add_hyperedge([0, 1, 2, 50], name="session-edge")
+        engine.remove_hyperedge(4)
+        expected = {
+            s: engine.line_graph(s).edge_set() for s in range(1, 6)
+        }
+        # "New process": reopen purely from disk.
+        reloaded = PersistentQueryEngine.open(store_path, sharded=True)
+        assert reloaded.hypergraph.num_edges == community_hypergraph.num_edges + 1
+        # Unlabelled hypergraphs stay unlabelled: replay matches the live engine.
+        assert reloaded.hypergraph.edge_name(new_id) == engine.hypergraph.edge_name(
+            new_id
+        )
+        assert reloaded.hypergraph.edge_size(4) == 0
+        for s in range(1, 6):
+            assert reloaded.line_graph(s).edge_set() == expected[s], s
+        assert reloaded.fingerprint() == engine.fingerprint()
+
+    def test_compact_keeps_serving(self, store_path):
+        engine = PersistentQueryEngine.open(store_path)
+        engine.add_hyperedge([3, 4, 5])
+        before = engine.line_graph(2)
+        engine.compact()
+        assert engine.store.num_wal_records() == 0
+        assert engine.line_graph(2) == before
+        assert PersistentQueryEngine.open(store_path).line_graph(2) == before
+
+
+class TestFromStore:
+    def test_creates_when_asked(self, community_hypergraph, tmp_path):
+        path = tmp_path / "auto"
+        with pytest.raises(ValidationError, match="create=True"):
+            QueryEngine.from_store(path, hypergraph=community_hypergraph)
+        engine = QueryEngine.from_store(
+            path, hypergraph=community_hypergraph, create=True
+        )
+        assert isinstance(engine, PersistentQueryEngine)
+        assert IndexStore.exists(path)
+
+    def test_reuses_existing_snapshot(self, store_path, community_hypergraph):
+        engine = QueryEngine.from_store(store_path, hypergraph=community_hypergraph)
+        assert engine.stats().index_builds == 0
+        assert engine.line_graph(3) == QueryEngine(community_hypergraph).line_graph(3)
+
+    def test_mismatch_raises_by_default(self, store_path, paper_example):
+        with pytest.raises(FingerprintMismatchError):
+            QueryEngine.from_store(store_path, hypergraph=paper_example)
+
+    def test_mismatch_rebuilds_when_allowed(self, store_path, paper_example):
+        engine = QueryEngine.from_store(
+            store_path, hypergraph=paper_example, on_mismatch="rebuild"
+        )
+        assert engine.line_graph(2) == QueryEngine(paper_example).line_graph(2)
+        # The snapshot now describes the new hypergraph.
+        reopened = IndexStore.open(store_path)
+        assert reopened.manifest.fingerprint == paper_example.fingerprint()
+
+    def test_invalid_on_mismatch_rejected(self, store_path, community_hypergraph):
+        with pytest.raises(ValidationError, match="on_mismatch"):
+            QueryEngine.from_store(
+                store_path, hypergraph=community_hypergraph, on_mismatch="ignore"
+            )
+
+
+class TestIndexInjection:
+    def test_injected_index_must_match(self, community_hypergraph, paper_example):
+        from repro.engine.index import OverlapIndex
+
+        wrong = OverlapIndex.build(paper_example)
+        with pytest.raises(ValidationError, match="does not describe"):
+            QueryEngine(community_hypergraph, index=wrong)
+
+    def test_injected_index_is_served(self, community_hypergraph):
+        from repro.engine.index import OverlapIndex
+
+        index = OverlapIndex.build(community_hypergraph)
+        engine = QueryEngine(community_hypergraph, index=index)
+        assert engine.index is index
+        assert engine.stats().index_builds == 0
+
+
+class TestPipelineStorePath:
+    def test_persist_then_reuse(self, community_hypergraph, tmp_path):
+        path = str(tmp_path / "pipe-idx")
+        baseline = SLinePipeline(metrics=("connected_components",)).run(
+            community_hypergraph, 2
+        )
+        first = SLinePipeline(
+            metrics=("connected_components",), store_path=path
+        )
+        r1 = first.run(community_hypergraph, 2)
+        assert r1.line_graph == baseline.line_graph
+        assert np.array_equal(
+            r1.metrics["connected_components"],
+            baseline.metrics["connected_components"],
+        )
+        # A second pipeline (fresh process) opens the snapshot: no rebuild.
+        second = SLinePipeline(metrics=("connected_components",), store_path=path)
+        r2 = second.run(community_hypergraph, 3)
+        baseline3 = SLinePipeline(metrics=("connected_components",)).run(
+            community_hypergraph, 3
+        )
+        assert r2.line_graph == baseline3.line_graph
+        assert second._store_engine.stats().index_builds == 0
+
+    def test_store_path_excludes_engine_and_toplexes(self, community_hypergraph, tmp_path):
+        engine = QueryEngine(community_hypergraph)
+        with pytest.raises(ValidationError, match="not both"):
+            SLinePipeline(engine=engine, store_path=str(tmp_path / "x"))
+        with pytest.raises(ValidationError, match="compute_toplexes"):
+            SLinePipeline(compute_toplexes=True, store_path=str(tmp_path / "x"))

@@ -1,0 +1,147 @@
+"""ShardedIndex: out-of-core views must match the in-memory oracle exactly."""
+
+import numpy as np
+import pytest
+
+from repro.engine.index import OverlapIndex, overlap_counts_for_members
+from repro.store.sharded import ShardedIndex
+from repro.store.snapshot import write_snapshot
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def oracle(community_hypergraph):
+    return OverlapIndex.build(community_hypergraph)
+
+
+@pytest.fixture
+def store_path(oracle, community_hypergraph, tmp_path):
+    write_snapshot(
+        oracle, tmp_path, community_hypergraph.fingerprint(), num_shards=6
+    )
+    return tmp_path
+
+
+class TestThresholdViews:
+    def test_shape_matches_oracle(self, store_path, oracle):
+        sharded = ShardedIndex(store_path)
+        assert sharded.num_pairs == oracle.num_pairs
+        assert sharded.num_hyperedges == oracle.num_hyperedges
+        assert sharded.max_weight == oracle.max_weight
+        assert np.array_equal(sharded.edge_sizes, oracle.edge_sizes)
+
+    def test_line_graphs_match_for_all_s(self, store_path, oracle):
+        sharded = ShardedIndex(store_path)
+        for s in range(1, oracle.max_weight + 2):
+            assert sharded.line_graph(s) == oracle.line_graph(s), s
+            assert sharded.edge_count(s) == oracle.edge_count(s), s
+            assert np.array_equal(sharded.active_vertices(s), oracle.active_vertices(s))
+
+    def test_extract_is_the_service_alias(self, store_path, oracle):
+        sharded = ShardedIndex(store_path)
+        assert sharded.extract(2) == oracle.line_graph(2)
+
+    def test_sweep_matches_oracle(self, store_path, oracle):
+        sharded = ShardedIndex(store_path)
+        swept = sharded.sweep(range(1, 9))
+        for s in range(1, 9):
+            assert swept[s] == oracle.line_graph(s), s
+
+    def test_s_profile_matches(self, store_path, oracle):
+        assert ShardedIndex(store_path).s_profile() == oracle.s_profile()
+
+
+class TestLaziness:
+    def test_no_shard_loaded_before_first_query(self, store_path):
+        sharded = ShardedIndex(store_path)
+        assert sharded.shard_loads == 0
+        sharded.line_graph(1)
+        assert sharded.shard_loads > 0
+
+    def test_high_s_skips_light_shards(self, store_path, oracle):
+        sharded = ShardedIndex(store_path)
+        s = oracle.max_weight  # only shards whose max_weight reaches s load
+        sharded.edge_count(s)
+        candidates = [
+            i for i in sharded.manifest.shards if i.num_pairs and i.max_weight >= s
+        ]
+        assert sharded.shard_loads == len(candidates)
+        assert sharded.shard_loads < len(sharded.manifest.shards)
+
+    def test_resident_cap_evicts_lru(self, store_path):
+        sharded = ShardedIndex(store_path, max_resident_shards=2)
+        sharded.line_graph(1)
+        assert sharded.num_resident_shards <= 2
+        # A second full pass must reload evicted shards.
+        loads_after_first = sharded.shard_loads
+        sharded.line_graph(1)
+        assert sharded.shard_loads > loads_after_first
+
+    def test_resident_cap_validated(self, store_path):
+        with pytest.raises(ValidationError):
+            ShardedIndex(store_path, max_resident_shards=0)
+
+
+class TestOverlay:
+    """WAL-overlay updates must track OverlapIndex update semantics exactly."""
+
+    def _apply_script(self, h, index):
+        """Add two hyperedges and remove two, mirroring on any index type."""
+        rng = np.random.default_rng(11)
+        ops = []
+        for _ in range(2):
+            members = np.unique(
+                rng.choice(h.num_vertices, size=6, replace=False)
+            ).astype(np.int64)
+            pair_ids, pair_weights = overlap_counts_for_members(h, members)
+            new_id = index.num_hyperedges
+            index.add_hyperedge(new_id, members.size, pair_ids, pair_weights)
+            ops.append(("add", members, pair_ids, pair_weights))
+        for edge_id in (3, 7):
+            index.remove_hyperedge(edge_id)
+            ops.append(("remove", edge_id))
+        return ops
+
+    def test_updates_match_oracle(self, store_path, oracle, community_hypergraph):
+        sharded = ShardedIndex(store_path)
+        ops_a = self._apply_script(community_hypergraph, sharded)
+        ops_b = self._apply_script(community_hypergraph, oracle)
+        assert [op[0] for op in ops_a] == [op[0] for op in ops_b]
+        assert sharded.num_pairs == oracle.num_pairs
+        assert sharded.max_weight == oracle.max_weight
+        for s in range(1, oracle.max_weight + 2):
+            assert sharded.line_graph(s) == oracle.line_graph(s), s
+            assert sharded.edge_count(s) == oracle.edge_count(s), s
+
+    def test_max_weight_with_tombstones_is_cached(self, store_path, oracle):
+        sharded = ShardedIndex(store_path)
+        sharded.remove_hyperedge(2)
+        oracle.remove_hyperedge(2)
+        assert sharded.max_weight == oracle.max_weight
+        loads = sharded.shard_loads
+        assert sharded.max_weight == oracle.max_weight  # cached: no re-scan
+        assert sharded.shard_loads == loads
+
+    def test_remove_returns_pair_count(self, store_path, oracle):
+        sharded = ShardedIndex(store_path)
+        edge_id = 5
+        assert sharded.remove_hyperedge(edge_id) == oracle.remove_hyperedge(edge_id)
+        # Removing again is a no-op on pairs (the slot is tombstoned).
+        assert sharded.remove_hyperedge(edge_id) == 0
+
+    def test_add_validates_ids(self, store_path):
+        sharded = ShardedIndex(store_path)
+        with pytest.raises(ValidationError, match="new hyperedge ID"):
+            sharded.add_hyperedge(0, 3, np.array([1]), np.array([1]))
+        with pytest.raises(ValidationError, match="existing hyperedges"):
+            sharded.add_hyperedge(
+                sharded.num_hyperedges,
+                3,
+                np.array([sharded.num_hyperedges + 5]),
+                np.array([1]),
+            )
+
+    def test_remove_validates_range(self, store_path):
+        sharded = ShardedIndex(store_path)
+        with pytest.raises(ValidationError, match="out of range"):
+            sharded.remove_hyperedge(sharded.num_hyperedges)
