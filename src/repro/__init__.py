@@ -49,6 +49,13 @@ from repro.core import (
 )
 from repro.engine import OverlapIndex, QueryEngine, SweepResult
 from repro.store import IndexStore, PersistentQueryEngine, ShardedIndex
+from repro.service import (
+    AdmissionQueue,
+    CompactionPolicy,
+    QueryService,
+    ReadReplica,
+    StoreLock,
+)
 from repro.parallel import ParallelConfig
 from repro.smetrics import (
     s_connected_components,
@@ -91,6 +98,11 @@ __all__ = [
     "IndexStore",
     "PersistentQueryEngine",
     "ShardedIndex",
+    "AdmissionQueue",
+    "CompactionPolicy",
+    "QueryService",
+    "ReadReplica",
+    "StoreLock",
     "ParallelConfig",
     "s_connected_components",
     "s_betweenness_centrality",

@@ -14,7 +14,12 @@ the built-in surrogate datasets:
 ``sweep``        batched multi-s sweep from one overlap-index build;
 ``index``        manage persistent overlap-index stores:
                  ``index build`` / ``index info`` / ``index compact`` /
-                 ``index query`` (warm-serve from an mmap'd snapshot).
+                 ``index query`` (warm-serve from an mmap'd snapshot);
+``serve``        long-running JSONL request loop over a store — the
+                 concurrent-service driver: one ``serve`` process is the
+                 single writer (async batched admission, background
+                 compaction), any number of ``serve --read-only``
+                 processes are hot-reloading read replicas.
 
 Examples
 --------
@@ -30,11 +35,14 @@ Examples
     python -m repro index build --dataset email-euall --path idx/ --shards 8
     python -m repro index query --path idx/ --s 3 --metric pagerank --sharded
     python -m repro index compact --path idx/
+    echo '{"op": "metric", "s": 3, "metric": "pagerank"}' \
+        | python -m repro serve --path idx/ --read-only
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Optional, Sequence
@@ -279,6 +287,91 @@ def _cmd_index_query(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Request ops that only read — safe to fan out over worker threads.
+_SERVE_QUERY_OPS = frozenset({"metric", "components", "sweep", "stats"})
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Long-running JSONL loop: one request object per input line, one
+    response object per output line (see :meth:`QueryService.serve`).
+
+    Runs of consecutive query requests are served as one batch across
+    ``--workers`` threads; mutating requests (and anything else) act as
+    batch boundaries so sequential semantics are preserved.  A
+    ``{"op": "stop"}`` line (or EOF) ends the loop.  The writer process
+    holds the store's single-writer lock; start any number of
+    ``--read-only`` processes alongside it for concurrent serving.
+    """
+    from repro.service import CompactionPolicy, QueryService
+
+    if args.read_only and (args.compact_after is not None or args.max_batch is not None):
+        raise SystemExit(
+            "--compact-after/--max-batch configure the writer; they have no "
+            "effect with --read-only"
+        )
+    policy = None
+    if args.compact_after is not None:
+        policy = CompactionPolicy(max_wal_records=args.compact_after, max_wal_bytes=None)
+    service = QueryService(
+        args.path,
+        read_only=args.read_only,
+        sharded=not args.materialize,
+        num_workers=args.workers,
+        max_batch=args.max_batch if args.max_batch is not None else 64,
+        compaction=policy,
+    )
+    stream = open(args.requests, "r", encoding="utf-8") if args.requests else sys.stdin
+    served = 0
+    pending: list = []  # consecutive query requests awaiting one serve() batch
+
+    def emit(response) -> None:
+        print(json.dumps(response), flush=True)
+
+    def drain_queries() -> None:
+        nonlocal served
+        if pending:
+            for response in service.serve(pending):
+                emit(response)
+            served += len(pending)
+            pending.clear()
+
+    try:
+        emit({"ok": True, "op": "ready", "read_only": args.read_only,
+              "generation": service.generation})
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                drain_queries()
+                emit({"ok": False, "error": f"bad JSON: {exc}"})
+                continue
+            if not isinstance(request, dict):
+                drain_queries()
+                emit({"ok": False, "error": "request must be an object"})
+                continue
+            if request.get("op") == "stop":
+                break
+            if request.get("op") in _SERVE_QUERY_OPS:
+                pending.append(request)
+                if args.requests is None:
+                    # Interactive (stdin) callers expect an answer per line.
+                    drain_queries()
+                continue
+            drain_queries()
+            emit(service.execute(request))
+            served += 1
+        drain_queries()
+    finally:
+        service.close()
+        if args.requests:
+            stream.close()
+    emit({"ok": True, "op": "stopped", "served": served})
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -371,6 +464,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream from mmap'd shards instead of materialising the index",
     )
     ip.set_defaults(func=_cmd_index_query)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running JSONL query/update loop over a store "
+        "(single writer + any number of --read-only replicas)",
+    )
+    p.add_argument("--path", required=True, help="store directory")
+    p.add_argument(
+        "--read-only",
+        action="store_true",
+        help="serve as a hot-reloading read replica (no writer lock taken)",
+    )
+    p.add_argument(
+        "--requests", help="JSONL request file (default: read stdin)"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="thread fan-out for runs of consecutive query requests",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="admission-queue group-commit size (writer mode; default 64)",
+    )
+    p.add_argument(
+        "--compact-after",
+        type=int,
+        default=None,
+        help="background-compact once the WAL holds this many records",
+    )
+    p.add_argument(
+        "--materialize",
+        action="store_true",
+        help="serve from a materialised index instead of mmap'd shards",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -1,4 +1,4 @@
-"""A small LRU result cache for the query engine.
+"""A small thread-safe LRU result cache for the query engine.
 
 Keys are ``(hypergraph fingerprint, s, kind)`` tuples where ``kind`` names
 what is cached ("line_graph", "squeezed", or a Stage-5 metric name).  The
@@ -7,10 +7,28 @@ unreachable; the engine additionally *re-keys* entries that provably cannot
 have changed after an incremental update (see
 :meth:`repro.engine.QueryEngine.add_hyperedge`), so the cache doubles as the
 bookkeeping structure for selective invalidation.
+
+Concurrency contract
+--------------------
+Every public method is atomic (an internal re-entrant lock serialises
+mutations of the ordering dict and the counters), so any number of threads
+may ``get``/``put``/``peek`` concurrently — the prerequisite for the
+multi-threaded :class:`repro.service.QueryService`.  Two guarantees are
+deliberately *not* made:
+
+* ``get`` then ``put`` is not one atomic operation: two threads that miss
+  the same key may both compute it and both ``put`` — the second insert
+  wins.  Engine results are deterministic for a key, so this only costs a
+  duplicated computation, never an inconsistent cache.
+* Multi-key passes (the engine's ``_migrate_cache`` over :meth:`keys`)
+  are not atomic as a whole; callers that need a consistent multi-entry
+  view must serialise against writers externally (the service layer's
+  readers-writer lock does exactly this for incremental updates).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, List, Optional, Tuple
 
@@ -28,26 +46,30 @@ class LRUCache:
             raise ValidationError("cache maxsize must be >= 1")
         self.maxsize = int(maxsize)
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
         """Membership test without touching recency or counters."""
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, marking it most recently used."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key`` with *no* side effects.
@@ -57,36 +79,42 @@ class LRUCache:
         selective invalidation inspects entries while re-keying them, which
         must not distort the service-traffic statistics or the LRU order).
         """
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            return default
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                return default
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``, evicting the LRU entry when full."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def pop(self, key: Hashable, default: Any = None) -> Any:
         """Remove and return ``key`` (no counter updates)."""
-        return self._data.pop(key, default)
+        with self._lock:
+            return self._data.pop(key, default)
 
     def keys(self) -> List[Hashable]:
         """Snapshot of the cached keys, LRU first."""
-        return list(self._data.keys())
+        with self._lock:
+            return list(self._data.keys())
 
     def rekey(self, old_key: Hashable, new_key: Hashable) -> bool:
         """Move an entry to a new key preserving its value; False if absent."""
-        value = self._data.pop(old_key, _MISSING)
-        if value is _MISSING:
-            return False
-        self._data[new_key] = value
-        return True
+        with self._lock:
+            value = self._data.pop(old_key, _MISSING)
+            if value is _MISSING:
+                return False
+            self._data[new_key] = value
+            return True
 
     def clear(self) -> None:
         """Drop every entry (counters are retained)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()

@@ -221,6 +221,12 @@ class OverlapIndex:
         if pair_ids.size:
             if int(pair_ids.max()) >= self.num_hyperedges or int(pair_ids.min()) < 0:
                 raise ValidationError("pair IDs must reference existing hyperedges")
+            # The incoming row must itself be weight-ascending: np.insert
+            # places values that land at the same position in *given* order,
+            # so an unsorted row would corrupt the binary-search invariant.
+            order = np.argsort(pair_weights, kind="stable")
+            pair_ids = pair_ids[order]
+            pair_weights = pair_weights[order]
             # The new edge has the largest ID, so pairs are (existing, new).
             new_pairs = np.column_stack(
                 [pair_ids, np.full(pair_ids.size, new_id, dtype=np.int64)]

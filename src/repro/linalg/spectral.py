@@ -17,6 +17,16 @@ from repro.utils.validation import ValidationError
 DENSE_THRESHOLD = 64
 
 
+def _start_vector(n: int) -> np.ndarray:
+    """Deterministic ARPACK starting vector.
+
+    Without ``v0`` ARPACK draws a random start per call, making iterative
+    eigenvalues (and any test or cached result built on them) vary run to
+    run near the tolerance; a fixed seeded vector keeps them reproducible.
+    """
+    return np.random.default_rng(0).standard_normal(n)
+
+
 def smallest_eigenvalues(matrix: sparse.spmatrix, k: int = 2) -> np.ndarray:
     """The ``k`` smallest eigenvalues of a symmetric matrix, ascending.
 
@@ -36,7 +46,14 @@ def smallest_eigenvalues(matrix: sparse.spmatrix, k: int = 2) -> np.ndarray:
         eigs = np.linalg.eigvalsh(mat.toarray())
         return np.sort(eigs)[:k]
     try:
-        eigs = splinalg.eigsh(mat, k=k, which="SM", return_eigenvectors=False, tol=1e-8)
+        eigs = splinalg.eigsh(
+            mat,
+            k=k,
+            which="SM",
+            return_eigenvectors=False,
+            tol=1e-8,
+            v0=_start_vector(n),
+        )
         return np.sort(eigs)
     except (splinalg.ArpackNoConvergence, splinalg.ArpackError, RuntimeError):
         eigs = np.linalg.eigvalsh(mat.toarray())
@@ -60,7 +77,9 @@ def largest_eigenvalue(matrix: sparse.spmatrix) -> float:
         return float(np.linalg.eigvalsh(mat.toarray())[-1])
     try:
         return float(
-            splinalg.eigsh(mat, k=1, which="LA", return_eigenvectors=False)[0]
+            splinalg.eigsh(
+                mat, k=1, which="LA", return_eigenvectors=False, v0=_start_vector(n)
+            )[0]
         )
     except (splinalg.ArpackNoConvergence, splinalg.ArpackError, RuntimeError):
         return float(np.linalg.eigvalsh(mat.toarray())[-1])

@@ -1,0 +1,41 @@
+"""Concurrent serving layer: one writer, many readers, one shared store.
+
+PR 2's store made the overlap index a durable artefact; this package makes
+it a *served* one.  The pieces, bottom-up:
+
+* :class:`StoreLock` (:mod:`repro.service.lock`) — cross-process
+  single-writer protocol: an advisory ``flock`` plus lease metadata in the
+  store directory, auto-released by the kernel if the writer dies;
+* :class:`ReadReplica` (:mod:`repro.service.replica`) — read-only engine
+  that polls the store's change token and hot-reloads after WAL appends
+  and compactions without dropping in-flight queries;
+* :class:`AdmissionQueue` (:mod:`repro.service.admission`) — async batched
+  update admission: bounded queue with backpressure, one writer thread
+  coalescing mutations into single-fsync WAL group commits, futures as
+  durability acknowledgements;
+* :class:`CompactionPolicy` / :class:`BackgroundCompactor`
+  (:mod:`repro.service.compaction`) — fold the WAL into a new snapshot
+  generation off the query path when it grows past thresholds;
+* :class:`QueryService` (:mod:`repro.service.service`) — the façade: a
+  writer (or read-only replica) serving batched s-metric requests across
+  worker threads under a readers-writer lock.
+"""
+
+from repro.service.admission import AdmissionQueue, AdmissionStats
+from repro.service.compaction import BackgroundCompactor, CompactionPolicy
+from repro.service.lock import StoreLock, StoreLockHeldError
+from repro.service.replica import ReadReplica
+from repro.service.service import QueryService
+from repro.service.sync import RWLock
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmissionStats",
+    "BackgroundCompactor",
+    "CompactionPolicy",
+    "QueryService",
+    "RWLock",
+    "ReadReplica",
+    "StoreLock",
+    "StoreLockHeldError",
+]

@@ -1,0 +1,127 @@
+"""Background compaction: fold the WAL into a new snapshot generation.
+
+Between compactions the write-ahead log grows with every admitted batch and
+every reader reload replays it in full, so recovery and replica-refresh
+costs climb linearly.  :class:`CompactionPolicy` says *when* folding is
+worth it (WAL record/byte thresholds, rate-limited); the
+:class:`BackgroundCompactor` thread evaluates the policy off the query
+path and runs :meth:`~repro.store.PersistentQueryEngine.compact` under the
+service's exclusive lock, cooperating with the admission writer.  Readers
+in other processes pick the new generation up through their change token
+(:class:`~repro.service.ReadReplica` hot reload); their already-open mmaps
+of the swept generation stay valid until their in-flight queries finish.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.service.sync import RWLock
+from repro.store.persistent import PersistentQueryEngine
+from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """Thresholds that trigger folding the WAL into a fresh snapshot.
+
+    Compaction runs when the log holds at least ``max_wal_records`` records
+    *or* at least ``max_wal_bytes`` bytes (``None`` disables a threshold),
+    but never more often than every ``min_interval_seconds``.  An empty
+    log never triggers.
+    """
+
+    max_wal_records: Optional[int] = 1024
+    max_wal_bytes: Optional[int] = 8 * 1024 * 1024
+    min_interval_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_wal_records is None and self.max_wal_bytes is None:
+            raise ValidationError(
+                "CompactionPolicy needs at least one threshold "
+                "(max_wal_records or max_wal_bytes)"
+            )
+
+    def should_compact(self, wal_records: int, wal_bytes: int) -> bool:
+        if wal_records <= 0:
+            return False
+        if self.max_wal_records is not None and wal_records >= self.max_wal_records:
+            return True
+        if self.max_wal_bytes is not None and wal_bytes >= self.max_wal_bytes:
+            return True
+        return False
+
+
+class BackgroundCompactor:
+    """Daemon thread compacting a persistent engine when the policy fires.
+
+    Parameters
+    ----------
+    engine:
+        The (writable) store-backed engine to compact.
+    write_lock:
+        The service's :class:`RWLock`; compaction holds its exclusive side,
+        so it serialises against the admission writer and in-flight
+        queries without any extra protocol.
+    policy / poll_interval:
+        When to compact, and how often to check.
+    """
+
+    def __init__(
+        self,
+        engine: PersistentQueryEngine,
+        write_lock: RWLock,
+        policy: Optional[CompactionPolicy] = None,
+        poll_interval: float = 0.1,
+    ) -> None:
+        self._engine = engine
+        self._write_lock = write_lock
+        self.policy = policy if policy is not None else CompactionPolicy()
+        self._poll_interval = float(poll_interval)
+        self._stop = threading.Event()
+        self._last_compacted = float("-inf")
+        #: Completed compactions (observability / tests).
+        self.compactions = 0
+        self._thread = threading.Thread(
+            target=self._run, name="background-compactor", daemon=True
+        )
+        self._thread.start()
+
+    def _wal_bytes(self) -> int:
+        try:
+            return os.path.getsize(self._engine.store.wal.path)
+        except OSError:
+            return 0
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._poll_interval):
+            try:
+                self.maybe_compact()
+            except Exception:
+                # Compaction failure must not kill the service loop; the
+                # WAL stays authoritative and the next tick retries.
+                continue
+
+    def maybe_compact(self, force: bool = False) -> bool:
+        """Compact now if the policy (or ``force``) says so; True when run."""
+        if not force:
+            if time.monotonic() - self._last_compacted < self.policy.min_interval_seconds:
+                return False
+            if not self.policy.should_compact(
+                self._engine.store.num_wal_records(), self._wal_bytes()
+            ):
+                return False
+        with self._write_lock.write():
+            self._engine.compact()
+        self._last_compacted = time.monotonic()
+        self.compactions += 1
+        return True
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Stop the polling thread (any in-progress compaction finishes)."""
+        self._stop.set()
+        self._thread.join(timeout=timeout)

@@ -1,0 +1,397 @@
+"""The query service: one store, one writer, many threads, many readers.
+
+:class:`QueryService` ties the serving subsystem together.  In **writer**
+mode it takes the cross-process :class:`~repro.service.StoreLock`, opens
+(or builds) a :class:`~repro.store.PersistentQueryEngine`, and starts the
+:class:`~repro.service.AdmissionQueue` writer thread plus — when a
+:class:`~repro.service.CompactionPolicy` is given — the background
+compactor.  In **read-only** mode it serves from a hot-reloading
+:class:`~repro.service.ReadReplica` and takes no lock, so any number of
+reader processes can share the store with the writer.
+
+Queries run concurrently under the shared side of one
+:class:`~repro.service.sync.RWLock`; updates and compactions take the
+exclusive side, so a query never observes a half-applied batch.  Batched
+request lists fan out over worker threads via
+:func:`repro.parallel.executor.run_partitioned` — the same executor layer
+the Stage-3 algorithms use.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import METRIC_FUNCTIONS
+from repro.engine.engine import QueryEngine, SweepResult
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.parallel.executor import ParallelConfig, run_partitioned
+from repro.service.admission import AdmissionQueue, AdmissionStats
+from repro.service.compaction import BackgroundCompactor, CompactionPolicy
+from repro.service.lock import StoreLock
+from repro.service.replica import ReadReplica
+from repro.service.sync import RWLock
+from repro.store.format import PathLike, ReadOnlyStoreError
+from repro.utils.validation import ValidationError
+
+#: A serving request: ``{"op": ..., ...}`` (see :meth:`QueryService.serve`).
+Request = Mapping[str, object]
+
+
+class QueryService:
+    """Concurrent serving façade over one shared store (module docstring).
+
+    Parameters
+    ----------
+    path:
+        Store directory.
+    hypergraph / create:
+        Forwarded to :meth:`QueryEngine.from_store` (writer mode): supply a
+        hypergraph and ``create=True`` to build a store that does not exist.
+    read_only:
+        Serve as a read replica: no writer lock, no admission queue;
+        ``submit_add`` / ``submit_remove`` / ``compact`` raise
+        :class:`~repro.store.ReadOnlyStoreError`.
+    sharded:
+        Serve from mmap'd shards (default) instead of a materialised index.
+    num_workers:
+        Default thread fan-out for :meth:`serve` request batches.
+    max_pending / max_batch:
+        Admission-queue bound and coalescing limit (writer mode).
+    compaction:
+        A :class:`CompactionPolicy` to enable background compaction
+        (``None`` — the default — leaves compaction manual).
+    lock_timeout:
+        Seconds to wait for the writer lock (``None``: fail immediately
+        when another writer holds it).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        hypergraph: Optional[Hypergraph] = None,
+        create: bool = False,
+        read_only: bool = False,
+        sharded: bool = True,
+        num_workers: int = 4,
+        algorithm: str = "hashmap",
+        num_shards: int = 4,
+        cache_size: int = 256,
+        max_pending: int = 1024,
+        max_batch: int = 64,
+        compaction: Optional[CompactionPolicy] = None,
+        compaction_poll_interval: float = 0.1,
+        replica_poll_interval: float = 0.0,
+        lock_timeout: Optional[float] = None,
+        config: Optional[ParallelConfig] = None,
+    ) -> None:
+        self.path = str(path)
+        self.read_only = bool(read_only)
+        self._num_workers = int(num_workers)
+        self._rw = RWLock()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._lock: Optional[StoreLock] = None
+        self._admission: Optional[AdmissionQueue] = None
+        self._compactor: Optional[BackgroundCompactor] = None
+        self._replica: Optional[ReadReplica] = None
+
+        if self.read_only:
+            self._engine = None
+            self._replica = ReadReplica(
+                path,
+                sharded=sharded,
+                poll_interval=replica_poll_interval,
+                cache_size=cache_size,
+                config=config,
+            )
+            return
+
+        self._lock = StoreLock(path, owner="QueryService").acquire(
+            blocking=lock_timeout is not None, timeout=lock_timeout
+        )
+        try:
+            self._engine = QueryEngine.from_store(
+                path,
+                hypergraph=hypergraph,
+                create=create,
+                sharded=sharded,
+                algorithm=algorithm,
+                num_shards=num_shards,
+                cache_size=cache_size,
+                config=config,
+            )
+            self._admission = AdmissionQueue(
+                self._engine,
+                write_lock=self._rw,
+                max_pending=max_pending,
+                max_batch=max_batch,
+            )
+            if compaction is not None:
+                self._compactor = BackgroundCompactor(
+                    self._engine,
+                    self._rw,
+                    policy=compaction,
+                    poll_interval=compaction_poll_interval,
+                )
+        except BaseException:
+            self._lock.release()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> QueryEngine:
+        """The underlying engine (the replica's current one in reader mode)."""
+        if self._replica is not None:
+            return self._replica.engine
+        return self._engine
+
+    @property
+    def generation(self) -> int:
+        """Snapshot generation of the served view."""
+        if self._replica is not None:
+            return self._replica.generation
+        return self._engine.store.manifest.generation
+
+    def stats(self) -> Dict[str, object]:
+        """Engine + admission counters (the ``stats`` request payload)."""
+        out: Dict[str, object] = {
+            "read_only": self.read_only,
+            "generation": self.generation,
+            "fingerprint": self.engine.fingerprint(),
+        }
+        out["engine"] = vars(self.engine.stats())
+        if self._admission is not None:
+            out["admission"] = vars(self._admission.stats())
+        if self._replica is not None:
+            out["replica_reloads"] = self._replica.reloads
+        if self._compactor is not None:
+            out["compactions"] = self._compactor.compactions
+        return out
+
+    def admission_stats(self) -> Optional[AdmissionStats]:
+        return self._admission.stats() if self._admission is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Queries (shared lock: any number run concurrently)
+    # ------------------------------------------------------------------ #
+    def _query(self, method: str, *args, **kwargs):
+        """One dispatch rule for every read: the replica serves directly
+        (its engine swap is atomic), the writer's engine is read-locked
+        so no query overlaps an update batch or compaction."""
+        if self._replica is not None:
+            return getattr(self._replica, method)(*args, **kwargs)
+        with self._rw.read():
+            return getattr(self._engine, method)(*args, **kwargs)
+
+    def metric(self, s: int, name: str) -> np.ndarray:
+        return self._query("metric", s, name)
+
+    def metric_by_hyperedge(self, s: int, name: str) -> Dict[int, float]:
+        return self._query("metric_by_hyperedge", s, name)
+
+    def line_graph(self, s: int):
+        return self._query("line_graph", s)
+
+    #: ``extract(s)`` is the service-facing name for a threshold view.
+    extract = line_graph
+
+    def sweep(self, s_values: Iterable[int], metrics: Sequence[str] = ()) -> SweepResult:
+        return self._query("sweep", s_values, metrics=metrics)
+
+    def num_components(self, s: int) -> int:
+        """Number of s-connected components among non-isolated hyperedges."""
+        if self._replica is not None:
+            return self._replica.num_components(s)
+        labels = self.metric(s, "connected_components")
+        return int(labels.max()) + 1 if labels.size else 0
+
+    # ------------------------------------------------------------------ #
+    # Updates (async admission; writer mode only)
+    # ------------------------------------------------------------------ #
+    def _admission_or_raise(self) -> AdmissionQueue:
+        if self._admission is None:
+            raise ReadOnlyStoreError(
+                f"service for {self.path} is read-only; updates go through "
+                "the single writer process"
+            )
+        return self._admission
+
+    def submit_add(self, members: Iterable[int], name: Optional[object] = None) -> Future:
+        """Enqueue an add; the future resolves to the new hyperedge ID once
+        the update is applied and durable (see :class:`AdmissionQueue`)."""
+        return self._admission_or_raise().submit_add(members, name=name)
+
+    def submit_remove(self, edge_id: int) -> Future:
+        """Enqueue a remove; the future resolves once applied and durable."""
+        return self._admission_or_raise().submit_remove(edge_id)
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until every previously submitted update is durable."""
+        self._admission_or_raise().flush(timeout=timeout)
+
+    def compact(self) -> bool:
+        """Flush pending updates, then fold the WAL into a new generation."""
+        admission = self._admission_or_raise()
+        admission.flush()
+        if self._compactor is not None:
+            return self._compactor.maybe_compact(force=True)
+        with self._rw.write():
+            self._engine.compact()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Batched request serving
+    # ------------------------------------------------------------------ #
+    def serve(
+        self, requests: Sequence[Request], num_workers: Optional[int] = None
+    ) -> List[Dict[str, object]]:
+        """Serve a batch of requests across worker threads, in order.
+
+        Each request is a mapping with an ``op`` key:
+
+        ========== ==================================== =====================
+        op         arguments                            result payload
+        ========== ==================================== =====================
+        metric     ``s``, ``metric``                    ``values`` (by edge)
+        components ``s``                                ``count``
+        sweep      ``s_values`` or ``s_min``/``s_max``  ``edge_counts``, …
+        add        ``members``, ``name?``, ``wait?``    ``queued``/``edge_id``
+        remove     ``edge_id``, ``wait?``               ``queued``/``removed``
+        flush      —                                    ``flushed``
+        compact    —                                    ``generation``
+        stats      —                                    :meth:`stats`
+        ========== ==================================== =====================
+
+        Responses carry ``ok`` (bool) and, on failure, ``error``; request
+        order is preserved.  Worker threads share the engine through the
+        read lock, so queries parallelise while updates stay serialised.
+        """
+        if num_workers is None:
+            num_workers = self._num_workers
+        requests = list(requests)
+        if not requests:
+            return []
+        config = ParallelConfig(
+            num_workers=max(1, min(int(num_workers), len(requests))),
+            backend="thread",
+        )
+
+        def kernel(part: np.ndarray, worker_id: int):
+            return [(int(i), self.execute(requests[int(i)])) for i in part]
+
+        merged: List[Optional[Dict[str, object]]] = [None] * len(requests)
+        for partial in run_partitioned(kernel, np.arange(len(requests)), config):
+            for i, response in partial:
+                merged[i] = response
+        return merged  # type: ignore[return-value]
+
+    def execute(self, request: Request) -> Dict[str, object]:
+        """Serve one request mapping, never raising: errors become payloads."""
+        op = str(request.get("op", ""))
+        try:
+            return self._dispatch(op, request)
+        except Exception as exc:
+            return {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _dispatch(self, op: str, request: Request) -> Dict[str, object]:
+        if op == "metric":
+            s = int(request["s"])
+            name = str(request.get("metric", "connected_components"))
+            if name not in METRIC_FUNCTIONS:
+                raise ValidationError(
+                    f"unknown metric {name!r}; available: {sorted(METRIC_FUNCTIONS)}"
+                )
+            values = self.metric_by_hyperedge(s, name)
+            return {
+                "ok": True,
+                "op": op,
+                "s": s,
+                "metric": name,
+                "generation": self.generation,
+                "values": {str(k): float(v) for k, v in sorted(values.items())},
+            }
+        if op == "components":
+            s = int(request["s"])
+            return {"ok": True, "op": op, "s": s, "count": self.num_components(s)}
+        if op == "sweep":
+            if "s_values" in request:
+                s_values = [int(v) for v in request["s_values"]]  # type: ignore[arg-type]
+            else:
+                s_values = list(
+                    range(int(request.get("s_min", 1)), int(request["s_max"]) + 1)
+                )
+            metrics = [str(m) for m in request.get("metrics", ())]  # type: ignore[union-attr]
+            result = self.sweep(s_values, metrics=metrics)
+            return {
+                "ok": True,
+                "op": op,
+                "edge_counts": {str(s): int(n) for s, n in result.edge_counts.items()},
+                "active_counts": {
+                    str(s): int(n) for s, n in result.active_counts.items()
+                },
+            }
+        if op == "add":
+            future = self.submit_add(
+                [int(v) for v in request["members"]],  # type: ignore[arg-type]
+                name=request.get("name"),
+            )
+            if request.get("wait"):
+                return {"ok": True, "op": op, "edge_id": int(future.result())}
+            return {"ok": True, "op": op, "queued": True}
+        if op == "remove":
+            future = self.submit_remove(int(request["edge_id"]))
+            if request.get("wait"):
+                future.result()
+                return {"ok": True, "op": op, "removed": True}
+            return {"ok": True, "op": op, "queued": True}
+        if op == "flush":
+            self.flush()
+            return {"ok": True, "op": op, "flushed": True}
+        if op == "compact":
+            compacted = self.compact()
+            return {
+                "ok": True,
+                "op": op,
+                "compacted": bool(compacted),
+                "generation": self.generation,
+            }
+        if op == "stats":
+            return {"ok": True, "op": op, "stats": self.stats()}
+        raise ValidationError(
+            f"unknown op {op!r}; expected one of metric/components/sweep/"
+            "add/remove/flush/compact/stats"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop background threads, flush pending updates, drop the lock."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._compactor is not None:
+            self._compactor.stop()
+        if self._admission is not None:
+            self._admission.close()
+        if self._replica is not None:
+            self._replica.close()
+        if self._lock is not None:
+            self._lock.release()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "read-only" if self.read_only else "writer"
+        return f"QueryService(path={self.path!r}, {mode})"

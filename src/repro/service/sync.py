@@ -1,0 +1,64 @@
+"""Intra-process synchronisation primitives for the serving layer.
+
+The stdlib has no readers-writer lock; the service needs one because query
+traffic is read-dominated (many threads share the engine's index and cache)
+while updates and compactions must run exclusively.  :class:`RWLock` is
+writer-preferring: once a writer is waiting, new readers queue behind it,
+so a steady stream of queries cannot starve the admission batch or the
+background compactor.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """Writer-preferring shared/exclusive lock.
+
+    Any number of threads may hold the lock *shared* (:meth:`read`); one
+    thread at a time may hold it *exclusive* (:meth:`write`).  Not
+    re-entrant — a thread must not acquire the write side while holding
+    the read side (that deadlocks, as in any RW lock).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Hold the lock shared for the duration of the ``with`` block."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Hold the lock exclusive for the duration of the ``with`` block."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()

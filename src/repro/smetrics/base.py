@@ -18,6 +18,7 @@ from repro.graph.graph import Graph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.preprocessing import SqueezeResult
 from repro.parallel.executor import ParallelConfig
+from repro.utils.validation import ValidationError
 
 
 def line_graph_and_mapping(
@@ -59,3 +60,35 @@ def values_to_hyperedge_dict(
     return {
         int(mapping.new_to_old[i]): float(v) for i, v in enumerate(np.asarray(values))
     }
+
+
+def metric_via_engine(
+    engine,
+    h: Optional[Hypergraph],
+    s: int,
+    metric: str,
+    non_default: bool = False,
+) -> Dict[int, float]:
+    """Serve an s-measure from a :class:`~repro.engine.QueryEngine`.
+
+    The engine path replaces "build the line graph, squeeze, run the
+    metric" with a cached lookup — repeated calls cost a dictionary probe
+    instead of a rebuild.  Two guard rails keep it equivalent to the direct
+    path: the engine must describe the *same* hypergraph (fingerprints are
+    compared when ``h`` is supplied), and the caller must not have asked
+    for non-default measure parameters (``non_default=True``), because the
+    engine caches every metric under its :data:`METRIC_FUNCTIONS` defaults.
+    """
+    if non_default:
+        raise ValidationError(
+            f"engine-served {metric} supports only the default measure "
+            "parameters (the engine caches results computed with them); "
+            "drop engine= to use non-default parameters"
+        )
+    if h is not None and engine.fingerprint() != h.fingerprint():
+        raise ValidationError(
+            f"engine serves a different hypergraph than the one supplied "
+            f"(fingerprints {engine.fingerprint()[:12]}… vs "
+            f"{h.fingerprint()[:12]}…)"
+        )
+    return engine.metric_by_hyperedge(s, metric)

@@ -8,6 +8,18 @@ s-eccentricity and s-PageRank.
 
 All functions return ``{original hyperedge ID: score}`` restricted to the
 hyperedges that participate in the s-line graph.
+
+Engine-served centralities
+--------------------------
+Every measure with a :data:`~repro.core.pipeline.METRIC_FUNCTIONS`
+counterpart accepts ``engine=`` — a :class:`~repro.engine.QueryEngine`
+(or a store-backed one) whose overlap index and LRU cache serve the
+result: the first call per ``(s, metric)`` builds the line graph from a
+binary-search threshold view, repeated calls are dictionary lookups, and
+nothing is recomputed across different ``s``.  The engine caches results
+computed with the default measure parameters, so combining ``engine=``
+with non-default parameters (``normalized=False``, a custom ``damping``…)
+raises instead of silently serving a mismatched cache entry.
 """
 
 from __future__ import annotations
@@ -20,7 +32,11 @@ from repro.graph.distance import closeness_centrality, eccentricity, harmonic_ce
 from repro.graph.pagerank import pagerank
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.parallel.executor import ParallelConfig
-from repro.smetrics.base import line_graph_and_mapping, values_to_hyperedge_dict
+from repro.smetrics.base import (
+    line_graph_and_mapping,
+    metric_via_engine,
+    values_to_hyperedge_dict,
+)
 
 
 def s_betweenness_centrality(
@@ -31,6 +47,7 @@ def s_betweenness_centrality(
     config: Optional[ParallelConfig] = None,
     line_graph: Optional[SLineGraph] = None,
     include_isolated: bool = False,
+    engine=None,
 ) -> Dict[int, float]:
     """s-betweenness centrality of every participating hyperedge.
 
@@ -42,6 +59,11 @@ def s_betweenness_centrality(
     >>> max(scores, key=scores.get)   # hyperedge 2 bridges {0,1} and {3}
     2
     """
+    if engine is not None:
+        return metric_via_engine(
+            engine, h, s, "betweenness",
+            non_default=not normalized or line_graph is not None or include_isolated,
+        )
     graph, mapping, _ = line_graph_and_mapping(
         h, s, algorithm=algorithm, config=config, line_graph=line_graph,
         include_isolated=include_isolated,
@@ -58,8 +80,14 @@ def s_closeness_centrality(
     config: Optional[ParallelConfig] = None,
     line_graph: Optional[SLineGraph] = None,
     include_isolated: bool = False,
+    engine=None,
 ) -> Dict[int, float]:
     """s-closeness centrality (Wasserman–Faust corrected) of every participating hyperedge."""
+    if engine is not None:
+        return metric_via_engine(
+            engine, h, s, "closeness",
+            non_default=line_graph is not None or include_isolated,
+        )
     graph, mapping, _ = line_graph_and_mapping(
         h, s, algorithm=algorithm, config=config, line_graph=line_graph,
         include_isolated=include_isolated,
@@ -90,8 +118,14 @@ def s_eccentricity(
     config: Optional[ParallelConfig] = None,
     line_graph: Optional[SLineGraph] = None,
     include_isolated: bool = False,
+    engine=None,
 ) -> Dict[int, float]:
     """s-eccentricity of every participating hyperedge (within its component)."""
+    if engine is not None:
+        return metric_via_engine(
+            engine, h, s, "eccentricity",
+            non_default=line_graph is not None or include_isolated,
+        )
     graph, mapping, _ = line_graph_and_mapping(
         h, s, algorithm=algorithm, config=config, line_graph=line_graph,
         include_isolated=include_isolated,
@@ -108,12 +142,21 @@ def s_pagerank(
     config: Optional[ParallelConfig] = None,
     line_graph: Optional[SLineGraph] = None,
     include_isolated: bool = False,
+    engine=None,
 ) -> Dict[int, float]:
     """s-PageRank of every participating hyperedge.
 
     Used on the *dual* hypergraph this gives the s-clique-graph PageRank of
     the original vertices — the paper's Table II disease-ranking experiment.
     """
+    if engine is not None:
+        return metric_via_engine(
+            engine, h, s, "pagerank",
+            non_default=damping != 0.85
+            or weighted
+            or line_graph is not None
+            or include_isolated,
+        )
     graph, mapping, _ = line_graph_and_mapping(
         h, s, algorithm=algorithm, config=config, line_graph=line_graph,
         include_isolated=include_isolated,

@@ -15,7 +15,7 @@ from repro.core.slinegraph import SLineGraph
 from repro.graph.connected_components import connected_components
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.parallel.executor import ParallelConfig
-from repro.smetrics.base import line_graph_and_mapping
+from repro.smetrics.base import line_graph_and_mapping, metric_via_engine
 
 
 def s_component_labels(
@@ -25,13 +25,24 @@ def s_component_labels(
     config: Optional[ParallelConfig] = None,
     line_graph: Optional[SLineGraph] = None,
     include_isolated: bool = False,
+    engine=None,
 ) -> Dict[int, int]:
     """Component label of each hyperedge participating in the s-line graph.
 
     Hyperedges with ``|e| < s`` (not in ``E_s``) are never included;
     hyperedges in ``E_s`` with no s-incident partner appear only when
     ``include_isolated=True`` (each as its own singleton component).
+
+    With ``engine=`` the labels come from the engine's cached
+    ``connected_components`` metric (see
+    :func:`repro.smetrics.base.metric_via_engine`).
     """
+    if engine is not None:
+        labels = metric_via_engine(
+            engine, h, s, "connected_components",
+            non_default=line_graph is not None or include_isolated,
+        )
+        return {edge_id: int(label) for edge_id, label in labels.items()}
     graph, mapping, _ = line_graph_and_mapping(
         h, s, algorithm=algorithm, config=config, line_graph=line_graph,
         include_isolated=include_isolated,
@@ -48,6 +59,7 @@ def s_connected_components(
     line_graph: Optional[SLineGraph] = None,
     include_isolated: bool = False,
     min_size: int = 1,
+    engine=None,
 ) -> List[List[int]]:
     """The s-connected components as lists of original hyperedge IDs.
 
@@ -58,7 +70,7 @@ def s_connected_components(
     """
     labels = s_component_labels(
         h, s, algorithm=algorithm, config=config, line_graph=line_graph,
-        include_isolated=include_isolated,
+        include_isolated=include_isolated, engine=engine,
     )
     groups: Dict[int, List[int]] = {}
     for edge_id, component in labels.items():
@@ -74,6 +86,7 @@ def num_s_connected_components(
     algorithm: str = "hashmap",
     config: Optional[ParallelConfig] = None,
     include_isolated: bool = False,
+    engine=None,
 ) -> int:
     """Number of s-connected components (singleton components excluded by default)."""
     return len(
@@ -81,5 +94,6 @@ def num_s_connected_components(
             h, s, algorithm=algorithm, config=config,
             include_isolated=include_isolated,
             min_size=1 if include_isolated else 2,
+            engine=engine,
         )
     )

@@ -23,6 +23,7 @@ from repro.store.format import (
     FORMAT_VERSION,
     FingerprintMismatchError,
     Manifest,
+    ReadOnlyStoreError,
     ShardInfo,
     StoreError,
     StoreFormatError,
@@ -40,6 +41,7 @@ __all__ = [
     "IndexStore",
     "Manifest",
     "PersistentQueryEngine",
+    "ReadOnlyStoreError",
     "ShardInfo",
     "ShardedIndex",
     "StoreError",

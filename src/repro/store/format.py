@@ -52,6 +52,8 @@ EDGE_SIZES_NAME = "edge_sizes.npy"
 HYPERGRAPH_NAME = "hypergraph.npz"
 WAL_NAME = "wal.log"
 SHARD_DIR = "shards"
+#: Advisory single-writer lock file (see :class:`repro.service.StoreLock`).
+LOCK_NAME = "writer.lock"
 
 
 class StoreError(ValidationError):
@@ -64,6 +66,10 @@ class StoreFormatError(StoreError):
 
 class FingerprintMismatchError(StoreError):
     """The store describes a different hypergraph than the one supplied."""
+
+
+class ReadOnlyStoreError(StoreError):
+    """A write was attempted through a store handle opened read-only."""
 
 
 @dataclass

@@ -69,9 +69,25 @@ class PersistentQueryEngine(QueryEngine):
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def open(cls, path: PathLike, hypergraph: Optional[Hypergraph] = None, **kwargs):
-        """Open an existing store (recovering its WAL) and serve from it."""
-        return cls(IndexStore.open(path), hypergraph=hypergraph, **kwargs)
+    def open(
+        cls,
+        path: PathLike,
+        hypergraph: Optional[Hypergraph] = None,
+        read_only: bool = False,
+        **kwargs,
+    ):
+        """Open an existing store (recovering its WAL) and serve from it.
+
+        ``read_only=True`` opens a non-truncating, never-writing handle
+        suitable for concurrent reader processes; updates raise
+        :class:`repro.store.ReadOnlyStoreError` before any in-memory state
+        is touched.
+        """
+        return cls(
+            IndexStore.open(path, read_only=read_only),
+            hypergraph=hypergraph,
+            **kwargs,
+        )
 
     @classmethod
     def build(
@@ -94,6 +110,18 @@ class PersistentQueryEngine(QueryEngine):
             save_hypergraph=save_hypergraph,
         )
         return cls(store, hypergraph=h, config=config, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Updates (guarded up front so read-only handles never mutate the
+    # in-memory index before the store would reject the WAL append)
+    # ------------------------------------------------------------------ #
+    def add_hyperedge(self, members, name=None) -> int:
+        self.store.check_writable()
+        return super().add_hyperedge(members, name)
+
+    def remove_hyperedge(self, edge_id) -> None:
+        self.store.check_writable()
+        super().remove_hyperedge(edge_id)
 
     # ------------------------------------------------------------------ #
     # Durability hooks (called by QueryEngine after each update)
@@ -128,6 +156,7 @@ class PersistentQueryEngine(QueryEngine):
         query results stay valid: compaction changes the representation,
         never the logical state (the fingerprint is unchanged).
         """
+        self.store.check_writable()
         self.store.compact(num_shards=num_shards)
         if self.sharded:
             self._index = self.store.sharded_index(

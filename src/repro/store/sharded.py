@@ -16,6 +16,7 @@ replayed image of a write-ahead log on top of an immutable base snapshot.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -58,6 +59,12 @@ class ShardedIndex:
             raise ValidationError("max_resident_shards must be >= 1 or None")
         self._max_resident = max_resident_shards
         self._mmap = bool(mmap)
+        # Residency is the one structure concurrent *reader* threads race
+        # on (the service layer fans queries over a thread pool); the lock
+        # covers only the LRU bookkeeping, never the shard file I/O.
+        # Overlay mutations (add/remove) remain single-writer territory,
+        # serialised by the service's readers-writer lock.
+        self._residency_lock = threading.Lock()
         self._resident: "OrderedDict[int, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
         self._edge_sizes = load_edge_sizes(self._path, self._manifest)
         #: Number of shard file loads performed (observability / tests).
@@ -144,16 +151,23 @@ class ShardedIndex:
     # Shard residency
     # ------------------------------------------------------------------ #
     def _shard_arrays(self, shard_id: int) -> Tuple[np.ndarray, np.ndarray]:
-        cached = self._resident.get(shard_id)
-        if cached is not None:
-            self._resident.move_to_end(shard_id)
-            return cached
+        with self._residency_lock:
+            cached = self._resident.get(shard_id)
+            if cached is not None:
+                self._resident.move_to_end(shard_id)
+                return cached
         info = self._manifest.shards[shard_id]
+        # Two threads may both miss and load the same shard; the mmaps are
+        # identical views, the duplicate handle is dropped on insert.
         arrays = load_shard(self._path, info, mmap=self._mmap)
-        self._resident[shard_id] = arrays
-        self.shard_loads += 1
-        if self._max_resident is not None and len(self._resident) > self._max_resident:
-            self._resident.popitem(last=False)
+        with self._residency_lock:
+            self._resident[shard_id] = arrays
+            self.shard_loads += 1
+            if (
+                self._max_resident is not None
+                and len(self._resident) > self._max_resident
+            ):
+                self._resident.popitem(last=False)
         return arrays
 
     def _iter_filtered(self, s: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:

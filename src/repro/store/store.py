@@ -23,7 +23,8 @@
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from repro.store.format import (
     HYPERGRAPH_NAME,
     Manifest,
     PathLike,
+    ReadOnlyStoreError,
     SHARD_DIR,
     StoreError,
     StoreFormatError,
@@ -91,11 +93,21 @@ def _save_hypergraph_atomic(h: Hypergraph, path: str) -> None:
 class IndexStore:
     """Handle on one persistent overlap-index directory."""
 
-    def __init__(self, path: PathLike, manifest: Optional[Manifest] = None) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        manifest: Optional[Manifest] = None,
+        read_only: bool = False,
+    ) -> None:
         self.path = str(path)
+        #: Opened read-only: recovery never rewrites the log, and every
+        #: mutating method raises :class:`ReadOnlyStoreError` up front.
+        self.read_only = bool(read_only)
         self._manifest = manifest if manifest is not None else read_manifest(path)
         self.wal = WriteAheadLog(os.path.join(self.path, WAL_NAME))
-        #: Torn WAL tail detected (and truncated) when the store was opened.
+        #: Torn WAL tail detected when the store was opened (truncated in
+        #: writable mode; merely skipped in read-only mode, since a live
+        #: writer may still be appending that very record).
         self.recovered_torn_tail = False
         #: A whole log predating the live snapshot was discarded on open
         #: (crash between a compaction's manifest swap and its WAL truncate).
@@ -110,14 +122,28 @@ class IndexStore:
             r.generation is not None and r.generation != generation
             for r in records
         ):
-            # The log was written against an earlier snapshot generation: a
-            # compaction folded it in, swapped the manifest, and died before
-            # truncating.  Replaying it would double-apply; discard it.
-            self.wal.truncate()
+            # The log was written against a different snapshot generation
+            # than the manifest we read — after a compaction folded it in
+            # and died before truncating, or (read-only) a live writer
+            # compacted between our manifest and log reads.  Replaying it
+            # against this snapshot would mis-apply; ignore it.  The state
+            # served is the snapshot itself: consistent, possibly stale.
+            if not self.read_only:
+                self.wal.truncate()
             self.discarded_stale_wal = True
             return []
-        self.wal.commit_recovery(records, valid_bytes, torn)
+        if not self.read_only:
+            self.wal.commit_recovery(records, valid_bytes, torn)
         return records
+
+    def check_writable(self) -> None:
+        """Raise :class:`ReadOnlyStoreError` when opened with ``read_only=True``."""
+        if self.read_only:
+            raise ReadOnlyStoreError(
+                f"store at {self.path} was opened read-only; writes go "
+                "through the single writer (open with read_only=False "
+                "while holding the StoreLock)"
+            )
 
     # ------------------------------------------------------------------ #
     # Creation / opening
@@ -187,14 +213,24 @@ class IndexStore:
 
     @classmethod
     def open(
-        cls, path: PathLike, fingerprint: Optional[str] = None
+        cls,
+        path: PathLike,
+        fingerprint: Optional[str] = None,
+        read_only: bool = False,
     ) -> "IndexStore":
         """Open an existing store, recovering the WAL.
 
         When ``fingerprint`` is given it must match the store's *current*
         state (snapshot fingerprint advanced by any logged updates).
+
+        With ``read_only=True`` the handle never rewrites anything — WAL
+        recovery replays the valid prefix without truncating torn tails,
+        and :meth:`append_add` / :meth:`append_remove` / :meth:`compact`
+        raise :class:`ReadOnlyStoreError` instead of failing deep inside
+        the append path.  Any number of read-only handles may share a
+        store with one writer (see :class:`repro.service.StoreLock`).
         """
-        store = cls(path)
+        store = cls(path, read_only=read_only)
         if fingerprint is not None:
             current = store.current_fingerprint()
             if current is not None and current != fingerprint:
@@ -228,6 +264,28 @@ class IndexStore:
 
     def num_wal_records(self) -> int:
         return len(self._records)
+
+    @staticmethod
+    def state_token(path: PathLike) -> Tuple[int, int]:
+        """Cheap change-detection token: ``(generation, WAL byte length)``.
+
+        The token changes whenever a compaction swaps the manifest (the
+        generation bumps) or a writer appends/truncates the log — exactly
+        the events after which a reader's view is stale.  Reading it costs
+        one small-JSON parse plus one ``stat``; pollers (the service
+        layer's :class:`~repro.service.ReadReplica`) compare tokens instead
+        of re-opening the store.
+        """
+        generation = read_manifest(path).generation
+        try:
+            wal_bytes = os.path.getsize(os.path.join(str(path), WAL_NAME))
+        except OSError:
+            wal_bytes = 0
+        return generation, wal_bytes
+
+    def current_state_token(self) -> Tuple[int, int]:
+        """:meth:`state_token` of this store's directory (fresh from disk)."""
+        return self.state_token(self.path)
 
     def info(self) -> Dict[str, object]:
         """Human-facing summary (the CLI's ``index info`` payload)."""
@@ -324,6 +382,20 @@ class IndexStore:
     # ------------------------------------------------------------------ #
     # Durable incremental updates
     # ------------------------------------------------------------------ #
+    @contextmanager
+    def batch(self) -> Iterator["IndexStore"]:
+        """Group-commit scope for :meth:`append_add` / :meth:`append_remove`.
+
+        All records appended inside the ``with`` block share one fsync
+        (see :meth:`WriteAheadLog.batch`); none of them is durable — and so
+        none may be acknowledged to a client — until the block exits.  The
+        admission queue uses this to turn a coalesced batch of updates into
+        a single fsync.
+        """
+        self.check_writable()
+        with self.wal.batch():
+            yield self
+
     def append_add(
         self,
         edge_id: int,
@@ -334,6 +406,7 @@ class IndexStore:
         name: Optional[str] = None,
     ) -> WalRecord:
         """Make one ``add_hyperedge`` durable (fsynced before returning)."""
+        self.check_writable()
         record = self.wal.append_add(
             edge_id,
             members,
@@ -350,6 +423,7 @@ class IndexStore:
         self, edge_id: int, fingerprint: Optional[str] = None
     ) -> WalRecord:
         """Make one ``remove_hyperedge`` durable (fsynced before returning)."""
+        self.check_writable()
         record = self.wal.append_remove(
             edge_id,
             fingerprint=fingerprint,
@@ -374,6 +448,7 @@ class IndexStore:
         it by its generation stamp even if (4) the truncate never runs.
         Superseded and abandoned shard files are swept last.
         """
+        self.check_writable()
         old_manifest = self._manifest
         if num_shards is None:
             num_shards = max(1, len(old_manifest.shards))

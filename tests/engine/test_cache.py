@@ -83,3 +83,61 @@ class TestLRUCache:
     def test_rejects_nonpositive_maxsize(self):
         with pytest.raises(ValidationError):
             LRUCache(maxsize=0)
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations_stay_consistent(self):
+        """Hammer every operation from several threads: no exceptions, the
+        size bound holds, and the counters add up."""
+        import threading
+
+        cache = LRUCache(maxsize=32)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(500):
+                    key = (worker_id, i % 40)
+                    cache.put(key, i)
+                    # Keys are namespaced per worker, so a read returns a
+                    # value this worker put under the key (any iteration of
+                    # the 40-cycle) or None after an eviction/pop/rekey.
+                    value = cache.get(key)
+                    assert value is None or value % 40 == i % 40
+                    cache.peek(key)
+                    if i % 7 == 0:
+                        cache.pop(key)
+                    if i % 11 == 0:
+                        cache.rekey(key, (worker_id, "moved", i % 40))
+                    if i % 13 == 0:
+                        for k in cache.keys():
+                            cache.peek(k)
+                    len(cache)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert len(cache) <= 32
+        assert cache.hits + cache.misses == 6 * 500
+
+    def test_eviction_bound_under_concurrent_puts(self):
+        import threading
+
+        cache = LRUCache(maxsize=8)
+
+        def filler(base):
+            for i in range(300):
+                cache.put((base, i), i)
+
+        threads = [threading.Thread(target=filler, args=(b,)) for b in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(cache) <= 8
+        assert cache.evictions == 4 * 300 - len(cache)

@@ -170,3 +170,21 @@ class TestInterleavedUpdates:
         assert stats.incremental_adds == 2
         assert stats.incremental_removes == 2
         assert stats.index_builds == 1
+
+
+class TestWeightOrderInvariant:
+    def test_unsorted_overlap_row_keeps_weight_ascending_store(self):
+        """Regression: an overlap row whose weights arrive descending must
+        not corrupt the binary-search invariant (np.insert places values
+        that land at the same position in given order)."""
+        h = hypergraph_from_edge_lists([[]], num_vertices=1)
+        engine = QueryEngine(h)
+        engine.sweep(range(1, 5))
+        # Third add overlaps edge 1 with weight 2 and edge 2 with weight 1:
+        # a descending row inserted at one searchsorted position.
+        for members in ([0, 1, 2], [0, 1], [0, 2]):
+            engine.add_hyperedge(members)
+            engine.line_graph(2)
+        weights = engine.index.pairs_at_least(1)[1]
+        assert np.all(np.diff(weights) >= 0)
+        assert_matches_full_rebuild(engine, s_range=range(1, 5))

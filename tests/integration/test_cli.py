@@ -180,3 +180,125 @@ class TestIndexCommands:
         assert main(["index", "compact", "--path", store_dir]) == 0
         out = capsys.readouterr().out
         assert "compacted 0 WAL records into generation 1" in out
+
+
+class TestIndexErrorPaths:
+    """Failure modes of the ``index`` subcommands (only happy paths were
+    covered before): missing store directory, fingerprint mismatch,
+    corrupt manifest."""
+
+    @pytest.fixture
+    def store_dir(self, hyperedge_file, tmp_path, capsys):
+        path = str(tmp_path / "idx")
+        assert main(["index", "build", "--input", hyperedge_file, "--path", path]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_info_on_missing_store_dir(self, tmp_path):
+        from repro.store import StoreFormatError
+
+        with pytest.raises(StoreFormatError, match="no snapshot manifest"):
+            main(["index", "info", "--path", str(tmp_path / "nowhere")])
+
+    def test_query_on_missing_store_dir(self, tmp_path):
+        from repro.store import StoreFormatError
+
+        with pytest.raises(StoreFormatError, match="no snapshot manifest"):
+            main(["index", "query", "--path", str(tmp_path / "nowhere"), "--s", "2"])
+
+    def test_compact_on_missing_store_dir(self, tmp_path):
+        from repro.store import StoreFormatError
+
+        with pytest.raises(StoreFormatError, match="no snapshot manifest"):
+            main(["index", "compact", "--path", str(tmp_path / "nowhere")])
+
+    def test_query_detects_fingerprint_mismatch(self, store_dir):
+        """A hypergraph swapped in behind the snapshot's back must be
+        refused, not silently served with the stale index."""
+        import os
+
+        from repro.hypergraph.builders import hypergraph_from_edge_lists
+        from repro.io.serialization import save_hypergraph_npz
+        from repro.store import StoreError
+        from repro.store.format import HYPERGRAPH_NAME
+
+        other = hypergraph_from_edge_lists([[0, 1], [1, 2, 3]], num_vertices=4)
+        save_hypergraph_npz(other, os.path.join(store_dir, HYPERGRAPH_NAME))
+        with pytest.raises(StoreError, match="inconsistent"):
+            main(["index", "query", "--path", store_dir, "--s", "2"])
+
+    def test_corrupt_manifest_is_reported(self, store_dir, capsys):
+        import os
+
+        from repro.store import StoreFormatError
+        from repro.store.format import MANIFEST_NAME
+
+        with open(os.path.join(store_dir, MANIFEST_NAME), "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(StoreFormatError, match="not valid JSON"):
+            main(["index", "info", "--path", store_dir])
+
+    def test_unsupported_format_version_is_reported(self, store_dir):
+        import json
+        import os
+
+        from repro.store import StoreFormatError
+        from repro.store.format import MANIFEST_NAME
+
+        path = os.path.join(store_dir, MANIFEST_NAME)
+        with open(path) as handle:
+            manifest = json.load(handle)
+        manifest["format_version"] = 99
+        with open(path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(StoreFormatError, match="format version 99"):
+            main(["index", "info", "--path", store_dir])
+
+
+class TestServeCommand:
+    @pytest.fixture
+    def store_dir(self, hyperedge_file, tmp_path, capsys):
+        path = str(tmp_path / "idx")
+        assert main(["index", "build", "--input", hyperedge_file, "--path", path]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_serve_processes_a_request_file(self, store_dir, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "\n".join(
+                [
+                    json.dumps({"op": "metric", "s": 2, "metric": "pagerank"}),
+                    json.dumps({"op": "add", "members": [0, 1, 2], "wait": True}),
+                    json.dumps({"op": "flush"}),
+                    json.dumps({"op": "components", "s": 1}),
+                    "not json",
+                    json.dumps({"op": "stop"}),
+                    json.dumps({"op": "components", "s": 1}),  # after stop: ignored
+                ]
+            )
+            + "\n"
+        )
+        assert main(["serve", "--path", store_dir, "--requests", str(requests)]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert lines[0]["op"] == "ready" and not lines[0]["read_only"]
+        assert lines[1]["values"]  # metric response
+        assert lines[2]["edge_id"] == 4
+        assert lines[3]["flushed"]
+        assert lines[4]["count"] >= 1
+        assert not lines[5]["ok"] and "bad JSON" in lines[5]["error"]
+        assert lines[-1] == {"ok": True, "op": "stopped", "served": 4}
+
+    def test_serve_read_only_rejects_updates(self, store_dir, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(json.dumps({"op": "add", "members": [0, 1]}) + "\n")
+        assert main(
+            ["serve", "--path", store_dir, "--read-only", "--requests", str(requests)]
+        ) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert lines[0]["read_only"]
+        assert not lines[1]["ok"] and "read-only" in lines[1]["error"]

@@ -97,7 +97,9 @@ class TestEigenvalueHelpers:
         g = nx.path_graph(200)
         lap = laplacian_matrix(adjacency_of(g))
         ours = smallest_eigenvalues(lap, k=2)[1]
-        theirs = nx.algebraic_connectivity(g, method="lanczos")
+        # seed: the lanczos reference draws a random start vector per call,
+        # which occasionally misses the 1e-4 tolerance on this tiny value.
+        theirs = nx.algebraic_connectivity(g, method="lanczos", seed=0)
         assert ours == pytest.approx(theirs, rel=1e-4, abs=1e-8)
 
     def test_fiedler_value(self):

@@ -1,0 +1,166 @@
+"""StoreLock single-writer protocol and the RWLock primitive."""
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.service.lock import StoreLock, StoreLockHeldError
+from repro.service.sync import RWLock
+from repro.store.format import LOCK_NAME
+
+
+class TestStoreLock:
+    def test_acquire_release_cycle(self, tmp_path):
+        lock = StoreLock(tmp_path)
+        assert not lock.held
+        lock.acquire()
+        assert lock.held
+        assert os.path.isfile(tmp_path / LOCK_NAME)
+        lock.release()
+        assert not lock.held
+        # Released: a fresh handle can take it immediately.
+        with StoreLock(tmp_path) as second:
+            assert second.held
+
+    def test_second_handle_is_rejected_nonblocking(self, tmp_path):
+        with StoreLock(tmp_path, owner="writer-1"):
+            with pytest.raises(StoreLockHeldError, match="writer-1"):
+                StoreLock(tmp_path).acquire(blocking=False)
+
+    def test_blocking_acquire_times_out(self, tmp_path):
+        with StoreLock(tmp_path):
+            start = time.monotonic()
+            with pytest.raises(StoreLockHeldError):
+                StoreLock(tmp_path).acquire(timeout=0.2)
+            assert time.monotonic() - start >= 0.15
+
+    def test_lease_metadata_names_the_holder(self, tmp_path):
+        with StoreLock(tmp_path, owner="the-service") as lock:
+            lease = lock.holder()
+            assert lease["owner"] == "the-service"
+            assert lease["pid"] == os.getpid()
+            assert "host" in lease and "acquired_unix" in lease
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = StoreLock(tmp_path).acquire()
+        lock.release()
+        lock.release()
+
+    def test_double_acquire_same_handle_rejected(self, tmp_path):
+        lock = StoreLock(tmp_path).acquire()
+        try:
+            with pytest.raises(Exception, match="already held"):
+                lock.acquire()
+        finally:
+            lock.release()
+
+    def test_cross_process_exclusion(self, tmp_path):
+        """A lock held by another *process* blocks acquisition here, and a
+        dead holder's lock is reclaimable (the kernel releases flocks)."""
+        script = (
+            "import sys, time\n"
+            "from repro.service.lock import StoreLock\n"
+            "lock = StoreLock(sys.argv[1], owner='other-proc').acquire()\n"
+            "print('LOCKED', flush=True)\n"
+            "time.sleep(30)\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(tmp_path)],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "LOCKED"
+            with pytest.raises(StoreLockHeldError, match="other-proc"):
+                StoreLock(tmp_path).acquire(blocking=False)
+        finally:
+            proc.kill()
+            proc.wait()
+        # Holder died: the advisory lock is gone, acquisition succeeds.
+        with StoreLock(tmp_path) as lock:
+            assert lock.held
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        inside = threading.Barrier(3, timeout=5)
+
+        def reader():
+            with lock.read():
+                inside.wait()  # all three readers in simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RWLock()
+        order = []
+
+        def writer():
+            with lock.write():
+                order.append("w-in")
+                time.sleep(0.1)
+                order.append("w-out")
+
+        def reader():
+            with lock.read():
+                order.append("r")
+
+        with lock.read():  # writer must wait for this reader
+            t_w = threading.Thread(target=writer)
+            t_w.start()
+            time.sleep(0.05)  # let the writer start waiting
+        t_r = threading.Thread(target=reader)
+        t_r.start()
+        t_w.join(timeout=5)
+        t_r.join(timeout=5)
+        # The reader that arrived while the writer waited/held runs after it
+        # (writer preference), never between w-in and w-out.
+        assert order.index("w-out") == order.index("w-in") + 1
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = RWLock()
+        results = []
+        release_first_reader = threading.Event()
+
+        def long_reader():
+            with lock.read():
+                release_first_reader.wait(timeout=5)
+            results.append("r1-done")
+
+        def writer():
+            with lock.write():
+                results.append("w-done")
+
+        def late_reader():
+            with lock.read():
+                results.append("r2-done")
+
+        t1 = threading.Thread(target=long_reader)
+        t1.start()
+        time.sleep(0.02)
+        tw = threading.Thread(target=writer)
+        tw.start()
+        time.sleep(0.02)
+        t2 = threading.Thread(target=late_reader)
+        t2.start()
+        time.sleep(0.05)
+        # The late reader queued behind the waiting writer.
+        assert "r2-done" not in results
+        release_first_reader.set()
+        for t in (t1, tw, t2):
+            t.join(timeout=5)
+        assert results.index("w-done") < results.index("r2-done")

@@ -1,0 +1,202 @@
+"""QueryService façade: concurrent queries, admission, compaction, batching."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import QueryEngine
+from repro.service import CompactionPolicy, QueryService, StoreLockHeldError
+from repro.store.format import ReadOnlyStoreError
+from repro.store.store import IndexStore
+from repro.utils.rng import make_rng
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def store_path(community_hypergraph, tmp_path):
+    IndexStore.build(community_hypergraph, tmp_path / "idx", num_shards=4)
+    return str(tmp_path / "idx")
+
+
+def random_members(h, rng, size=5):
+    return np.unique(rng.choice(h.num_vertices, size=size, replace=False)).tolist()
+
+
+class TestLifecycle:
+    def test_create_builds_a_store(self, community_hypergraph, tmp_path):
+        path = str(tmp_path / "fresh")
+        with QueryService(path, hypergraph=community_hypergraph, create=True) as svc:
+            assert svc.generation == 0
+            assert svc.num_components(1) >= 1
+        assert IndexStore.exists(path)
+
+    def test_single_writer_lock_is_enforced(self, store_path):
+        with QueryService(store_path):
+            with pytest.raises(StoreLockHeldError):
+                QueryService(store_path)
+        # Lock released on close: a new writer may start.
+        with QueryService(store_path) as svc:
+            assert not svc.read_only
+
+    def test_readers_coexist_with_the_writer(self, store_path):
+        with QueryService(store_path) as writer:
+            with QueryService(store_path, read_only=True) as reader:
+                writer.submit_add([0, 1, 2, 3])
+                writer.flush()
+                assert (
+                    reader.metric_by_hyperedge(2, "pagerank")
+                    == writer.metric_by_hyperedge(2, "pagerank")
+                )
+
+    def test_read_only_service_rejects_updates(self, store_path):
+        with QueryService(store_path, read_only=True) as svc:
+            with pytest.raises(ReadOnlyStoreError):
+                svc.submit_add([0, 1])
+            with pytest.raises(ReadOnlyStoreError):
+                svc.submit_remove(0)
+            with pytest.raises(ReadOnlyStoreError):
+                svc.compact()
+            response = svc.execute({"op": "add", "members": [0, 1]})
+            assert response["ok"] is False
+            assert "read-only" in response["error"]
+
+    def test_close_is_idempotent(self, store_path):
+        svc = QueryService(store_path)
+        svc.close()
+        svc.close()
+
+
+class TestQueries:
+    def test_queries_match_fresh_engine(self, store_path, community_hypergraph):
+        with QueryService(store_path) as svc:
+            oracle = QueryEngine(community_hypergraph)
+            for s in (1, 2, 3):
+                assert svc.line_graph(s) == oracle.line_graph(s)
+                assert svc.metric_by_hyperedge(s, "pagerank") == pytest.approx(
+                    oracle.metric_by_hyperedge(s, "pagerank")
+                )
+            sweep = svc.sweep(range(1, 4), metrics=("connected_components",))
+            assert sweep.edge_counts == oracle.sweep(range(1, 4)).edge_counts
+
+    def test_serve_batch_preserves_order_across_workers(self, store_path):
+        with QueryService(store_path, num_workers=4) as svc:
+            requests = [{"op": "components", "s": s} for s in (1, 2, 3, 1, 2, 3)]
+            responses = svc.serve(requests)
+            assert [r["s"] for r in responses] == [1, 2, 3, 1, 2, 3]
+            assert all(r["ok"] for r in responses)
+            assert responses[0]["count"] == responses[3]["count"]
+
+    def test_serve_isolates_bad_requests(self, store_path):
+        with QueryService(store_path) as svc:
+            responses = svc.serve(
+                [
+                    {"op": "metric", "s": 2, "metric": "pagerank"},
+                    {"op": "metric", "s": 2, "metric": "nope"},
+                    {"op": "frobnicate"},
+                    {"op": "components", "s": 1},
+                ]
+            )
+            assert responses[0]["ok"] and responses[3]["ok"]
+            assert not responses[1]["ok"] and "unknown metric" in responses[1]["error"]
+            assert not responses[2]["ok"] and "unknown op" in responses[2]["error"]
+
+    def test_concurrent_queries_and_updates_stay_consistent(self, store_path):
+        """Hammer queries from several threads while updates stream in: every
+        response must equal the oracle for *some* consistent state, and the
+        final state must match a from-scratch rebuild."""
+        errors = []
+        stop = threading.Event()
+
+        with QueryService(store_path, max_batch=8) as svc:
+            def query_loop():
+                try:
+                    while not stop.is_set():
+                        labels = svc.metric(1, "connected_components")
+                        assert labels.ndim == 1
+                        svc.line_graph(2)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=query_loop) for _ in range(4)]
+            for t in threads:
+                t.start()
+            rng = make_rng(11)
+            futures = []
+            for _ in range(20):
+                futures.append(
+                    svc.submit_add(random_members(svc.engine.hypergraph, rng))
+                )
+            svc.flush()
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+            assert not errors
+            assert all(f.done() for f in futures)
+            oracle = QueryEngine(svc.engine.hypergraph)
+            for s in (1, 2, 3):
+                assert svc.line_graph(s) == oracle.line_graph(s), s
+
+
+class TestCompaction:
+    def test_manual_compact_folds_wal(self, store_path):
+        with QueryService(store_path) as svc:
+            rng = make_rng(5)
+            for _ in range(6):
+                svc.submit_add(random_members(svc.engine.hypergraph, rng))
+            assert svc.compact()
+            assert svc.generation == 1
+            assert svc.engine.store.num_wal_records() == 0
+            oracle = QueryEngine(svc.engine.hypergraph)
+            assert svc.line_graph(2) == oracle.line_graph(2)
+
+    def test_background_compaction_triggers_on_wal_growth(self, store_path):
+        policy = CompactionPolicy(max_wal_records=8, max_wal_bytes=None)
+        with QueryService(
+            store_path, compaction=policy, compaction_poll_interval=0.02
+        ) as svc:
+            rng = make_rng(6)
+            for _ in range(12):
+                svc.submit_add(random_members(svc.engine.hypergraph, rng))
+            svc.flush()
+            deadline = time.monotonic() + 10
+            while svc.generation == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert svc.generation >= 1
+            oracle = QueryEngine(svc.engine.hypergraph)
+            for s in (1, 2, 3):
+                assert svc.line_graph(s) == oracle.line_graph(s), s
+
+    def test_policy_validation(self):
+        with pytest.raises(ValidationError):
+            CompactionPolicy(max_wal_records=None, max_wal_bytes=None)
+        policy = CompactionPolicy(max_wal_records=4, max_wal_bytes=None)
+        assert not policy.should_compact(0, 0)  # empty log never triggers
+        assert not policy.should_compact(3, 10**9)  # bytes threshold disabled
+        assert policy.should_compact(4, 0)
+
+
+class TestRequestProtocol:
+    def test_add_wait_and_sweep_round_trip(self, store_path):
+        with QueryService(store_path) as svc:
+            n_before = svc.engine.hypergraph.num_edges
+            responses = svc.serve(
+                [
+                    {"op": "add", "members": [0, 1, 2], "wait": True},
+                    {"op": "flush"},
+                    {"op": "sweep", "s_min": 1, "s_max": 3},
+                    {"op": "stats"},
+                ],
+                num_workers=1,
+            )
+            assert responses[0] == {"ok": True, "op": "add", "edge_id": n_before}
+            assert responses[1]["flushed"]
+            assert set(responses[2]["edge_counts"]) == {"1", "2", "3"}
+            assert responses[3]["stats"]["admission"]["applied"] == 1
+
+    def test_compact_request_reports_generation(self, store_path):
+        with QueryService(store_path) as svc:
+            svc.submit_add([0, 1, 2])
+            response = svc.execute({"op": "compact"})
+            assert response["ok"] and response["generation"] == 1

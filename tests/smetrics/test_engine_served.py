@@ -1,0 +1,80 @@
+"""Engine-served s-measure endpoints (``engine=`` delegation)."""
+
+import pytest
+
+from repro.engine.engine import QueryEngine
+from repro.smetrics.centrality import (
+    s_betweenness_centrality,
+    s_closeness_centrality,
+    s_eccentricity,
+    s_pagerank,
+)
+from repro.smetrics.connected import (
+    num_s_connected_components,
+    s_component_labels,
+    s_connected_components,
+)
+from repro.utils.validation import ValidationError
+
+MEASURES = [
+    s_betweenness_centrality,
+    s_closeness_centrality,
+    s_eccentricity,
+    s_pagerank,
+]
+
+
+class TestDelegation:
+    @pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.__name__)
+    @pytest.mark.parametrize("s", [1, 2, 3])
+    def test_engine_path_matches_direct_path(self, small_random_hypergraph, measure, s):
+        engine = QueryEngine(small_random_hypergraph)
+        assert measure(small_random_hypergraph, s, engine=engine) == pytest.approx(
+            measure(small_random_hypergraph, s)
+        )
+
+    @pytest.mark.parametrize("s", [1, 2])
+    def test_component_functions_match(self, small_random_hypergraph, s):
+        engine = QueryEngine(small_random_hypergraph)
+        assert s_component_labels(small_random_hypergraph, s, engine=engine) == s_component_labels(
+            small_random_hypergraph, s
+        )
+        assert s_connected_components(
+            small_random_hypergraph, s, engine=engine
+        ) == s_connected_components(small_random_hypergraph, s)
+        assert num_s_connected_components(
+            small_random_hypergraph, s, engine=engine
+        ) == num_s_connected_components(small_random_hypergraph, s)
+
+    def test_repeat_calls_hit_the_cache(self, small_random_hypergraph):
+        engine = QueryEngine(small_random_hypergraph)
+        s_pagerank(small_random_hypergraph, 2, engine=engine)
+        hits_before = engine.stats().cache_hits
+        s_pagerank(small_random_hypergraph, 2, engine=engine)
+        assert engine.stats().cache_hits > hits_before
+
+    def test_hypergraph_can_be_omitted(self, small_random_hypergraph):
+        engine = QueryEngine(small_random_hypergraph)
+        assert s_pagerank(None, 2, engine=engine) == pytest.approx(
+            s_pagerank(small_random_hypergraph, 2)
+        )
+
+
+class TestGuardRails:
+    def test_mismatched_hypergraph_raises(self, small_random_hypergraph, paper_example):
+        engine = QueryEngine(paper_example)
+        with pytest.raises(ValidationError, match="different hypergraph"):
+            s_pagerank(small_random_hypergraph, 2, engine=engine)
+
+    def test_non_default_parameters_raise(self, small_random_hypergraph):
+        engine = QueryEngine(small_random_hypergraph)
+        with pytest.raises(ValidationError, match="default"):
+            s_betweenness_centrality(small_random_hypergraph, 2, normalized=False, engine=engine)
+        with pytest.raises(ValidationError, match="default"):
+            s_pagerank(small_random_hypergraph, 2, damping=0.5, engine=engine)
+        with pytest.raises(ValidationError, match="default"):
+            s_pagerank(small_random_hypergraph, 2, weighted=True, engine=engine)
+        with pytest.raises(ValidationError, match="default"):
+            s_closeness_centrality(small_random_hypergraph, 2, include_isolated=True, engine=engine)
+        with pytest.raises(ValidationError, match="default"):
+            s_component_labels(small_random_hypergraph, 2, include_isolated=True, engine=engine)
