@@ -45,7 +45,8 @@ def test_ablation_counter_policy(datasets, benchmark, report):
             + [round(results[name][policy][0] * 1e3, 2) for policy in POLICIES]
         )
     report(
-        f"Counter-policy ablation (s={S_VALUE}): per-iteration dict vs pre-allocated buffer (ms)\n"
+        f"Counter-policy ablation (s={S_VALUE}): "
+        "per-iteration dict vs pre-allocated buffer (ms)\n"
         + format_table(["dataset"] + POLICIES, rows),
         name="ablation_counter_policy",
     )

@@ -11,8 +11,6 @@ wall-clock spot check of the executor's ``grainsize`` parameter.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.benchmarks.reporting import format_table
 from repro.core.algorithms.hashmap import s_line_graph_hashmap
 from repro.parallel.executor import ParallelConfig
@@ -30,7 +28,9 @@ def test_ablation_grainsize_schedule_model(datasets, benchmark, report):
     costs = wedge_costs(h, s=S_VALUE)
 
     def sweep():
-        return grainsize_sweep(costs, NUM_WORKERS, GRAINSIZES, per_chunk_overhead=CHUNK_OVERHEAD)
+        return grainsize_sweep(
+            costs, NUM_WORKERS, GRAINSIZES, per_chunk_overhead=CHUNK_OVERHEAD
+        )
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = [
@@ -70,4 +70,6 @@ def test_bench_executor_grainsize_wallclock(datasets, benchmark):
     """Spot-check that the executor accepts grain-size control without overhead blowup."""
     h = datasets("livejournal")
     config = ParallelConfig(num_workers=4, strategy="blocked", grainsize=64)
-    benchmark.pedantic(lambda: s_line_graph_hashmap(h, S_VALUE, config=config), rounds=2, iterations=1)
+    benchmark.pedantic(
+        lambda: s_line_graph_hashmap(h, S_VALUE, config=config), rounds=2, iterations=1
+    )

@@ -10,8 +10,6 @@ restricted to toplexes is a subgraph of the full s-line graph.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.benchmarks.reporting import format_table
 from repro.core.algorithms.hashmap import s_line_graph_hashmap
 from repro.hypergraph.toplexes import simplify

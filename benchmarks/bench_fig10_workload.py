@@ -11,9 +11,6 @@ the blocked distribution heavily.  The visit counts are substrate-independent
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
 from repro.benchmarks.reporting import format_table
 from repro.core.algorithms.registry import run_variant
 

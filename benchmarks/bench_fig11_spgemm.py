@@ -67,7 +67,13 @@ def test_fig11_spgemm_comparison(datasets, benchmark, report, dataset_name):
         return {s: measure(h, s) for s in s_values}
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    methods = ["SpGEMM+Filter", "SpGEMM+Filter+Upper", "1CA", "2BA", "SpGEMM+Filter (scipy ref)"]
+    methods = [
+        "SpGEMM+Filter",
+        "SpGEMM+Filter+Upper",
+        "1CA",
+        "2BA",
+        "SpGEMM+Filter (scipy ref)",
+    ]
     rows = [
         [s] + [round(results[s][m] * 1e3, 2) for m in methods] for s in s_values
     ]

@@ -29,7 +29,10 @@ def test_fig5_gene_importance(virology, benchmark, report):
     )
     rows = []
     for s in result.s_values:
-        top = ", ".join(result.top_gene_names(s, 6)) if result.top_genes[s] else "(not computed)"
+        if result.top_genes[s]:
+            top = ", ".join(result.top_gene_names(s, 6))
+        else:
+            top = "(not computed)"
         rows.append([s, result.line_graph_sizes[s], len(result.components[s]), top])
     table = format_table(
         ["s", "line-graph edges", "components (size>=2)", "top genes by s-betweenness"], rows

@@ -11,8 +11,6 @@ hashmap variant achieves a substantial speedup).
 
 from __future__ import annotations
 
-import pytest
-
 from repro.benchmarks.reporting import format_table
 from repro.core.algorithms.registry import ALL_VARIANTS, run_variant
 
@@ -44,7 +42,8 @@ def test_fig7_variant_speedups(datasets, benchmark, report):
         for variant in ALL_VARIANTS
     ]
     report(
-        f"Figure 7 reproduction: speedup relative to 1CN (s={S_VALUE}, {NUM_WORKERS} workers)\n"
+        "Figure 7 reproduction: speedup relative to 1CN "
+        f"(s={S_VALUE}, {NUM_WORKERS} workers)\n"
         + format_table(headers, rows),
         name="fig7_variants",
     )

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
-
 from repro.benchmarks.reporting import format_table
 from repro.core.algorithms.hashmap import s_line_graph_hashmap
 from repro.generators.datasets import load_dataset

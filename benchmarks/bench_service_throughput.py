@@ -26,19 +26,22 @@ import sys
 import time
 
 import numpy as np
-import pytest
 
+from repro.benchmarks import quick_mode
 from repro.hypergraph.builders import hypergraph_from_edge_lists
 from repro.service import AdmissionQueue
 from repro.store import IndexStore
 from repro.store.persistent import PersistentQueryEngine
 from repro.utils.rng import make_rng
 
-NUM_RECORDS = 300
+#: Quick mode (REPRO_BENCH_QUICK=1, the CI perf-smoke job): fewer records
+#: and queries; the floors hold because both paths shrink together.
+BENCH_QUICK = quick_mode()
+NUM_RECORDS = 150 if BENCH_QUICK else 300
 MAX_BATCH = 64
-MIN_GROUP_COMMIT_SPEEDUP = 5.0
+MIN_GROUP_COMMIT_SPEEDUP = 4.0 if BENCH_QUICK else 5.0
 NUM_READERS = 4
-QUERIES_PER_READER = 40
+QUERIES_PER_READER = 20 if BENCH_QUICK else 40
 MIN_READER_SCALING = 1.5
 
 #: Small base hypergraph: admission throughput should be bounded by the
@@ -89,6 +92,12 @@ def test_group_commit_durability_speedup(tmp_path, report):
         f"group commit ({MAX_BATCH}/batch): {NUM_RECORDS / grouped:10.0f} records/s\n"
         f"speedup: {speedup:.1f}x",
         name="service_group_commit",
+        data={
+            "speedup": speedup,
+            "floor": MIN_GROUP_COMMIT_SPEEDUP,
+            "per_record_seconds": per_record,
+            "grouped_seconds": grouped,
+        },
     )
     assert speedup >= MIN_GROUP_COMMIT_SPEEDUP
 
@@ -124,6 +133,7 @@ def test_batched_admission_end_to_end(tmp_path, report):
         f"speedup: {speedup:.2f}x "
         "(grows with fsync latency; see module docstring)",
         name="service_admission_end_to_end",
+        data={"speedup": speedup, "floor": 1.2},
     )
     assert stats.batches < NUM_RECORDS  # coalescing actually happened
     assert speedup >= 1.2

@@ -37,7 +37,12 @@ def test_table2_disease_ranking(disgenet, benchmark, report):
         for s in S_VALUES:
             rank = result.full_rankings[s].get(name, None)
             pct = next((p for n, _, p in result.top_ranked[s] if n == name), None)
-            row.append("absent" if rank is None else f"{rank} ({pct:.1f}%)" if pct is not None else str(rank))
+            if rank is None:
+                row.append("absent")
+            elif pct is not None:
+                row.append(f"{rank} ({pct:.1f}%)")
+            else:
+                row.append(str(rank))
         rows.append(row)
     rows.append(["(graph edges)"] + [str(result.edge_counts[s]) for s in S_VALUES])
     table = format_table(headers, rows)

@@ -8,8 +8,6 @@ the laptop-scale surrogates and asserts the skew property.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.benchmarks.reporting import format_table
 from repro.generators.datasets import DATASET_SPECS, available_datasets
 from repro.hypergraph.properties import compute_stats

@@ -11,8 +11,6 @@ like the paper's table.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.benchmarks.reporting import format_table
 from repro.core.pipeline import SLinePipeline
 from repro.utils.timing import Timer

@@ -1,0 +1,109 @@
+"""Socket transport throughput — batched frames vs per-request round trips.
+
+The transport's claim: the wire does not give back what the serving layer
+won (batched request serving over worker threads).  Two measurements over
+one live :class:`~repro.service.SocketServer`:
+
+* **Batching beats round-tripping.**  N query requests sent as one
+  ``batch`` frame (one round trip, server-side thread fan-out) must beat
+  the same N requests sent one frame at a time — each of those pays a
+  send/receive syscall pair and a JSON envelope on both sides.  Floor:
+  **>= 2x** on loopback; the gap widens with real network latency, since
+  the per-request path pays one RTT per query and the batch path pays one
+  RTT per N.
+* **Durability acks over the wire.**  Updates submitted with
+  ``wait=True`` acknowledge only after the admission queue's group
+  commit; reported (no floor — fsync latency dominates and varies by
+  disk) so regressions in the ack path show up in the artefact history.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.benchmarks import quick_mode
+from repro.service import QueryService, ServiceClient, SocketServer
+from repro.store import IndexStore
+from repro.utils.rng import make_rng
+
+BENCH_QUICK = quick_mode()
+NUM_REQUESTS = 80 if BENCH_QUICK else 200
+NUM_UPDATES = 40 if BENCH_QUICK else 100
+MIN_BATCH_SPEEDUP = 1.5 if BENCH_QUICK else 2.0
+ROUNDS = 3
+S_CYCLE = (1, 2, 3, 4)
+
+
+@pytest.fixture(scope="module")
+def served_store(datasets, tmp_path_factory):
+    h = datasets("email-euall", scale=0.2)
+    path = tmp_path_factory.mktemp("transport") / "idx"
+    IndexStore.build(h, path, num_shards=4)
+    service = QueryService(path, max_batch=32)
+    server = SocketServer(service, port=0).start()
+    yield server
+    server.close()
+    service.close()
+
+
+def query_stream(n):
+    return [{"op": "components", "s": S_CYCLE[i % len(S_CYCLE)]} for i in range(n)]
+
+
+def test_batched_queries_beat_round_trips(served_store, report):
+    """One batch frame >= 2x faster than N sequential round trips."""
+    with ServiceClient(*served_store.address) as client:
+        requests = query_stream(NUM_REQUESTS)
+        client.batch(requests)  # warm engine caches on the server
+
+        per_request = float("inf")
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            responses = [client.call(r) for r in requests]
+            per_request = min(per_request, time.perf_counter() - start)
+
+        batched = float("inf")
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            batch_responses = client.batch(requests)
+            batched = min(batched, time.perf_counter() - start)
+
+    # Same answers either way, in order.
+    assert [r["count"] for r in responses] == [r["count"] for r in batch_responses]
+    assert all(r["ok"] for r in batch_responses)
+
+    speedup = per_request / batched
+    report(
+        f"Socket transport ({NUM_REQUESTS} component queries, loopback)\n"
+        f"per-request round trips: {NUM_REQUESTS / per_request:10.0f} queries/s\n"
+        f"one batch frame:         {NUM_REQUESTS / batched:10.0f} queries/s\n"
+        f"speedup: {speedup:.1f}x (widens with network RTT)",
+        name="transport_batch",
+        data={"speedup": speedup, "floor": MIN_BATCH_SPEEDUP},
+    )
+    assert speedup >= MIN_BATCH_SPEEDUP
+
+
+def test_durable_update_acks_over_the_wire(served_store, report):
+    """Every acknowledged update is fsynced; throughput is reported."""
+    service = served_store.service
+    rng = make_rng(3)
+    num_vertices = service.engine.hypergraph.num_vertices
+    with ServiceClient(*served_store.address) as client:
+        before = service.admission_stats().applied
+        start = time.perf_counter()
+        edge_ids = [
+            client.add(sorted(set(int(v) for v in rng.choice(num_vertices, size=4))))
+            for _ in range(NUM_UPDATES)
+        ]
+        elapsed = time.perf_counter() - start
+        assert all(isinstance(e, int) for e in edge_ids)
+        assert service.admission_stats().applied - before == NUM_UPDATES
+    report(
+        f"Durability-acked updates over TCP ({NUM_UPDATES} adds, wait=True)\n"
+        f"acked throughput: {NUM_UPDATES / elapsed:10.0f} updates/s "
+        "(each ack implies a group-commit fsync)",
+        name="transport_acked_updates",
+    )

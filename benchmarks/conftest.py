@@ -11,17 +11,24 @@ directly from the artefacts.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
+from repro.benchmarks import quick_mode
 from repro.generators.datasets import load_dataset
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Default scale factor applied to the Table IV surrogates in benchmarks.
 DEFAULT_SCALE = 0.3
+
+#: Quick mode (REPRO_BENCH_QUICK=1): smaller datasets and fewer rounds, so
+#: the CI perf-smoke job finishes in minutes.  Headline *floors* scale down
+#: with it — each bench module derives both from :func:`quick_mode`.
+BENCH_QUICK = quick_mode()
 
 
 @pytest.fixture(scope="session")
@@ -52,12 +59,24 @@ def datasets(bench_scale, bench_seed):
 
 @pytest.fixture
 def report(capsys, request):
-    """Print a paper-style table/series and persist it under benchmarks/results/."""
+    """Print a paper-style table/series and persist it under benchmarks/results/.
 
-    def _report(text: str, name: str | None = None) -> None:
+    Pass ``data=`` (a JSON-serialisable mapping) to additionally write
+    ``benchmarks/results/BENCH_<name>.json`` — the machine-readable
+    artefact the CI perf-smoke job uploads and gates on.  Headline
+    benchmarks put at least ``{"name", "speedup", "floor"}`` in it (see
+    ``benchmarks/check_perf_floors.py``).
+    """
+
+    def _report(text: str, name: str | None = None, data: dict | None = None) -> None:
         label = name or request.node.name.replace("/", "_")
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{label}.txt").write_text(text + "\n")
+        if data is not None:
+            payload = {"name": label, "quick": BENCH_QUICK, **data}
+            (RESULTS_DIR / f"BENCH_{label}.json").write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
         with capsys.disabled():
             print(f"\n{text}")
 

@@ -26,7 +26,9 @@ def ascii_bar(value: float, scale: float = 40.0) -> str:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--papers", type=int, default=1600, help="number of papers (hyperedges)")
+    parser.add_argument(
+        "--papers", type=int, default=1600, help="number of papers (hyperedges)"
+    )
     parser.add_argument("--seed", type=int, default=0, help="surrogate dataset seed")
     parser.add_argument("--max-s", type=int, default=16, help="largest s to sweep")
     args = parser.parse_args()

@@ -58,7 +58,7 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     start = time.perf_counter()
     warm = PersistentQueryEngine.open(store_dir, sharded=True)
-    sweep = warm.sweep(range(1, 9), metrics=("connected_components",))
+    warm.sweep(range(1, 9), metrics=("connected_components",))
     print(
         f"[boot 2] warm open + s=1..8 sweep in {time.perf_counter() - start:.4f}s "
         f"({built / max(time.perf_counter() - start, 1e-9):.0f}x faster than boot 1; "

@@ -64,7 +64,10 @@ def main() -> None:
     print("Number of 2-connected components:", result.num_components())
     print(
         "2-betweenness by hyperedge:",
-        {h.edge_name(e): round(v, 3) for e, v in result.metric_by_hyperedge("betweenness").items()},
+        {
+            h.edge_name(e): round(v, 3)
+            for e, v in result.metric_by_hyperedge("betweenness").items()
+        },
     )
 
     # ------------------------------------------------------------------ #

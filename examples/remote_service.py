@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Remote serving: a writer socket server, a replica server, N remote clients.
+
+PR 3's concurrent topology (one writer, many hot-reloading readers, one
+shared store directory) goes on the network: every query and update in
+this example crosses a TCP socket speaking the length-prefixed JSON
+protocol of :mod:`repro.service.transport`.
+
+1. **build** — persist the overlap index of a surrogate dataset once;
+2. **writer server** (this process) — a :class:`repro.service.QueryService`
+   holding the single-writer lock, fronted by a
+   :class:`~repro.service.SocketServer`; updates arrive through a
+   :class:`~repro.service.ServiceClient` with ``wait=True``, so every
+   acknowledged add/remove is already fsynced (durability acks over the
+   wire);
+3. **replica server** — a separate OS process running
+   ``python -m repro serve --read-only --listen`` against the same store
+   directory: a hot-reloading read replica behind its own socket;
+4. **reader clients** — ``N`` independent OS processes, each driving
+   s-centrality and s-component queries against the replica server purely
+   over TCP;
+5. **verification** — after every phase (snapshot, batched updates,
+   compaction-triggered hot reload) each reader's served values must be
+   byte-identical to the :class:`repro.core.pipeline.SLinePipeline` oracle
+   run on the writer's current hypergraph.
+
+Run:  python examples/remote_service.py [--readers 3] [--updates 40]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing as mp
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.core.pipeline import SLinePipeline
+from repro.generators.datasets import available_datasets, load_dataset
+from repro.service import QueryService, ServiceClient, SocketServer
+from repro.store import IndexStore
+from repro.utils.rng import make_rng
+
+#: (op kind, s) queries every reader serves in every phase.
+QUERIES = (("pagerank", 2), ("components", 1), ("components", 2))
+
+
+def oracle_answers(h) -> dict:
+    """The single-process five-stage pipeline, serialised like the wire."""
+    answers = {}
+    for kind, s in QUERIES:
+        if kind == "components":
+            pipeline = SLinePipeline(metrics=("connected_components",))
+            answers[f"components/{s}"] = pipeline.run(h, s).num_components()
+        else:
+            pipeline = SLinePipeline(
+                metrics=(kind,), drop_empty_edges=False, drop_isolated_vertices=False
+            )
+            values = pipeline.run(h, s).metric_by_hyperedge(kind)
+            answers[f"{kind}/{s}"] = json.dumps(
+                {str(k): float(v) for k, v in values.items()}, sort_keys=True
+            )
+    return answers
+
+
+def reader_client(address, reader_id, commands, results) -> None:
+    """One remote reader: serve query phases over TCP until told to stop."""
+    host, port = address
+    with ServiceClient(host, port) as client:
+        while True:
+            command = commands.get()
+            if command == "stop":
+                break
+            answers = {}
+            for kind, s in QUERIES:
+                if kind == "components":
+                    answers[f"components/{s}"] = client.components(s)
+                else:
+                    response = client.request({"op": "metric", "s": s, "metric": kind})
+                    answers[f"{kind}/{s}"] = json.dumps(
+                        response["values"], sort_keys=True
+                    )
+            results.put((reader_id, command, answers, client.generation()))
+
+
+def wait_for_convergence(client: ServiceClient, fingerprint: str, timeout=30.0) -> None:
+    """Poll a replica server until it serves the writer's current state."""
+    deadline = time.monotonic() + timeout
+    while client.fingerprint() != fingerprint:
+        if time.monotonic() > deadline:
+            raise RuntimeError("replica did not converge to the writer's state")
+        time.sleep(0.05)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", default=None, help="store directory (default: temp)")
+    parser.add_argument("--dataset", default="email-euall", choices=available_datasets())
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--readers", type=int, default=3)
+    parser.add_argument("--updates", type=int, default=40)
+    args = parser.parse_args()
+    store_path = args.store or os.path.join(tempfile.mkdtemp(), "idx")
+
+    # 1. Build the shared store.
+    h = load_dataset(args.dataset, scale=args.scale, seed=0)
+    IndexStore.build(h, store_path, num_shards=8)
+    print(f"store built at {store_path}: {h.num_edges} hyperedges")
+
+    # 2. Writer service + socket server (this process).
+    writer = QueryService(store_path, max_batch=32)
+    writer_server = SocketServer(writer, port=0).start()
+    print(f"writer serving on {writer_server.host}:{writer_server.port}")
+
+    # 3. Replica server: a separate OS process behind its own socket.
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    replica_proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--path", store_path,
+            "--read-only", "--listen", "127.0.0.1:0",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+        bufsize=1,
+    )
+    listening = json.loads(replica_proc.stdout.readline())
+    replica_address = (listening["host"], listening["port"])
+    print(f"replica serving on {replica_address[0]}:{replica_address[1]}")
+
+    # 4. Remote reader clients (separate OS processes, TCP only).
+    ctx = mp.get_context("spawn")
+    results = ctx.Queue()
+    commands = [ctx.Queue() for _ in range(args.readers)]
+    readers = [
+        ctx.Process(target=reader_client, args=(replica_address, i, commands[i], results))
+        for i in range(args.readers)
+    ]
+    for proc in readers:
+        proc.start()
+
+    def run_phase(phase: str) -> None:
+        expected = oracle_answers(writer.engine.hypergraph)
+        for queue in commands:
+            queue.put(phase)
+        for _ in readers:
+            reader_id, observed_phase, answers, generation = results.get(timeout=120)
+            assert observed_phase == phase
+            ok = answers == expected
+            print(
+                f"  reader {reader_id}: generation {generation} -> "
+                f"{'BYTE-IDENTICAL' if ok else 'MISMATCH'}"
+            )
+            assert ok, f"reader {reader_id} diverged in phase {phase}"
+
+    try:
+        with ServiceClient(*writer_server.address) as updater, ServiceClient(
+            *replica_address
+        ) as monitor:
+            print("phase 1: snapshot")
+            run_phase("snapshot")
+
+            # Batched updates over the wire; each response is a durability ack.
+            rng = make_rng(1)
+            start = time.perf_counter()
+            for i in range(args.updates):
+                members = sorted(set(int(v) for v in rng.choice(h.num_vertices, size=5)))
+                updater.add(members, wait=True)
+                if i % 10 == 9:
+                    updater.remove(int(rng.integers(h.num_edges)), wait=True)
+            elapsed = time.perf_counter() - start
+            stats = writer.admission_stats()
+            print(
+                f"phase 2: {stats.applied} durable updates over TCP in "
+                f"{elapsed:.2f}s ({stats.batches} group commits)"
+            )
+            wait_for_convergence(monitor, writer.engine.fingerprint())
+            run_phase("updated")
+
+            # Compaction: replica hot-reloads the new generation mid-serve.
+            generation = updater.compact()
+            print(f"phase 3: compacted to generation {generation}")
+            wait_for_convergence(monitor, writer.engine.fingerprint())
+            run_phase("compacted")
+    finally:
+        for queue in commands:
+            queue.put("stop")
+        for proc in readers:
+            proc.join(timeout=30)
+        replica_proc.terminate()
+        replica_proc.wait(timeout=30)
+        replica_proc.stdout.close()
+        writer_server.close()
+        writer.close()
+    print("writer and replica servers closed; all readers byte-identical")
+
+
+if __name__ == "__main__":
+    main()

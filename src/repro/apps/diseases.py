@@ -19,8 +19,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
-
-from repro.core.dispatch import s_line_graph
 from repro.generators.datasets import disgenet_surrogate
 from repro.graph.pagerank import pagerank, score_percentiles
 from repro.hypergraph.hypergraph import Hypergraph

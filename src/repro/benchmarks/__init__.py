@@ -6,10 +6,11 @@ stages, build speedup tables and print the rows/series the paper reports.
 """
 
 from repro.benchmarks.harness import (
-    time_callable,
-    stage_breakdown,
-    speedup_table,
+    quick_mode,
     scaling_series,
+    speedup_table,
+    stage_breakdown,
+    time_callable,
 )
 from repro.benchmarks.reporting import (
     format_table,
@@ -19,6 +20,7 @@ from repro.benchmarks.reporting import (
 )
 
 __all__ = [
+    "quick_mode",
     "time_callable",
     "stage_breakdown",
     "speedup_table",

@@ -2,12 +2,24 @@
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple, TypeVar
 
 from repro.utils.timing import StageTimes
 
 T = TypeVar("T")
+
+
+def quick_mode() -> bool:
+    """Whether benchmarks run in quick mode (``REPRO_BENCH_QUICK=1``).
+
+    The CI perf-smoke job sets it to trade dataset scale and repetition
+    rounds for wall-clock; bench modules derive their scales, rounds *and
+    floors* from this one flag so a missed copy cannot run a benchmark at
+    full scale against quick-mode floors.
+    """
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 
 def time_callable(fn: Callable[[], T], repeats: int = 1) -> Tuple[float, T]:

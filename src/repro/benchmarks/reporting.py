@@ -8,7 +8,7 @@ directly from the benchmark output.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Iterable, Mapping, Sequence, Tuple
 
 
 def print_experiment_header(experiment: str, description: str) -> None:

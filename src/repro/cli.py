@@ -15,11 +15,17 @@ the built-in surrogate datasets:
 ``index``        manage persistent overlap-index stores:
                  ``index build`` / ``index info`` / ``index compact`` /
                  ``index query`` (warm-serve from an mmap'd snapshot);
-``serve``        long-running JSONL request loop over a store — the
+``serve``        long-running request server over a store — the
                  concurrent-service driver: one ``serve`` process is the
                  single writer (async batched admission, background
                  compaction), any number of ``serve --read-only``
-                 processes are hot-reloading read replicas.
+                 processes are hot-reloading read replicas.  By default
+                 requests arrive as JSONL on stdin; with ``--listen
+                 HOST:PORT`` they arrive over TCP (length-prefixed JSON
+                 frames — see :mod:`repro.service.transport`);
+``connect``      drive ad-hoc queries against a ``serve --listen``
+                 server: one-shot metric queries with ``--s``, or a JSONL
+                 request loop proxied over the socket.
 
 Examples
 --------
@@ -37,6 +43,8 @@ Examples
     python -m repro index compact --path idx/
     echo '{"op": "metric", "s": 3, "metric": "pagerank"}' \
         | python -m repro serve --path idx/ --read-only
+    python -m repro serve --path idx/ --listen 127.0.0.1:7474
+    python -m repro connect --address 127.0.0.1:7474 --s 3 --metric pagerank
 """
 
 from __future__ import annotations
@@ -163,7 +171,10 @@ def _cmd_variants(args: argparse.Namespace) -> int:
     baseline = runtimes["1CN"]
     print(f"speedup relative to 1CN (s={args.s}, {args.workers} workers)")
     for notation in sorted(runtimes, key=runtimes.get):
-        print(f"  {notation}: {baseline / runtimes[notation]:.2f}x  ({runtimes[notation]:.4f}s)")
+        print(
+            f"  {notation}: {baseline / runtimes[notation]:.2f}x  "
+            f"({runtimes[notation]:.4f}s)"
+        )
     return 0
 
 
@@ -291,16 +302,140 @@ def _cmd_index_query(args: argparse.Namespace) -> int:
 _SERVE_QUERY_OPS = frozenset({"metric", "components", "sweep", "stats"})
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    """Long-running JSONL loop: one request object per input line, one
-    response object per output line (see :meth:`QueryService.serve`).
+def _run_jsonl_loop(stream, interactive, execute_one, execute_batch, batch_chunk=None):
+    """The JSONL request-loop shared by ``serve`` and ``connect``.
 
+    One request object per input line, one response object per output
+    line, order preserved.  Runs of consecutive query requests are
+    buffered and handed to ``execute_batch`` (optionally capped at
+    ``batch_chunk`` per call); anything else — mutations, bad lines —
+    drains the buffer first so sequential semantics hold.  In
+    ``interactive`` mode every line is answered immediately.  A
+    ``{"op": "stop"}`` line (or EOF) ends the loop; returns the number of
+    requests served.
+    """
+    served = 0
+    pending: list = []
+
+    def emit(response) -> None:
+        print(json.dumps(response), flush=True)
+
+    def drain() -> None:
+        nonlocal served
+        while pending:
+            chunk = list(pending if batch_chunk is None else pending[:batch_chunk])
+            del pending[: len(chunk)]
+            for response in execute_batch(chunk):
+                emit(response)
+            served += len(chunk)
+
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            drain()
+            emit({"ok": False, "error": f"bad JSON: {exc}"})
+            continue
+        if not isinstance(request, dict):
+            drain()
+            emit({"ok": False, "error": "request must be an object"})
+            continue
+        if request.get("op") == "stop":
+            break
+        if request.get("op") in _SERVE_QUERY_OPS:
+            pending.append(request)
+            if interactive or (batch_chunk is not None and len(pending) >= batch_chunk):
+                drain()
+            continue
+        drain()
+        emit(execute_one(request))
+        served += 1
+    drain()
+    return served
+
+
+def _parse_address(text: str) -> tuple:
+    """Split ``HOST:PORT`` (the only address syntax the CLI accepts)."""
+    host, sep, port = str(text).rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"expected HOST:PORT, got {text!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"port in {text!r} is not an integer")
+
+
+def _serve_socket(service, args: argparse.Namespace) -> int:
+    """Front the service with a :class:`SocketServer` until SIGINT/SIGTERM."""
+    import signal
+    import threading
+
+    from repro.service.transport import PROTOCOL_VERSION, SocketServer
+
+    host, port = _parse_address(args.listen)
+    stop = threading.Event()
+
+    def handle_signal(signum, frame):
+        stop.set()
+
+    server = SocketServer(
+        service, host=host, port=port, max_connections=args.max_connections
+    ).start()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, handle_signal)
+    print(
+        json.dumps(
+            {
+                "ok": True,
+                "op": "listening",
+                "host": server.host,
+                "port": server.port,
+                "protocol": PROTOCOL_VERSION,
+                "read_only": args.read_only,
+                "generation": service.generation,
+            }
+        ),
+        flush=True,
+    )
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        server.close()
+        service.close()
+    print(
+        json.dumps(
+            {
+                "ok": True,
+                "op": "stopped",
+                "served": server.stats.requests_served,
+                "connections": server.stats.connections_accepted,
+            }
+        ),
+        flush=True,
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Long-running request server over one store.
+
+    Default mode is a JSONL loop: one request object per input line, one
+    response object per output line (see :meth:`QueryService.serve`).
     Runs of consecutive query requests are served as one batch across
     ``--workers`` threads; mutating requests (and anything else) act as
     batch boundaries so sequential semantics are preserved.  A
-    ``{"op": "stop"}`` line (or EOF) ends the loop.  The writer process
-    holds the store's single-writer lock; start any number of
-    ``--read-only`` processes alongside it for concurrent serving.
+    ``{"op": "stop"}`` line (or EOF) ends the loop.
+
+    With ``--listen HOST:PORT`` the same service is fronted by a socket
+    server speaking the length-prefixed JSON protocol instead; remote
+    clients (``repro connect`` or :class:`ServiceClient`) drive it until
+    SIGINT/SIGTERM.  Either way the writer process holds the store's
+    single-writer lock; start any number of ``--read-only`` processes
+    alongside it for concurrent serving.
     """
     from repro.service import CompactionPolicy, QueryService
 
@@ -308,6 +443,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(
             "--compact-after/--max-batch configure the writer; they have no "
             "effect with --read-only"
+        )
+    if args.listen and args.requests:
+        raise SystemExit(
+            "--requests drives the JSONL loop; with --listen, requests "
+            "arrive from socket clients instead"
         )
     policy = None
     if args.compact_after is not None:
@@ -320,56 +460,103 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch if args.max_batch is not None else 64,
         compaction=policy,
     )
+    if args.listen:
+        return _serve_socket(service, args)
     stream = open(args.requests, "r", encoding="utf-8") if args.requests else sys.stdin
-    served = 0
-    pending: list = []  # consecutive query requests awaiting one serve() batch
-
-    def emit(response) -> None:
-        print(json.dumps(response), flush=True)
-
-    def drain_queries() -> None:
-        nonlocal served
-        if pending:
-            for response in service.serve(pending):
-                emit(response)
-            served += len(pending)
-            pending.clear()
-
     try:
-        emit({"ok": True, "op": "ready", "read_only": args.read_only,
-              "generation": service.generation})
-        for line in stream:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                request = json.loads(line)
-            except json.JSONDecodeError as exc:
-                drain_queries()
-                emit({"ok": False, "error": f"bad JSON: {exc}"})
-                continue
-            if not isinstance(request, dict):
-                drain_queries()
-                emit({"ok": False, "error": "request must be an object"})
-                continue
-            if request.get("op") == "stop":
-                break
-            if request.get("op") in _SERVE_QUERY_OPS:
-                pending.append(request)
-                if args.requests is None:
-                    # Interactive (stdin) callers expect an answer per line.
-                    drain_queries()
-                continue
-            drain_queries()
-            emit(service.execute(request))
-            served += 1
-        drain_queries()
+        print(
+            json.dumps(
+                {"ok": True, "op": "ready", "read_only": args.read_only,
+                 "generation": service.generation}
+            ),
+            flush=True,
+        )
+        served = _run_jsonl_loop(
+            stream,
+            interactive=args.requests is None,
+            execute_one=service.execute,
+            execute_batch=service.serve,
+        )
     finally:
         service.close()
         if args.requests:
             stream.close()
-    emit({"ok": True, "op": "stopped", "served": served})
+    print(json.dumps({"ok": True, "op": "stopped", "served": served}), flush=True)
     return 0
+
+
+def _cmd_connect(args: argparse.Namespace) -> int:
+    """Drive ad-hoc queries against a ``serve --listen`` server.
+
+    With ``--s`` this is a one-shot remote metric query (mirroring
+    ``index query``, served over the wire).  Without it, request objects
+    are read as JSONL (stdin or ``--requests``) and proxied over the
+    socket one response line per request — runs of consecutive query
+    requests travel as a single ``batch`` frame, so a prepared request
+    file costs one round trip per run instead of one per line.
+    """
+    from repro.service.transport import (
+        RemoteServiceError,
+        ServiceClient,
+        TransportError,
+    )
+
+    host, port = _parse_address(args.address)
+    try:
+        client = ServiceClient(
+            host,
+            port,
+            timeout=args.timeout,
+            connect_retries=args.connect_retries,
+        ).connect()
+    except TransportError as exc:
+        raise SystemExit(f"connect failed: {exc}")
+    try:
+        if args.s is not None:
+            values = client.metric(args.s, args.metric)
+            info = client.server_info
+            print(
+                f"{len(values)} hyperedges in E_{args.s} served by "
+                f"{host}:{port} ({'replica' if info.get('read_only') else 'writer'}, "
+                f"generation {client.generation()})"
+            )
+            ranked = sorted(values.items(), key=lambda kv: (-kv[1], kv[0]))[: args.top]
+            print(f"top {len(ranked)} hyperedges by {args.metric} (s={args.s})")
+            for edge_id, score in ranked:
+                print(f"  {edge_id}\t{score:.6f}")
+            return 0
+
+        stream = open(args.requests, "r", encoding="utf-8") if args.requests else sys.stdin
+
+        def execute_batch(chunk):
+            """One batch frame per chunk; envelope failures (e.g. a batch
+            response over the frame cap) fall back to per-request round
+            trips, so one bad batch degrades instead of aborting the run —
+            the same behavior a 1-request chunk already has."""
+            if len(chunk) == 1:
+                return [client.call(chunk[0])]
+            try:
+                return client.batch(chunk)
+            except RemoteServiceError:
+                return [client.call(request) for request in chunk]
+
+        try:
+            _run_jsonl_loop(
+                stream,
+                interactive=args.requests is None,
+                execute_one=client.call,
+                execute_batch=execute_batch,
+                # Bounds frame size and memory on large request files.
+                batch_chunk=256,
+            )
+        finally:
+            if args.requests:
+                stream.close()
+        return 0
+    except TransportError as exc:
+        raise SystemExit(f"transport error: {exc}")
+    finally:
+        client.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -417,7 +604,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("query", help="serve one s/metric query from the overlap-index engine")
     _add_input_arguments(p)
     p.add_argument("--s", type=int, required=True, help="overlap threshold")
-    p.add_argument("--metric", choices=sorted(METRIC_FUNCTIONS), default="connected_components")
+    p.add_argument(
+        "--metric", choices=sorted(METRIC_FUNCTIONS), default="connected_components"
+    )
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="hashmap")
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=_cmd_query)
@@ -456,7 +645,9 @@ def build_parser() -> argparse.ArgumentParser:
     ip = isub.add_parser("query", help="warm-serve one s/metric query from a store")
     ip.add_argument("--path", required=True, help="store directory")
     ip.add_argument("--s", type=int, required=True, help="overlap threshold")
-    ip.add_argument("--metric", choices=sorted(METRIC_FUNCTIONS), default="connected_components")
+    ip.add_argument(
+        "--metric", choices=sorted(METRIC_FUNCTIONS), default="connected_components"
+    )
     ip.add_argument("--top", type=int, default=10)
     ip.add_argument(
         "--sharded",
@@ -467,8 +658,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="long-running JSONL query/update loop over a store "
-        "(single writer + any number of --read-only replicas)",
+        help="long-running query/update server over a store — JSONL on "
+        "stdin, or TCP with --listen (single writer + any number of "
+        "--read-only replicas)",
     )
     p.add_argument("--path", required=True, help="store directory")
     p.add_argument(
@@ -478,6 +670,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--requests", help="JSONL request file (default: read stdin)"
+    )
+    p.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="serve the length-prefixed JSON protocol on this TCP address "
+        "(port 0 picks an ephemeral port, printed on the 'listening' line)",
+    )
+    p.add_argument(
+        "--max-connections",
+        type=int,
+        default=32,
+        help="with --listen: concurrent connections before new ones get "
+        "a 'busy' error (backpressure)",
     )
     p.add_argument(
         "--workers",
@@ -503,6 +708,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve from a materialised index instead of mmap'd shards",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "connect",
+        help="drive ad-hoc queries against a 'serve --listen' server",
+    )
+    p.add_argument(
+        "--address", required=True, metavar="HOST:PORT", help="server address"
+    )
+    p.add_argument(
+        "--s", type=int, default=None, help="one-shot query: overlap threshold"
+    )
+    p.add_argument(
+        "--metric", choices=sorted(METRIC_FUNCTIONS), default="connected_components"
+    )
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument(
+        "--requests",
+        help="JSONL request file to proxy over the socket (default: stdin)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=30.0, help="per-operation socket timeout"
+    )
+    p.add_argument(
+        "--connect-retries",
+        type=int,
+        default=40,
+        help="connection attempts before giving up (busy/refused servers)",
+    )
+    p.set_defaults(func=_cmd_connect)
 
     return parser
 

@@ -27,7 +27,12 @@ from repro.core.algorithms.hashmap import s_line_graph_hashmap
 from repro.core.algorithms.vectorized import s_line_graph_vectorized
 from repro.core.algorithms.ensemble import s_line_graph_ensemble_hashmap, MemoryBudgetError
 from repro.core.algorithms.spgemm import s_line_graph_spgemm, s_line_graph_spgemm_upper
-from repro.core.algorithms.registry import parse_variant, run_variant, VariantSpec, ALL_VARIANTS
+from repro.core.algorithms.registry import (
+    ALL_VARIANTS,
+    VariantSpec,
+    parse_variant,
+    run_variant,
+)
 
 __all__ = [
     "AlgorithmResult",

@@ -9,7 +9,7 @@ built on Algorithm 3.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.core.algorithms.base import AlgorithmResult
 from repro.core.algorithms.ensemble import s_line_graph_ensemble_hashmap

@@ -17,7 +17,7 @@ breakdown compatible with the paper's Table I.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from repro.engine.engine import QueryEngine
@@ -29,7 +29,6 @@ from repro.core.dispatch import ALGORITHMS
 from repro.core.slinegraph import SLineGraph
 from repro.graph.betweenness import betweenness_centrality
 from repro.graph.connected_components import (
-    component_sizes,
     connected_components,
     label_propagation_components,
 )
@@ -337,7 +336,6 @@ class SLinePipeline:
         """Translate algorithm edge IDs back through relabelling and edge dropping."""
         # Chain: algorithm id --(relabel new→old)--> preprocessed id
         #        --(kept_edge_ids)--> original id.
-        translate = np.arange(num_original_edges, dtype=np.int64)
         if prep.kept_edge_ids is not None:
             kept = prep.kept_edge_ids
         else:

@@ -57,7 +57,8 @@ def s_clique_graph_ensemble(
     config: Optional[ParallelConfig] = None,
     memory_budget_bytes: Optional[int] = None,
 ) -> SLineGraphEnsemble:
-    """s-clique graphs for several ``s`` values in one counting pass (Algorithm 3 on the dual)."""
+    """s-clique graphs for several ``s`` values in one counting pass
+    (Algorithm 3 on the dual)."""
     return s_line_graph_ensemble(
         h.dual(), s_values, config=config, memory_budget_bytes=memory_budget_bytes
     )

@@ -211,7 +211,9 @@ class SLineGraph:
         )
         return squeezed, squeezer
 
-    def adjacency_matrix(self, squeezed: bool = False, weighted: bool = False) -> sparse.csr_matrix:
+    def adjacency_matrix(
+        self, squeezed: bool = False, weighted: bool = False
+    ) -> sparse.csr_matrix:
         """The symmetric adjacency matrix of the s-line graph.
 
         Parameters

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable, List, Optional, Tuple
+from typing import Any, Hashable, List
 
 from repro.utils.validation import ValidationError
 

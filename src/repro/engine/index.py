@@ -18,7 +18,7 @@ pairs — both O(affected rows), never a full recount.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

@@ -281,7 +281,9 @@ def condmat_surrogate(
     # (a) Prolific collective: a 20-author team co-authoring many papers.
     team = list(range(20))
     for _ in range(max_shared_papers):
-        extras = rng.choice(np.arange(20, num_authors), size=int(rng.integers(0, 3)), replace=False)
+        extras = rng.choice(
+            np.arange(20, num_authors), size=int(rng.integers(0, 3)), replace=False
+        )
         add_paper(team + extras.tolist())
 
     # (b) Sliding-window collaboration band for mid-range s.
@@ -293,7 +295,9 @@ def condmat_surrogate(
     weights = power_law_weights(num_authors, exponent=2.3, min_weight=1.0, rng=rng)
     probabilities = weights / weights.sum()
     remaining = max(num_papers - paper_id, 0)
-    sizes = zipf_edge_sizes(max(remaining, 1), mean_size=3.0, max_size=12, exponent=2.2, rng=rng)
+    sizes = zipf_edge_sizes(
+        max(remaining, 1), mean_size=3.0, max_size=12, exponent=2.2, rng=rng
+    )
     for k in sizes[:remaining]:
         k = int(min(max(k, 1), num_authors))
         members = rng.choice(num_authors, size=k, replace=False, p=probabilities)
@@ -360,7 +364,9 @@ def virology_surrogate(
         start = int(rng.integers(130, 170))
         edge_dict[f"GroupB-{g}"] = conditions(range(start, start + 25))
     # Background genes: few conditions each.
-    sizes = zipf_edge_sizes(num_genes - len(edge_dict), mean_size=3.0, max_size=12, exponent=2.2, rng=rng)
+    sizes = zipf_edge_sizes(
+        num_genes - len(edge_dict), mean_size=3.0, max_size=12, exponent=2.2, rng=rng
+    )
     for g, k in enumerate(sizes):
         k = int(min(k, num_conditions))
         members = rng.choice(num_conditions, size=k, replace=False)
@@ -408,7 +414,9 @@ def imdb_surrogate(
         edge_dict[b] = movies(range(offset + 10, offset + t + 15))
         offset += t + 40
     # Background actors: few movies each, far below the collaboration threshold.
-    sizes = zipf_edge_sizes(num_background_actors, mean_size=6.0, max_size=40, exponent=2.0, rng=rng)
+    sizes = zipf_edge_sizes(
+        num_background_actors, mean_size=6.0, max_size=40, exponent=2.0, rng=rng
+    )
     for a, k in enumerate(sizes):
         k = int(min(k, num_movies))
         members = rng.choice(num_movies, size=k, replace=False)

@@ -11,7 +11,7 @@ relabel-by-degree and workload-balancing machinery on *growing* data.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

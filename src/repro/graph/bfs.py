@@ -8,7 +8,7 @@ distance purposes (an s-walk step is one hop regardless of overlap size).
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -8,8 +8,6 @@ hyperedge neighbourhoods are.
 
 from __future__ import annotations
 
-from typing import Dict
-
 import numpy as np
 
 from repro.graph.graph import Graph

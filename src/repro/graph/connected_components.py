@@ -13,7 +13,7 @@ the s-line graphs (s=1 clique expansion versus s=8), and Table I includes an
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

@@ -7,8 +7,6 @@ corresponding vertices of the s-line graph.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
-
 import numpy as np
 
 from repro.graph.bfs import UNREACHABLE, bfs_distances

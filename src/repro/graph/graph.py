@@ -8,7 +8,7 @@ PageRank kernels in this subpackage traverse.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse

@@ -12,7 +12,7 @@ Supported inputs:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -124,7 +124,9 @@ def hypergraph_from_incidence_matrix(mat: sparse.spmatrix | np.ndarray) -> Hyper
     return Hypergraph(edges=edges)
 
 
-def hypergraph_from_bipartite(graph, edge_part: str = "e", vertex_part: str = "v") -> Hypergraph:
+def hypergraph_from_bipartite(
+    graph, edge_part: str = "e", vertex_part: str = "v"
+) -> Hypergraph:
     """Build from a networkx bipartite graph with ``("e", id)`` / ``("v", id)`` nodes.
 
     The inverse of :meth:`Hypergraph.to_bipartite`.  Nodes whose first tuple
@@ -133,7 +135,9 @@ def hypergraph_from_bipartite(graph, edge_part: str = "e", vertex_part: str = "v
     original IDs retained as names.
     """
     edge_nodes = sorted(n for n in graph.nodes if isinstance(n, tuple) and n[0] == edge_part)
-    vertex_nodes = sorted(n for n in graph.nodes if isinstance(n, tuple) and n[0] == vertex_part)
+    vertex_nodes = sorted(
+        n for n in graph.nodes if isinstance(n, tuple) and n[0] == vertex_part
+    )
     if not edge_nodes and not vertex_nodes:
         raise ValidationError(
             "bipartite graph has no nodes tagged with the requested partitions"

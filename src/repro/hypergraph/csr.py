@@ -110,8 +110,14 @@ class CSRMatrix:
             raise ValidationError("row indices must be non-negative")
         if cols.size and cols.min() < 0:
             raise ValidationError("column indices must be non-negative")
-        nrows = int(num_rows) if num_rows is not None else (int(rows.max()) + 1 if rows.size else 0)
-        ncols = int(num_cols) if num_cols is not None else (int(cols.max()) + 1 if cols.size else 0)
+        if num_rows is not None:
+            nrows = int(num_rows)
+        else:
+            nrows = int(rows.max()) + 1 if rows.size else 0
+        if num_cols is not None:
+            ncols = int(num_cols)
+        else:
+            ncols = int(cols.max()) + 1 if cols.size else 0
         if rows.size and rows.max() >= nrows:
             raise ValidationError("num_rows too small for the given row indices")
         if cols.size and cols.max() >= ncols:
@@ -222,7 +228,10 @@ class CSRMatrix:
     def transpose(self) -> "CSRMatrix":
         """Return the transpose as a new CSR matrix (counting-sort based)."""
         nrows, ncols = self.shape
-        counts = np.bincount(self.indices, minlength=ncols) if self.nnz else np.zeros(ncols, dtype=np.int64)
+        if self.nnz:
+            counts = np.bincount(self.indices, minlength=ncols)
+        else:
+            counts = np.zeros(ncols, dtype=np.int64)
         indptr = np.zeros(ncols + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         indices = np.empty(self.nnz, dtype=np.int64)

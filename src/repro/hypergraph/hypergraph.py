@@ -18,7 +18,7 @@ algorithms.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Hashable, Iterator, Optional, Sequence, Tuple
+from typing import Hashable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -187,7 +187,8 @@ class Hypergraph:
         return int(np.intersect1d(a, b, assume_unique=True).size)
 
     def inc_set(self, edge_ids: Sequence[int]) -> int:
-        """``inc(F) = |∩_{e∈F} e|`` for a set of hyperedges ``F`` (∞-free: empty F raises)."""
+        """``inc(F) = |∩_{e∈F} e|`` for a set of hyperedges ``F`` (∞-free:
+        empty F raises)."""
         ids = list(edge_ids)
         if not ids:
             raise ValidationError("inc_set requires at least one hyperedge")

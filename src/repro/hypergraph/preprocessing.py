@@ -11,7 +11,7 @@ s-line graph to a contiguous range.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Literal, Optional, Sequence, Tuple
 
 import numpy as np

@@ -18,7 +18,12 @@ from repro.io.edgelist import (
     write_hyperedge_list,
 )
 from repro.io.matrixmarket import read_incidence_matrixmarket, write_incidence_matrixmarket
-from repro.io.serialization import save_hypergraph_npz, load_hypergraph_npz, save_slinegraph_npz, load_slinegraph_npz
+from repro.io.serialization import (
+    load_hypergraph_npz,
+    load_slinegraph_npz,
+    save_hypergraph_npz,
+    save_slinegraph_npz,
+)
 from repro.io.jsonio import (
     save_hypergraph_json,
     load_hypergraph_json,

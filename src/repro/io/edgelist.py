@@ -82,7 +82,9 @@ def read_hyperedge_list(path: PathLike) -> Hypergraph:
             lists.append(members)
     if not lists:
         raise ValidationError(f"{path}: no hyperedges found")
-    return hypergraph_from_edge_lists(lists, num_vertices=max_vertex + 1 if max_vertex >= 0 else 0)
+    return hypergraph_from_edge_lists(
+        lists, num_vertices=max_vertex + 1 if max_vertex >= 0 else 0
+    )
 
 
 def write_hyperedge_list(h: Hypergraph, path: PathLike, header: bool = True) -> None:

@@ -9,8 +9,6 @@ connected component of each s-line graph.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 from scipy import sparse
 

@@ -15,8 +15,6 @@ restricted to the upper triangle, mirroring the paper's modification.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 from scipy import sparse
 

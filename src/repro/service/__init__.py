@@ -18,7 +18,11 @@ it a *served* one.  The pieces, bottom-up:
   generation off the query path when it grows past thresholds;
 * :class:`QueryService` (:mod:`repro.service.service`) — the façade: a
   writer (or read-only replica) serving batched s-metric requests across
-  worker threads under a readers-writer lock.
+  worker threads under a readers-writer lock;
+* :class:`SocketServer` / :class:`ServiceClient`
+  (:mod:`repro.service.transport`) — a length-prefixed JSON-over-TCP
+  protocol in front of :class:`QueryService`, so writers and replicas
+  serve clients on other machines.
 """
 
 from repro.service.admission import AdmissionQueue, AdmissionStats
@@ -27,6 +31,12 @@ from repro.service.lock import StoreLock, StoreLockHeldError
 from repro.service.replica import ReadReplica
 from repro.service.service import QueryService
 from repro.service.sync import RWLock
+from repro.service.transport import (
+    RemoteEngine,
+    ServiceClient,
+    SocketServer,
+    TransportError,
+)
 
 __all__ = [
     "AdmissionQueue",
@@ -36,6 +46,10 @@ __all__ = [
     "QueryService",
     "RWLock",
     "ReadReplica",
+    "RemoteEngine",
+    "ServiceClient",
+    "SocketServer",
     "StoreLock",
     "StoreLockHeldError",
+    "TransportError",
 ]

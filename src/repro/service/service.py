@@ -34,7 +34,7 @@ from repro.service.compaction import BackgroundCompactor, CompactionPolicy
 from repro.service.lock import StoreLock
 from repro.service.replica import ReadReplica
 from repro.service.sync import RWLock
-from repro.store.format import PathLike, ReadOnlyStoreError
+from repro.store.format import PathLike, ReadOnlyStoreError, StoreError
 from repro.utils.validation import ValidationError
 
 #: A serving request: ``{"op": ..., ...}`` (see :meth:`QueryService.serve`).
@@ -159,7 +159,18 @@ class QueryService:
         return self._engine.store.manifest.generation
 
     def stats(self) -> Dict[str, object]:
-        """Engine + admission counters (the ``stats`` request payload)."""
+        """Engine + admission counters (the ``stats`` request payload).
+
+        In replica mode this first polls the store's change token, so the
+        reported generation/fingerprint describe the state a query issued
+        *now* would be served from — remote clients use it to detect
+        convergence with the writer.
+        """
+        if self._replica is not None:
+            try:
+                self._replica.refresh()
+            except (StoreError, OSError):
+                pass  # transient writer race; serve the last good view
         out: Dict[str, object] = {
             "read_only": self.read_only,
             "generation": self.generation,

@@ -1,0 +1,49 @@
+"""Network transport: the serving layer's wire protocol, server and client.
+
+PR 3 made one store serveable by many processes on one machine; this
+package puts a socket in front of it so the clients can live anywhere:
+
+* :mod:`repro.service.transport.framing` — length-prefixed JSON frames,
+  request/response envelopes with machine-readable error codes, and the
+  protocol-version handshake;
+* :class:`SocketServer` — a threaded server fronting one
+  :class:`~repro.service.QueryService` (writer or read replica): version
+  handshake, per-connection pipelining, ``batch`` fan-out over the
+  service's worker threads, explicit ``busy`` backpressure past the
+  connection limit, graceful drain-then-close shutdown;
+* :class:`ServiceClient` — a blocking client with connect/retry, batched
+  query submission and durability-ack-aware update calls;
+* :class:`RemoteEngine` — adapts a client to the ``engine=`` parameter of
+  the s-measure functions, so smetrics endpoints serve from a remote
+  store unchanged.
+"""
+
+from repro.service.transport.client import RemoteEngine, ServiceClient
+from repro.service.transport.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameError,
+    FrameTooLargeError,
+    ProtocolVersionError,
+    RemoteServiceError,
+    ServiceBusyError,
+    TransportError,
+    TruncatedFrameError,
+)
+from repro.service.transport.server import ServerStats, SocketServer
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "FrameError",
+    "FrameTooLargeError",
+    "ProtocolVersionError",
+    "RemoteEngine",
+    "RemoteServiceError",
+    "ServerStats",
+    "ServiceBusyError",
+    "ServiceClient",
+    "SocketServer",
+    "TransportError",
+    "TruncatedFrameError",
+]

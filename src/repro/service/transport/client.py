@@ -1,0 +1,344 @@
+"""A blocking client for the socket serving protocol.
+
+:class:`ServiceClient` speaks the length-prefixed JSON protocol of
+:mod:`repro.service.transport.framing` to a
+:class:`~repro.service.transport.SocketServer`.  It owns one connection,
+performs the version handshake on connect, and retries with a fixed
+interval while the server is still coming up or is at its connection limit
+(``E_BUSY`` backpressure), so fleets of readers can start before — or
+survive restarts of — their server.
+
+Failure semantics
+-----------------
+*Queries* (``metric`` / ``components`` / ``sweep`` / ``stats`` / ``batch``
+of queries) are idempotent: when the connection drops mid-call the client
+transparently reconnects and retries once.  *Updates* are not retried:
+``add``/``remove`` are sent with ``wait=True`` by default, so a normal
+response **is** the durability acknowledgement (the server answers after
+the admission queue's group commit fsyncs — see
+:class:`repro.service.AdmissionQueue`).  If the connection dies between
+sending an update and reading its response, the update's fate is unknown
+(it may or may not have committed) and the client raises
+:class:`~framing.TransportError` rather than guessing; callers decide
+whether to re-send, exactly like any at-least-once ingestion path.
+
+:class:`RemoteEngine` adapts a client to the tiny engine surface the
+s-measure functions consume (``fingerprint()`` +
+``metric_by_hyperedge(s, metric)``), so
+``s_pagerank(h, s, engine=RemoteEngine(client))`` serves from a remote
+store with the exact guard rails of the local engine path.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.service.transport.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameError,
+    ProtocolVersionError,
+    RemoteServiceError,
+    ServiceBusyError,
+    TransportError,
+    TruncatedFrameError,
+    check_hello_response,
+    hello_request,
+    recv_frame,
+    send_frame,
+)
+
+#: Request ops the client may safely re-send after a reconnect.
+_IDEMPOTENT_OPS = frozenset({"metric", "components", "sweep", "stats"})
+
+
+def _is_idempotent(request: Dict[str, object]) -> bool:
+    """Whether re-sending ``request`` after a connection drop is safe.
+
+    A ``batch`` is only as idempotent as its contents: one ``add`` inside
+    makes the whole frame non-retryable, otherwise a batch committed just
+    before the connection died would be applied twice on the re-send.
+    """
+    op = request.get("op")
+    if op == "batch":
+        requests = request.get("requests")
+        return isinstance(requests, list) and all(
+            isinstance(r, dict) and r.get("op") in _IDEMPOTENT_OPS for r in requests
+        )
+    return op in _IDEMPOTENT_OPS
+
+
+class ServiceClient:
+    """One blocking connection to a serving socket, with retry/reconnect.
+
+    Parameters
+    ----------
+    host / port:
+        The server's bound address.
+    timeout:
+        Per-operation socket timeout in seconds (connect, send, receive).
+    connect_retries / retry_interval:
+        How often (and how patiently) to retry a refused or ``E_BUSY``
+        connection before raising.  The total connect budget is roughly
+        ``connect_retries * retry_interval`` plus network timeouts.
+    reconnect:
+        Transparently reconnect and retry **idempotent** requests once
+        when the connection drops mid-call (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        connect_retries: int = 40,
+        retry_interval: float = 0.25,
+        reconnect: bool = True,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = str(host)
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.connect_retries = int(connect_retries)
+        self.retry_interval = float(retry_interval)
+        self.reconnect = bool(reconnect)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._sock: Optional[socket.socket] = None
+        #: The server's handshake payload (mode, generation, protocol).
+        self.server_info: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Connection management
+    # ------------------------------------------------------------------ #
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self) -> "ServiceClient":
+        """Connect and handshake, retrying refused/busy attempts."""
+        if self._sock is not None:
+            return self
+        last_error: Optional[Exception] = None
+        for attempt in range(max(1, self.connect_retries)):
+            if attempt:
+                time.sleep(self.retry_interval)
+            sock = None
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                send_frame(sock, hello_request(), self.max_frame_bytes)
+                response = recv_frame(sock, self.max_frame_bytes)
+                if response is None:
+                    raise TruncatedFrameError("server closed during handshake")
+                self.server_info = check_hello_response(response)
+                self._sock = sock
+                return self
+            except (ProtocolVersionError, RemoteServiceError):
+                if sock is not None:
+                    sock.close()
+                raise  # retrying cannot fix a rejected handshake
+            except (ServiceBusyError, FrameError, ConnectionError, OSError) as exc:
+                if sock is not None:
+                    sock.close()
+                last_error = exc
+        raise TransportError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.connect_retries} attempts: {last_error}"
+        ) from last_error
+
+    def close(self) -> None:
+        """Say goodbye (best-effort) and drop the connection."""
+        sock, self._sock = self._sock, None
+        if sock is None:
+            return
+        try:
+            send_frame(sock, {"op": "goodbye"}, self.max_frame_bytes)
+            recv_frame(sock, self.max_frame_bytes)
+        except (FrameError, ConnectionError, OSError):
+            pass
+        finally:
+            sock.close()
+
+    def _drop_connection(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "connected" if self.connected else "disconnected"
+        return f"ServiceClient({self.host}:{self.port}, {state})"
+
+    # ------------------------------------------------------------------ #
+    # Request round trips
+    # ------------------------------------------------------------------ #
+    def call(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Send one request, return the raw response payload.
+
+        Connection drops are retried once for idempotent ops when
+        ``reconnect`` is enabled; server-side failures come back as
+        ``ok = false`` payloads without raising (use :meth:`request` for
+        the raising variant).
+        """
+        retryable = self.reconnect and _is_idempotent(request)
+        try:
+            return self._roundtrip(request)
+        except (FrameError, ConnectionError, OSError) as exc:
+            self._drop_connection()
+            if not retryable:
+                raise TransportError(
+                    f"connection to {self.host}:{self.port} failed mid-request "
+                    f"({exc}); op {request.get('op')!r} is not idempotent, so "
+                    "its fate on the server is unknown"
+                ) from exc
+            self.connect()
+            try:
+                return self._roundtrip(request)
+            except (FrameError, ConnectionError, OSError) as retry_exc:
+                self._drop_connection()
+                raise TransportError(
+                    f"request to {self.host}:{self.port} failed again after "
+                    f"a reconnect: {retry_exc}"
+                ) from retry_exc
+
+    def request(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Like :meth:`call`, but failures raise :class:`RemoteServiceError`."""
+        response = self.call(request)
+        if not response.get("ok"):
+            raise RemoteServiceError(
+                str(response.get("error", "request failed")),
+                code=str(response.get("code", "internal")),
+                response=response,
+            )
+        return response
+
+    def _roundtrip(self, request: Dict[str, object]) -> Dict[str, object]:
+        if self._sock is None:
+            self.connect()
+        send_frame(self._sock, dict(request), self.max_frame_bytes)
+        response = recv_frame(self._sock, self.max_frame_bytes)
+        if response is None:
+            raise TruncatedFrameError("server closed the connection")
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Typed helpers (the QueryService.serve vocabulary)
+    # ------------------------------------------------------------------ #
+    def metric(self, s: int, metric: str = "connected_components") -> Dict[int, float]:
+        """Metric values keyed by original hyperedge ID."""
+        response = self.request({"op": "metric", "s": int(s), "metric": str(metric)})
+        return {int(k): float(v) for k, v in response["values"].items()}
+
+    def components(self, s: int) -> int:
+        """Number of s-connected components."""
+        return int(self.request({"op": "components", "s": int(s)})["count"])
+
+    def sweep(
+        self,
+        s_values: Optional[Iterable[int]] = None,
+        s_min: int = 1,
+        s_max: Optional[int] = None,
+        metrics: Sequence[str] = (),
+    ) -> Dict[str, Dict[int, int]]:
+        """Batched multi-s sweep; counts keyed by integer s."""
+        request: Dict[str, object] = {"op": "sweep", "metrics": list(metrics)}
+        if s_values is not None:
+            request["s_values"] = [int(s) for s in s_values]
+        else:
+            if s_max is None:
+                raise ValueError("sweep needs s_values or s_max")
+            request.update(s_min=int(s_min), s_max=int(s_max))
+        response = self.request(request)
+        return {
+            "edge_counts": {int(s): int(n) for s, n in response["edge_counts"].items()},
+            "active_counts": {
+                int(s): int(n) for s, n in response["active_counts"].items()
+            },
+        }
+
+    def batch(self, requests: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+        """Serve many requests in one round trip (server-side fan-out)."""
+        response = self.request({"op": "batch", "requests": list(requests)})
+        return list(response["results"])
+
+    def add(
+        self,
+        members: Iterable[int],
+        name: Optional[object] = None,
+        wait: bool = True,
+    ) -> Optional[int]:
+        """Submit a hyperedge add; with ``wait`` (default) the returned
+        edge ID doubles as the durability acknowledgement."""
+        request: Dict[str, object] = {
+            "op": "add",
+            "members": [int(v) for v in members],
+            "wait": bool(wait),
+        }
+        if name is not None:
+            request["name"] = name
+        response = self.request(request)
+        return int(response["edge_id"]) if wait else None
+
+    def remove(self, edge_id: int, wait: bool = True) -> bool:
+        """Submit a hyperedge remove; with ``wait`` the response is the ack."""
+        response = self.request(
+            {"op": "remove", "edge_id": int(edge_id), "wait": bool(wait)}
+        )
+        return bool(response.get("removed", response.get("queued")))
+
+    def flush(self) -> None:
+        """Block until every previously submitted update is durable."""
+        self.request({"op": "flush"})
+
+    def compact(self) -> int:
+        """Fold the WAL into a new snapshot; returns the new generation."""
+        return int(self.request({"op": "compact"})["generation"])
+
+    def stats(self) -> Dict[str, object]:
+        """The server's :meth:`QueryService.stats` payload."""
+        return dict(self.request({"op": "stats"})["stats"])
+
+    def generation(self) -> int:
+        """Snapshot generation currently served by the peer."""
+        return int(self.stats()["generation"])
+
+    def fingerprint(self) -> str:
+        """Fingerprint of the hypergraph currently served by the peer."""
+        return str(self.stats()["fingerprint"])
+
+
+class RemoteEngine:
+    """Adapt a :class:`ServiceClient` to the s-measure ``engine=`` surface.
+
+    The smetrics functions need exactly two methods —
+    :meth:`fingerprint` (guard rail: same hypergraph?) and
+    :meth:`metric_by_hyperedge` — so any of them can be served over the
+    wire without changing their call sites::
+
+        client = ServiceClient(host, port).connect()
+        scores = s_pagerank(h, s=2, engine=RemoteEngine(client))
+
+    The fingerprint is fetched per call (one ``stats`` round trip), so the
+    guard tracks the *served* state across remote updates and compactions
+    rather than a snapshot taken at construction.
+    """
+
+    def __init__(self, client: ServiceClient) -> None:
+        self.client = client
+
+    def fingerprint(self) -> str:
+        return self.client.fingerprint()
+
+    def metric_by_hyperedge(self, s: int, metric: str) -> Dict[int, float]:
+        return self.client.metric(s, metric)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteEngine({self.client!r})"

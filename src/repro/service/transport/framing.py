@@ -1,0 +1,243 @@
+"""Length-prefixed JSON framing — the wire format of the serving protocol.
+
+A connection is a bidirectional stream of *frames*.  Each frame is a
+4-byte big-endian unsigned length followed by that many bytes of UTF-8
+JSON encoding one object::
+
+    +----------------+-------------------------------+
+    | length (>I, 4B)| payload (length bytes, JSON)  |
+    +----------------+-------------------------------+
+
+The payloads are exactly the request/response mappings of
+:meth:`repro.service.QueryService.serve`, plus three transport-level ops:
+
+``hello``
+    The mandatory first frame of every connection (both directions).  The
+    client sends ``{"op": "hello", "protocol": N}``; the server either
+    acknowledges with its own version, mode and generation, or answers a
+    :data:`E_PROTOCOL` error and closes.  A version bump is required for
+    any change an older peer cannot ignore (new optional response fields
+    do *not* bump it — mirroring the store's format-version policy).
+``batch``
+    ``{"op": "batch", "requests": [...]}`` — the server serves the whole
+    list through one :meth:`QueryService.serve` call (worker-thread
+    fan-out) and answers ``{"ok": true, "results": [...]}`` in order.
+``goodbye``
+    Graceful connection teardown: the server acknowledges, then closes.
+
+Failure responses carry ``ok = false``, a human-readable ``error`` and a
+machine-readable ``code`` (the ``E_*`` constants below), so clients can
+distinguish "retry later" (:data:`E_BUSY`) from "fix the request"
+(:data:`E_BAD_REQUEST`) from "talk to the writer" (:data:`E_READ_ONLY`).
+
+Framing errors are symmetric: a reader that hits end-of-stream *inside* a
+frame raises :class:`TruncatedFrameError`; a declared length above the
+reader's ``max_frame_bytes`` raises :class:`FrameTooLargeError` before any
+payload is read, so an adversarial or buggy peer cannot make the reader
+allocate unbounded memory.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Optional
+
+#: Bumped on any wire change an older peer cannot interpret.
+PROTOCOL_VERSION = 1
+
+#: 4-byte big-endian unsigned frame length.
+LENGTH_PREFIX = struct.Struct(">I")
+
+#: Default cap on a single frame (either direction).  Large enough for a
+#: full metric map over hundreds of thousands of hyperedges, small enough
+#: to bound what a misbehaving peer can make us buffer.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# --------------------------------------------------------------------- #
+# Error codes (the ``code`` field of failure responses)
+# --------------------------------------------------------------------- #
+E_PROTOCOL = "protocol_mismatch"  #: handshake version/shape not accepted
+E_BAD_FRAME = "bad_frame"  #: unparseable or oversized frame
+E_BAD_REQUEST = "bad_request"  #: well-formed frame, invalid request
+E_READ_ONLY = "read_only"  #: write sent to a read-only replica server
+E_BUSY = "busy"  #: connection limit reached — retry later
+E_UNAVAILABLE = "unavailable"  #: server is shutting down / store error
+E_INTERNAL = "internal"  #: unexpected server-side failure
+
+
+class TransportError(Exception):
+    """Base error for the socket transport layer."""
+
+
+class FrameError(TransportError):
+    """A frame could not be encoded, decoded or transferred."""
+
+
+class FrameTooLargeError(FrameError):
+    """A frame's declared length exceeds the reader's ``max_frame_bytes``."""
+
+
+class TruncatedFrameError(FrameError):
+    """The stream ended (or the peer vanished) mid-frame."""
+
+
+class ProtocolVersionError(TransportError):
+    """The peers speak incompatible protocol versions."""
+
+
+class ServiceBusyError(TransportError):
+    """The server refused the connection: at its connection limit."""
+
+
+class RemoteServiceError(TransportError):
+    """The server answered a request with ``ok = false``.
+
+    Attributes
+    ----------
+    code:
+        The machine-readable ``E_*`` error code (``E_INTERNAL`` when the
+        server did not supply one).
+    response:
+        The full response payload, for callers that need more context.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = E_INTERNAL,
+        response: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.response = dict(response or {})
+
+
+# --------------------------------------------------------------------- #
+# Encoding / decoding
+# --------------------------------------------------------------------- #
+def encode_frame(payload: Dict[str, object], max_frame_bytes: int) -> bytes:
+    """Serialise one payload to a length-prefixed frame."""
+    try:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"payload is not JSON-serialisable: {exc}") from exc
+    if len(body) > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame of {len(body)} bytes exceeds the {max_frame_bytes}-byte cap"
+        )
+    return LENGTH_PREFIX.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> Dict[str, object]:
+    """Parse a frame body; every frame must encode one JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"frame must encode a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def recv_exact(
+    sock: socket.socket,
+    num_bytes: int,
+    at_boundary: bool,
+    on_timeout=None,
+) -> Optional[bytes]:
+    """Read exactly ``num_bytes`` from a blocking socket.
+
+    Returns ``None`` on a clean end-of-stream when ``at_boundary`` is true
+    and no bytes of the frame were read yet; raises
+    :class:`TruncatedFrameError` if the stream ends anywhere else.
+
+    ``on_timeout`` makes a socket-timeout loop interruptible (the server's
+    stop flag): called with ``partial`` (were any bytes of this read
+    received yet?) after every timeout; return ``False`` to keep waiting,
+    ``True`` to give up — which is a clean ``None`` at an idle frame
+    boundary and a :class:`TruncatedFrameError` mid-frame.  Without it a
+    timeout is treated like a lost connection.
+    """
+    buffer = bytearray()
+    while len(buffer) < num_bytes:
+        try:
+            chunk = sock.recv(num_bytes - len(buffer))
+        except socket.timeout as exc:
+            if on_timeout is None:
+                raise TruncatedFrameError(f"timed out mid-frame: {exc}") from exc
+            if on_timeout(bool(buffer) or not at_boundary):
+                if at_boundary and not buffer:
+                    return None
+                raise TruncatedFrameError("reader stopped while a frame was in flight")
+            continue
+        except (ConnectionError, OSError) as exc:
+            raise TruncatedFrameError(f"connection lost mid-frame: {exc}") from exc
+        if not chunk:
+            if at_boundary and not buffer:
+                return None
+            raise TruncatedFrameError(
+                f"stream ended after {len(buffer)} of {num_bytes} expected bytes"
+            )
+        buffer.extend(chunk)
+    return bytes(buffer)
+
+
+def send_frame(
+    sock: socket.socket,
+    payload: Dict[str, object],
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Encode and send one frame."""
+    sock.sendall(encode_frame(payload, max_frame_bytes))
+
+
+def recv_frame(
+    sock: socket.socket,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    on_timeout=None,
+) -> Optional[Dict[str, object]]:
+    """Receive one frame; ``None`` on clean end-of-stream between frames.
+
+    ``on_timeout`` is forwarded to :func:`recv_exact` (interruptible reads).
+    """
+    header = recv_exact(sock, LENGTH_PREFIX.size, at_boundary=True, on_timeout=on_timeout)
+    if header is None:
+        return None
+    (length,) = LENGTH_PREFIX.unpack(header)
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"peer announced a {length}-byte frame; this side caps frames "
+            f"at {max_frame_bytes} bytes"
+        )
+    body = recv_exact(sock, length, at_boundary=False, on_timeout=on_timeout) if length else b""
+    return decode_payload(body)
+
+
+# --------------------------------------------------------------------- #
+# Handshake payloads
+# --------------------------------------------------------------------- #
+def hello_request() -> Dict[str, object]:
+    """The client's mandatory first frame."""
+    return {"op": "hello", "protocol": PROTOCOL_VERSION}
+
+
+def check_hello_response(response: Dict[str, object]) -> Dict[str, object]:
+    """Validate the server's handshake reply; raise on rejection."""
+    if response.get("ok") and response.get("op") == "hello":
+        if response.get("protocol") != PROTOCOL_VERSION:
+            raise ProtocolVersionError(
+                f"server speaks protocol {response.get('protocol')}, "
+                f"client speaks {PROTOCOL_VERSION}"
+            )
+        return response
+    code = str(response.get("code", E_INTERNAL))
+    message = str(response.get("error", "handshake rejected"))
+    if code == E_BUSY:
+        raise ServiceBusyError(message)
+    if code == E_PROTOCOL:
+        raise ProtocolVersionError(message)
+    raise RemoteServiceError(message, code=code, response=response)

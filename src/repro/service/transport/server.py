@@ -1,0 +1,429 @@
+"""A threaded socket server fronting one :class:`QueryService`.
+
+:class:`SocketServer` puts the wire protocol of
+:mod:`repro.service.transport.framing` in front of an existing
+:class:`~repro.service.QueryService` — writer or read-only replica alike —
+so clients on other machines reach the same batched, read-locked serving
+path local callers use.  One thread accepts connections; each connection
+gets a handler thread that performs the version handshake and then serves
+frames in order, so a client may *pipeline* (send several requests before
+reading the first response) and still match responses to requests by
+position.  ``batch`` frames additionally fan out over the service's worker
+threads, turning one round trip into a parallel serve.
+
+Backpressure is explicit: past ``max_connections`` concurrently served
+connections, new ones are answered with an :data:`~framing.E_BUSY` error
+frame and closed instead of being queued invisibly — clients retry with
+backoff (:class:`~repro.service.transport.client.ServiceClient` does so
+automatically).
+
+Shutdown is graceful: :meth:`close` stops the accept loop, lets in-flight
+requests finish (handlers notice the stop flag between frames; a frame
+already half-read gets a short grace period), and joins every handler
+before returning, so a CLI ``serve --listen`` process releases its store
+lock deterministically on SIGTERM.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.service import QueryService
+from repro.service.transport.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    E_BAD_FRAME,
+    E_BAD_REQUEST,
+    E_BUSY,
+    E_INTERNAL,
+    E_PROTOCOL,
+    E_READ_ONLY,
+    E_UNAVAILABLE,
+    PROTOCOL_VERSION,
+    FrameError,
+    FrameTooLargeError,
+    TruncatedFrameError,
+    encode_frame,
+    recv_frame,
+)
+
+#: Seconds a handler blocked in ``recv`` waits before re-checking the stop
+#: flag (bounds shutdown latency; no effect on throughput).
+_POLL_INTERVAL = 0.2
+
+#: Seconds a closing handler keeps waiting for the rest of a frame whose
+#: first bytes already arrived, before abandoning the connection.
+_SHUTDOWN_GRACE = 1.0
+
+#: Per-response send deadline.  The socket's 0.2s poll timeout is right
+#: for receives (bounds shutdown latency) but would abort any ``sendall``
+#: whose frame outlives the kernel send buffer — a large metric map, or a
+#: pipelining client that has not started reading yet — so sends get their
+#: own, much larger budget before the connection is declared dead.
+_SEND_TIMEOUT = 60.0
+
+#: Error codes for the exception type names reported by
+#: :meth:`QueryService.execute` (anything unlisted is ``internal``).
+_ERROR_CODE_BY_TYPE = {
+    "ValidationError": E_BAD_REQUEST,
+    "ReadOnlyStoreError": E_READ_ONLY,
+    "StoreError": E_UNAVAILABLE,
+    "StoreFormatError": E_UNAVAILABLE,
+    "FingerprintMismatchError": E_UNAVAILABLE,
+    "KeyError": E_BAD_REQUEST,
+    "TypeError": E_BAD_REQUEST,
+    "ValueError": E_BAD_REQUEST,
+}
+
+#: Ops handled by the transport itself rather than the service.
+_TRANSPORT_OPS = frozenset({"hello", "goodbye", "batch"})
+
+
+@dataclass
+class ServerStats:
+    """Counters describing a server's lifetime (observability / tests)."""
+
+    connections_accepted: int = 0
+    connections_rejected: int = 0
+    requests_served: int = 0
+    frames_rejected: int = 0
+    active_connections: int = 0
+
+
+def classify_error(response: Dict[str, object]) -> Dict[str, object]:
+    """Attach a transport error ``code`` to a failed service response."""
+    if response.get("ok") or "code" in response:
+        return response
+    error = str(response.get("error", ""))
+    type_name = error.split(":", 1)[0]
+    response["code"] = _ERROR_CODE_BY_TYPE.get(type_name, E_INTERNAL)
+    return response
+
+
+class SocketServer:
+    """Serve a :class:`QueryService` over length-prefixed JSON frames.
+
+    Parameters
+    ----------
+    service:
+        The (already constructed) service to front — writer or read-only.
+        The server never closes it; the owner does.
+    host / port:
+        Bind address.  ``port=0`` picks an ephemeral port; read it back
+        from :attr:`port` / :attr:`address` after construction.
+    max_connections:
+        Concurrently served connections before new ones are turned away
+        with an ``E_BUSY`` error frame (the backpressure contract).
+    max_frame_bytes:
+        Per-frame cap, both directions (see the framing module).
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int = 32,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        backlog: int = 32,
+    ) -> None:
+        self.service = service
+        self.max_connections = int(max_connections)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._stop = threading.Event()
+        self._stats_lock = threading.Lock()
+        self.stats = ServerStats()
+        self._handlers_lock = threading.Lock()
+        self._handlers: Dict[int, threading.Thread] = {}
+        self._conn_counter = 0
+        self._accept_thread: Optional[threading.Thread] = None
+        self._listener = socket.create_server((host, int(port)), backlog=backlog)
+        self._listener.settimeout(_POLL_INTERVAL)
+        self.host, self.port = self._listener.getsockname()[:2]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ephemeral ports."""
+        return self.host, self.port
+
+    def start(self) -> "SocketServer":
+        """Start the accept loop in a daemon thread and return ``self``."""
+        if self._accept_thread is not None:
+            raise RuntimeError("server already started")
+        if self._stop.is_set():
+            raise RuntimeError("server already closed")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"repro-serve-{self.port}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting, drain in-flight requests, join every handler."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout)
+        deadline = time.monotonic() + timeout
+        with self._handlers_lock:
+            handlers = list(self._handlers.values())
+        for thread in handlers:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+
+    def __enter__(self) -> "SocketServer":
+        return self.start() if self._accept_thread is None else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._stop.is_set() else "serving"
+        return f"SocketServer({self.host}:{self.port}, {state})"
+
+    # ------------------------------------------------------------------ #
+    # Accept loop
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed by close()
+            if self._stop.is_set():
+                conn.close()
+                break
+            with self._handlers_lock:
+                active = len(self._handlers)
+                if active >= self.max_connections:
+                    handler = None
+                else:
+                    self._conn_counter += 1
+                    conn_id = self._conn_counter
+                    handler = threading.Thread(
+                        target=self._handle_connection,
+                        args=(conn, conn_id),
+                        name=f"repro-conn-{conn_id}",
+                        daemon=True,
+                    )
+                    self._handlers[conn_id] = handler
+            if handler is None:
+                self._reject_busy(conn, active)
+                continue
+            with self._stats_lock:
+                self.stats.connections_accepted += 1
+                self.stats.active_connections += 1
+            handler.start()
+
+    def _reject_busy(self, conn: socket.socket, active: int) -> None:
+        """Turn a connection away with an explicit backpressure signal."""
+        with self._stats_lock:
+            self.stats.connections_rejected += 1
+        self._send_best_effort(
+            conn,
+            {
+                "ok": False,
+                "code": E_BUSY,
+                "error": (
+                    f"server at connection limit ({active}/"
+                    f"{self.max_connections}); retry later"
+                ),
+            },
+        )
+        conn.close()
+
+    # ------------------------------------------------------------------ #
+    # Per-connection handling
+    # ------------------------------------------------------------------ #
+    def _handle_connection(self, conn: socket.socket, conn_id: int) -> None:
+        try:
+            conn.settimeout(_POLL_INTERVAL)
+            if self._handshake(conn):
+                self._serve_frames(conn)
+        except (FrameError, ConnectionError, OSError):
+            pass  # connection-level failure: drop this client only
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            with self._handlers_lock:
+                self._handlers.pop(conn_id, None)
+            with self._stats_lock:
+                self.stats.active_connections -= 1
+
+    def _handshake(self, conn: socket.socket) -> bool:
+        """Require a matching ``hello`` as the first frame; ack or reject."""
+        try:
+            request = self._read_frame(conn)
+        except TruncatedFrameError:
+            return False  # peer vanished mid-handshake; nothing to answer
+        except FrameError as exc:
+            # Oversized or unparseable hello: answer like any later bad
+            # frame, so the peer can tell "my frame was bad" from "the
+            # server died".
+            self._reject_frame(conn, str(exc))
+            return False
+        if request is None:
+            return False
+        if request.get("op") != "hello":
+            self._send_best_effort(
+                conn,
+                {
+                    "ok": False,
+                    "code": E_PROTOCOL,
+                    "error": "first frame must be {'op': 'hello', 'protocol': N}",
+                },
+            )
+            return False
+        if request.get("protocol") != PROTOCOL_VERSION:
+            self._send_best_effort(
+                conn,
+                {
+                    "ok": False,
+                    "code": E_PROTOCOL,
+                    "error": (
+                        f"client speaks protocol {request.get('protocol')!r}, "
+                        f"server speaks {PROTOCOL_VERSION}"
+                    ),
+                    "protocol": PROTOCOL_VERSION,
+                },
+            )
+            return False
+        self._send(
+            conn,
+            {
+                "ok": True,
+                "op": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "server": "repro",
+                "read_only": self.service.read_only,
+                "generation": self.service.generation,
+            },
+        )
+        return True
+
+    def _serve_frames(self, conn: socket.socket) -> None:
+        """Answer frames in order until EOF, ``goodbye`` or shutdown."""
+        while not self._stop.is_set():
+            try:
+                request = self._read_frame(conn)
+            except TruncatedFrameError:
+                return  # peer vanished mid-frame; nothing to answer
+            except FrameError as exc:
+                self._reject_frame(conn, str(exc))
+                return
+            if request is None:
+                return
+            op = str(request.get("op", ""))
+            if op == "goodbye":
+                self._send_best_effort(conn, {"ok": True, "op": "goodbye"})
+                return
+            if op == "batch":
+                response = self._serve_batch(request)
+            else:
+                response = classify_error(self.service.execute(request))
+            with self._stats_lock:
+                self.stats.requests_served += 1
+            try:
+                self._send(conn, response)
+            except FrameTooLargeError as exc:
+                # The *response* blew the frame cap (e.g. a metric map over
+                # a huge store).  Answer with a small error frame instead of
+                # dropping the connection — pairing is preserved, the client
+                # learns why, and an idempotent retry of the same doomed
+                # query is avoided.
+                self._send(
+                    conn,
+                    {
+                        "ok": False,
+                        "op": str(request.get("op", "")),
+                        "code": E_BAD_FRAME,
+                        "error": f"response exceeds the frame cap: {exc}",
+                    },
+                )
+        # Shutting down: end the stream silently.  EOF *is* the signal — an
+        # unsolicited "shutting down" frame would be read as the answer to
+        # the client's next (pipelined) request and break pairing.
+
+    def _serve_batch(self, request: Dict[str, object]) -> Dict[str, object]:
+        requests = request.get("requests")
+        if not isinstance(requests, list) or not all(
+            isinstance(r, dict) for r in requests
+        ):
+            return {
+                "ok": False,
+                "op": "batch",
+                "code": E_BAD_REQUEST,
+                "error": "'batch' needs a 'requests' list of objects",
+            }
+        if any(r.get("op") in _TRANSPORT_OPS for r in requests):
+            return {
+                "ok": False,
+                "op": "batch",
+                "code": E_BAD_REQUEST,
+                "error": "transport ops cannot be nested inside a batch",
+            }
+        results: List[Dict[str, object]] = [
+            classify_error(r) for r in self.service.serve(requests)
+        ]
+        return {"ok": True, "op": "batch", "results": results}
+
+    # ------------------------------------------------------------------ #
+    # Frame I/O (stop-flag aware)
+    # ------------------------------------------------------------------ #
+    def _read_frame(self, conn: socket.socket) -> Optional[Dict[str, object]]:
+        """:func:`framing.recv_frame` with the stop flag wired in.
+
+        Returns ``None`` on clean EOF or when shutdown arrives between
+        frames; mid-frame shutdown grants :data:`_SHUTDOWN_GRACE` seconds
+        for the rest of the frame before giving up on the connection.
+        """
+        grace_deadline: Optional[float] = None
+
+        def on_timeout(mid_frame: bool) -> bool:
+            nonlocal grace_deadline
+            if not self._stop.is_set():
+                return False  # plain poll tick: keep waiting
+            if not mid_frame:
+                return True  # idle at a frame boundary: stop cleanly
+            if grace_deadline is None:
+                grace_deadline = time.monotonic() + _SHUTDOWN_GRACE
+            return time.monotonic() > grace_deadline
+
+        return recv_frame(conn, self.max_frame_bytes, on_timeout=on_timeout)
+
+    def _reject_frame(self, conn: socket.socket, message: str) -> None:
+        with self._stats_lock:
+            self.stats.frames_rejected += 1
+        self._send_best_effort(
+            conn, {"ok": False, "code": E_BAD_FRAME, "error": message}
+        )
+
+    def _send(self, conn: socket.socket, payload: Dict[str, object]) -> None:
+        frame = encode_frame(payload, self.max_frame_bytes)
+        conn.settimeout(_SEND_TIMEOUT)
+        try:
+            conn.sendall(frame)
+        finally:
+            conn.settimeout(_POLL_INTERVAL)
+
+    def _send_best_effort(self, conn: socket.socket, payload: Dict[str, object]) -> None:
+        try:
+            self._send(conn, payload)
+        except (FrameError, ConnectionError, OSError):
+            pass

@@ -82,7 +82,8 @@ def s_closeness_centrality(
     include_isolated: bool = False,
     engine=None,
 ) -> Dict[int, float]:
-    """s-closeness centrality (Wasserman–Faust corrected) of every participating hyperedge."""
+    """s-closeness centrality (Wasserman–Faust corrected) per participating
+    hyperedge."""
     if engine is not None:
         return metric_via_engine(
             engine, h, s, "closeness",

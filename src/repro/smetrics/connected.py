@@ -9,8 +9,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-import numpy as np
-
 from repro.core.slinegraph import SLineGraph
 from repro.graph.connected_components import connected_components
 from repro.hypergraph.hypergraph import Hypergraph

@@ -38,7 +38,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict, dataclass, field, fields
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 from repro.utils.validation import ValidationError
 

@@ -15,8 +15,6 @@ instead of being recomputed per process:
 """
 
 from __future__ import annotations
-
-import os
 from typing import Optional
 
 from repro.engine.engine import QueryEngine

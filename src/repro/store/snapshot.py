@@ -31,7 +31,7 @@ from repro.store.format import (
     shard_file_names,
     write_manifest,
 )
-from repro.utils.validation import ValidationError, check_positive_int
+from repro.utils.validation import check_positive_int
 
 
 def write_snapshot(

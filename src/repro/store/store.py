@@ -53,7 +53,6 @@ from repro.store.snapshot import (
     write_snapshot,
 )
 from repro.store.wal import OP_ADD, WalRecord, WriteAheadLog
-from repro.utils.validation import ValidationError
 
 
 def _next_generation(path: PathLike) -> int:

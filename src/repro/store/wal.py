@@ -27,7 +27,7 @@ import os
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -7,7 +7,7 @@ experiments are reproducible run to run.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -21,7 +21,11 @@ from repro.core.filtration import line_graph_from_filtration
 from repro.parallel.executor import ParallelConfig
 from repro.utils.validation import ValidationError
 
-from tests.conftest import PAPER_EXAMPLE_OVERLAPS, PAPER_EXAMPLE_SLINE_EDGES, brute_force_s_line_edges
+from tests.conftest import (
+    PAPER_EXAMPLE_OVERLAPS,
+    PAPER_EXAMPLE_SLINE_EDGES,
+    brute_force_s_line_edges,
+)
 
 ALL_ALGORITHMS = {
     "naive": s_line_graph_naive,

@@ -1,6 +1,4 @@
 """Unit tests for the Boolean filtration helpers."""
-
-import numpy as np
 import pytest
 from scipy import sparse
 

@@ -1,9 +1,7 @@
 """Unit and integration tests for the five-stage SLinePipeline."""
-
-import numpy as np
 import pytest
 
-from repro.core.pipeline import METRIC_FUNCTIONS, PipelineResult, SLinePipeline
+from repro.core.pipeline import METRIC_FUNCTIONS, SLinePipeline
 from repro.hypergraph.builders import hypergraph_from_edge_lists
 from repro.utils.validation import ValidationError
 

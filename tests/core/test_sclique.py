@@ -1,9 +1,5 @@
 """Unit tests for the s-clique graph API (vertex-centric expansions, §III-H)."""
 
-import numpy as np
-import pytest
-from scipy import sparse
-
 from repro.core.sclique import (
     s_clique_graph,
     s_clique_graph_ensemble,

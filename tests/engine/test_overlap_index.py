@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.dispatch import s_line_graph
 from repro.engine.index import OverlapIndex, overlap_counts_for_members
-from repro.hypergraph.builders import hypergraph_from_edge_lists
 from repro.utils.validation import ValidationError
 
 from tests.conftest import PAPER_EXAMPLE_OVERLAPS, PAPER_EXAMPLE_SLINE_EDGES

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.filtration import line_graph_from_filtration
-from repro.core.pipeline import METRIC_FUNCTIONS, SLinePipeline
+from repro.core.pipeline import SLinePipeline
 from repro.engine.engine import QueryEngine
 from repro.generators.random import random_hypergraph
 from repro.utils.validation import ValidationError

@@ -1,6 +1,4 @@
 """Unit tests for the named dataset surrogates."""
-
-import numpy as np
 import pytest
 
 from repro.core.dispatch import s_line_graph

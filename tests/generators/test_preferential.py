@@ -1,6 +1,4 @@
 """Unit tests for the preferential-attachment hypergraph generator."""
-
-import numpy as np
 import pytest
 
 from repro.generators.preferential import preferential_attachment_hypergraph

@@ -10,7 +10,9 @@ from repro.utils.validation import ValidationError
 
 def triangle_plus_isolated():
     """Triangle 0-1-2 plus isolated vertex 3."""
-    return Graph.from_edge_list(4, np.array([[0, 1], [1, 2], [0, 2]]), np.array([1.0, 2.0, 3.0]))
+    return Graph.from_edge_list(
+        4, np.array([[0, 1], [1, 2], [0, 2]]), np.array([1.0, 2.0, 3.0])
+    )
 
 
 class TestConstruction:

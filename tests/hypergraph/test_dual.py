@@ -19,7 +19,8 @@ class TestDual:
     def test_dual_edges_are_vertex_memberships(self, paper_example):
         dual = dual_hypergraph(paper_example)
         for v in range(paper_example.num_vertices):
-            assert dual.edge_members(v).tolist() == paper_example.vertex_memberships(v).tolist()
+            expected = paper_example.vertex_memberships(v).tolist()
+            assert dual.edge_members(v).tolist() == expected
 
     def test_double_dual_is_identity(self, community_hypergraph):
         assert dual_hypergraph(dual_hypergraph(community_hypergraph)) == community_hypergraph

@@ -1,10 +1,8 @@
 """Tests for :meth:`Hypergraph.fingerprint` (the engine cache key)."""
 
 import numpy as np
-import pytest
 
 from repro.hypergraph.builders import (
-    hypergraph_from_edge_dict,
     hypergraph_from_edge_lists,
 )
 from repro.hypergraph.csr import CSRMatrix

@@ -1,7 +1,6 @@
 """Unit tests for incidence-matrix helpers and the L / W weight matrices."""
 
 import numpy as np
-import pytest
 
 from repro.hypergraph.incidence import (
     clique_expansion_weight_matrix,

@@ -1,8 +1,5 @@
 """Unit tests for toplex (maximal hyperedge) computation — Stage 2."""
 
-import numpy as np
-import pytest
-
 from repro.hypergraph.builders import hypergraph_from_edge_lists
 from repro.hypergraph.toplexes import is_simple, simplify, toplexes
 

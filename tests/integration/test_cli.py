@@ -61,7 +61,7 @@ class TestCommands:
 
     def test_slinegraph_to_stdout(self, hyperedge_file, capsys):
         assert main(["slinegraph", "--input", hyperedge_file, "--s", "2"]) == 0
-        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        lines = [ln for ln in capsys.readouterr().out.splitlines() if ln.strip()]
         # Figure 2, s=2: three edges with their overlap counts.
         assert sorted(lines) == ["0 1 2", "0 2 3", "1 2 3"]
 
@@ -82,21 +82,51 @@ class TestCommands:
 
     def test_centrality(self, hyperedge_file, capsys):
         assert main(
-            ["centrality", "--input", hyperedge_file, "--s", "1", "--measure", "betweenness", "--top", "2"]
+            [
+                "centrality",
+                "--input",
+                hyperedge_file,
+                "--s",
+                "1",
+                "--measure",
+                "betweenness",
+                "--top",
+                "2",
+            ]
         ) == 0
         out = capsys.readouterr().out
         assert "betweenness" in out
 
     def test_variants_on_small_dataset(self, capsys):
         assert main(
-            ["variants", "--dataset", "email-euall", "--scale", "0.1", "--s", "2", "--workers", "2"]
+            [
+                "variants",
+                "--dataset",
+                "email-euall",
+                "--scale",
+                "0.1",
+                "--s",
+                "2",
+                "--workers",
+                "2",
+            ]
         ) == 0
         out = capsys.readouterr().out
         assert "1CN" in out and "2BA" in out
 
     def test_query(self, hyperedge_file, capsys):
         assert main(
-            ["query", "--input", hyperedge_file, "--s", "2", "--metric", "pagerank", "--top", "2"]
+            [
+                "query",
+                "--input",
+                hyperedge_file,
+                "--s",
+                "2",
+                "--metric",
+                "pagerank",
+                "--top",
+                "2",
+            ]
         ) == 0
         out = capsys.readouterr().out
         assert "L_2: 3 edges" in out
@@ -117,7 +147,7 @@ class TestCommands:
         assert "sweep s=1..4" in out
         assert "components" in out
         # Figure 2 edge counts per s: 4, 3, 2, 0.
-        rows = [l.split() for l in out.splitlines() if l and l[0].isdigit()]
+        rows = [ln.split() for ln in out.splitlines() if ln and ln[0].isdigit()]
         assert [int(row[2]) for row in rows] == [4, 3, 2, 0]
 
     def test_sweep_without_metrics(self, hyperedge_file, capsys):

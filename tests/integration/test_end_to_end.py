@@ -26,7 +26,12 @@ class TestPublicAPI:
 
     def test_quickstart_docstring_flow(self):
         h = repro.hypergraph_from_edge_dict(
-            {1: ["a", "b", "c"], 2: ["b", "c", "d"], 3: ["a", "b", "c", "d", "e"], 4: ["e", "f"]}
+            {
+                1: ["a", "b", "c"],
+                2: ["b", "c", "d"],
+                3: ["a", "b", "c", "d", "e"],
+                4: ["e", "f"],
+            }
         )
         lg = repro.s_line_graph(h, s=2)
         assert sorted(lg.edge_set()) == [(0, 1), (0, 2), (1, 2)]
@@ -52,7 +57,11 @@ class TestPipelineOnDatasets:
         base = SLinePipeline(relabel="none", metrics=()).run(livejournal_small, 8)
         asc = SLinePipeline(relabel="ascending", metrics=()).run(livejournal_small, 8)
         desc = SLinePipeline(relabel="descending", metrics=()).run(livejournal_small, 8)
-        assert base.line_graph.edge_set() == asc.line_graph.edge_set() == desc.line_graph.edge_set()
+        assert (
+            base.line_graph.edge_set()
+            == asc.line_graph.edge_set()
+            == desc.line_graph.edge_set()
+        )
 
     def test_smetrics_consistent_with_pipeline(self, livejournal_small):
         result = SLinePipeline(metrics=("connected_components",)).run(livejournal_small, 8)

@@ -9,7 +9,6 @@ import pytest
 import repro
 from repro.core.algorithms.hashmap import s_line_graph_hashmap
 from repro.core.algorithms.heuristic import s_line_graph_heuristic
-from repro.core.algorithms.naive import s_line_graph_naive
 from repro.generators.datasets import load_dataset
 
 

@@ -41,7 +41,8 @@ class TestSpGEMM:
         A = sparse.csr_matrix((3, 4), dtype=np.int64)
         B = sparse.csr_matrix((4, 2), dtype=np.int64)
         assert spgemm_gustavson(A, B).nnz == 0
-        assert spgemm_upper_triangle(A, B.T @ B if False else sparse.csr_matrix((4, 4), dtype=np.int64)).nnz == 0
+        square = sparse.csr_matrix((4, 4), dtype=np.int64)
+        assert spgemm_upper_triangle(A, square).nnz == 0
 
 
 class TestUpperTriangle:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.parallel.scheduler import (
-    ScheduleResult,
     dynamic_chunk_schedule,
     grainsize_sweep,
     wedge_costs,

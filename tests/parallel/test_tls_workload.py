@@ -1,6 +1,4 @@
 """Unit tests for per-worker storage policies and workload statistics."""
-
-import numpy as np
 import pytest
 
 from repro.parallel.tls import DynamicCounter, PreallocatedCounter, WorkerLocalStorage
@@ -14,7 +12,7 @@ class TestWorkerLocalStorage:
         b = storage.get(1)
         a.append("x")
         assert storage.get(0) is a
-        assert storage.get(1) == []
+        assert storage.get(1) is b and b == []
         assert len(storage) == 2
         assert sorted(len(v) for v in storage.values()) == [0, 1]
 

@@ -12,7 +12,6 @@ The central invariants:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.filtration import line_graph_from_filtration

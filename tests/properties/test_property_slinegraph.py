@@ -8,9 +8,6 @@ The central invariants:
 * duality: the s-clique graph (s-line graph of the dual) of a 2-uniform
   hypergraph at s = 1 is the underlying graph's 2-section.
 """
-
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.algorithms.hashmap import s_line_graph_hashmap
@@ -64,7 +61,6 @@ def test_all_algorithms_match_brute_force(h, s):
 @settings(max_examples=40, deadline=None)
 @given(h=hypergraphs())
 def test_edge_sets_nest_as_s_grows(h):
-    ensemble, _ = None, None
     graphs = {s: s_line_graph_hashmap(h, s).graph for s in (1, 2, 3, 4)}
     for s in (2, 3, 4):
         assert graphs[s].edge_set() <= graphs[s - 1].edge_set()

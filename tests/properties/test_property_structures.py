@@ -1,7 +1,6 @@
 """Property-based tests for the data-structure substrates (CSR, Graph, preprocessing)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph.connected_components import connected_components, label_propagation_components
@@ -9,7 +8,7 @@ from repro.graph.graph import Graph
 from repro.hypergraph.builders import hypergraph_from_edge_lists
 from repro.hypergraph.csr import CSRMatrix
 from repro.hypergraph.preprocessing import relabel_edges_by_degree, squeeze_ids
-from repro.hypergraph.toplexes import simplify, toplexes
+from repro.hypergraph.toplexes import simplify
 
 
 @st.composite

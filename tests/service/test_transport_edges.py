@@ -1,0 +1,263 @@
+"""Transport edge cases: malformed peers, restarts, replica churn.
+
+The server must shrug off adversarial or unlucky byte streams (truncated
+frames, oversized frames, wrong protocol versions, garbage JSON) without
+taking down other connections; the client must survive a server restart;
+and a read-replica server must keep answering correctly while a writer
+compacts the store underneath it.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.service import (
+    CompactionPolicy,
+    QueryService,
+    ServiceClient,
+    SocketServer,
+)
+from repro.service.transport import ProtocolVersionError, TransportError
+from repro.service.transport.framing import (
+    LENGTH_PREFIX,
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+)
+from repro.store.store import IndexStore
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture
+def store_path(community_hypergraph, tmp_path):
+    IndexStore.build(community_hypergraph, tmp_path / "idx", num_shards=4)
+    return str(tmp_path / "idx")
+
+
+@pytest.fixture
+def writer(store_path):
+    with QueryService(store_path, max_batch=16) as service:
+        yield service
+
+
+@pytest.fixture
+def server(writer):
+    with SocketServer(writer, port=0, max_frame_bytes=1 << 20) as srv:
+        yield srv
+
+
+def handshake(address):
+    sock = socket.create_connection(address)
+    send_frame(sock, {"op": "hello", "protocol": PROTOCOL_VERSION})
+    assert recv_frame(sock)["ok"]
+    return sock
+
+
+class TestMalformedPeers:
+    def test_truncated_frame_drops_only_that_connection(self, server):
+        sock = handshake(server.address)
+        sock.sendall(LENGTH_PREFIX.pack(100) + b'{"op": "st')  # 90 bytes short
+        sock.close()
+        # The server survives: a fresh client is served normally.
+        with ServiceClient(*server.address) as client:
+            assert client.components(1) >= 0
+        assert server.stats.active_connections <= 1
+
+    def test_oversized_frame_answered_then_closed(self, server):
+        sock = handshake(server.address)
+        sock.sendall(LENGTH_PREFIX.pack(server.max_frame_bytes + 1))
+        response = recv_frame(sock)
+        assert response["ok"] is False
+        assert response["code"] == "bad_frame"
+        assert recv_frame(sock) is None  # server closed the connection
+        sock.close()
+        assert server.stats.frames_rejected >= 1
+
+    def test_garbage_json_frame_answered_then_closed(self, server):
+        sock = handshake(server.address)
+        body = b"\xff\xfe not json"
+        sock.sendall(LENGTH_PREFIX.pack(len(body)) + body)
+        response = recv_frame(sock)
+        assert response["ok"] is False
+        assert response["code"] == "bad_frame"
+        assert recv_frame(sock) is None
+        sock.close()
+
+    def test_protocol_version_mismatch_rejected(self, server):
+        sock = socket.create_connection(server.address)
+        send_frame(sock, {"op": "hello", "protocol": PROTOCOL_VERSION + 7})
+        response = recv_frame(sock)
+        assert response["ok"] is False
+        assert response["code"] == "protocol_mismatch"
+        assert response["protocol"] == PROTOCOL_VERSION  # names both versions
+        assert recv_frame(sock) is None
+        sock.close()
+
+    def test_protocol_mismatch_raises_without_retries(self, server, monkeypatch):
+        client = ServiceClient(*server.address, connect_retries=50)
+        monkeypatch.setattr(
+            "repro.service.transport.client.hello_request",
+            lambda: {"op": "hello", "protocol": 99},
+        )
+        with pytest.raises(ProtocolVersionError):
+            client.connect()  # immediate: retrying cannot fix a version skew
+
+    def test_first_frame_not_hello_rejected(self, server):
+        sock = socket.create_connection(server.address)
+        send_frame(sock, {"op": "components", "s": 1})
+        response = recv_frame(sock)
+        assert response["ok"] is False
+        assert response["code"] == "protocol_mismatch"
+        sock.close()
+
+    def test_batch_cannot_smuggle_transport_ops(self, server):
+        with ServiceClient(*server.address) as client:
+            response = client.call(
+                {"op": "batch", "requests": [{"op": "goodbye"}]}
+            )
+            assert response["ok"] is False
+            assert response["code"] == "bad_request"
+
+    def test_oversized_response_answered_with_error_frame(self, writer):
+        """A response over the frame cap becomes a small error frame; the
+        connection (and pairing) survives instead of dying as a bare EOF."""
+        server = SocketServer(writer, port=0, max_frame_bytes=256).start()
+        try:
+            with ServiceClient(
+                server.host, server.port, max_frame_bytes=256
+            ) as client:
+                response = client.call(
+                    {"op": "metric", "s": 1, "metric": "pagerank"}
+                )
+                assert response["ok"] is False
+                assert response["code"] == "bad_frame"
+                assert "frame cap" in response["error"]
+                # Same connection keeps serving small responses.
+                small = client.call({"op": "components", "s": 1})
+                assert small["ok"] is True
+        finally:
+            server.close()
+
+
+class TestClientReconnect:
+    def test_client_survives_a_server_restart(self, writer):
+        first = SocketServer(writer, port=0).start()
+        port = first.port
+        client = ServiceClient(first.host, port)
+        expected = client.metric(2, "pagerank")
+        first.close()
+        # Same port, fresh server — as after a rolling restart.
+        second = SocketServer(writer, host=first.host, port=port).start()
+        try:
+            assert client.metric(2, "pagerank") == pytest.approx(expected)
+            assert second.stats.connections_accepted == 1
+        finally:
+            client.close()
+            second.close()
+
+    def test_reconnect_disabled_raises_instead(self, writer):
+        first = SocketServer(writer, port=0).start()
+        client = ServiceClient(
+            first.host, first.port, reconnect=False, connect_retries=2
+        ).connect()
+        first.close()
+        with pytest.raises(TransportError):
+            client.call({"op": "components", "s": 1})
+        client.close()
+
+    def test_updates_are_never_silently_resent(self, writer):
+        """A connection loss mid-update raises: its fate is unknown."""
+        server = SocketServer(writer, port=0).start()
+        client = ServiceClient(server.host, server.port).connect()
+        client.add([0, 1, 2])  # the connection works
+        server.close()
+        with pytest.raises(TransportError, match="not idempotent"):
+            client.add([3, 4, 5])
+        client.close()
+
+    def test_batches_containing_updates_are_not_resent_either(self, writer):
+        """A batch is only as idempotent as its contents: one add inside
+        makes the whole frame non-retryable (a committed batch must not be
+        applied twice on reconnect)."""
+        server = SocketServer(writer, port=0).start()
+        client = ServiceClient(server.host, server.port).connect()
+        queries = [{"op": "components", "s": 1}, {"op": "components", "s": 2}]
+        assert all(r["ok"] for r in client.batch(queries))
+        server.close()
+        with pytest.raises(TransportError, match="not idempotent"):
+            client.batch(queries + [{"op": "add", "members": [0, 1], "wait": True}])
+        client.close()
+        # Pure-query batches stay retryable: a fresh server on the same
+        # port serves the reconnect-and-retry path.
+        second = SocketServer(writer, host=server.host, port=server.port).start()
+        try:
+            assert all(r["ok"] for r in client.batch(queries))
+        finally:
+            client.close()
+            second.close()
+
+
+class TestReplicaUnderCompaction:
+    def test_concurrent_clients_hammer_a_replica_through_compactions(
+        self, store_path, community_hypergraph
+    ):
+        """N clients query one replica server while the writer batches
+        updates and compacts; every response is served, none is wrong for
+        the generation it came from, and all converge to the oracle."""
+        policy = CompactionPolicy(max_wal_records=8, max_wal_bytes=None)
+        writer = QueryService(
+            store_path, max_batch=8, compaction=policy, compaction_poll_interval=0.02
+        )
+        replica = QueryService(store_path, read_only=True)
+        server = SocketServer(replica, port=0, max_connections=8)
+        server.start()
+        stop = threading.Event()
+        failures = []
+        counts = [0] * 4
+
+        def hammer(worker_id):
+            try:
+                with ServiceClient(server.host, server.port) as client:
+                    while not stop.is_set():
+                        responses = client.batch(
+                            [
+                                {"op": "metric", "s": 2, "metric": "pagerank"},
+                                {"op": "components", "s": 1},
+                            ]
+                        )
+                        if not all(r["ok"] for r in responses):
+                            failures.append(responses)
+                            return
+                        counts[worker_id] += 1
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            rng = make_rng(11)
+            h = community_hypergraph
+            for _ in range(30):
+                members = sorted(set(int(v) for v in rng.choice(h.num_vertices, 5)))
+                writer.submit_add(members)
+            writer.flush()
+            writer.compact()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not failures, failures[:1]
+        assert all(c > 0 for c in counts)  # every client got served
+        assert writer.generation >= 1  # at least one compaction happened
+
+        # Convergence: the replica now serves exactly the writer's state.
+        with ServiceClient(server.host, server.port) as client:
+            deadline_values = client.metric(2, "pagerank")
+        assert deadline_values == pytest.approx(
+            writer.metric_by_hyperedge(2, "pagerank")
+        )
+        server.close()
+        replica.close()
+        writer.close()

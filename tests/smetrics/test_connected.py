@@ -1,7 +1,5 @@
 """Unit tests for s-connected components."""
 
-import pytest
-
 from repro.core.dispatch import s_line_graph
 from repro.smetrics.connected import (
     num_s_connected_components,

@@ -36,7 +36,9 @@ class TestDelegation:
     @pytest.mark.parametrize("s", [1, 2])
     def test_component_functions_match(self, small_random_hypergraph, s):
         engine = QueryEngine(small_random_hypergraph)
-        assert s_component_labels(small_random_hypergraph, s, engine=engine) == s_component_labels(
+        assert s_component_labels(
+            small_random_hypergraph, s, engine=engine
+        ) == s_component_labels(
             small_random_hypergraph, s
         )
         assert s_connected_components(
@@ -69,12 +71,18 @@ class TestGuardRails:
     def test_non_default_parameters_raise(self, small_random_hypergraph):
         engine = QueryEngine(small_random_hypergraph)
         with pytest.raises(ValidationError, match="default"):
-            s_betweenness_centrality(small_random_hypergraph, 2, normalized=False, engine=engine)
+            s_betweenness_centrality(
+                small_random_hypergraph, 2, normalized=False, engine=engine
+            )
         with pytest.raises(ValidationError, match="default"):
             s_pagerank(small_random_hypergraph, 2, damping=0.5, engine=engine)
         with pytest.raises(ValidationError, match="default"):
             s_pagerank(small_random_hypergraph, 2, weighted=True, engine=engine)
         with pytest.raises(ValidationError, match="default"):
-            s_closeness_centrality(small_random_hypergraph, 2, include_isolated=True, engine=engine)
+            s_closeness_centrality(
+                small_random_hypergraph, 2, include_isolated=True, engine=engine
+            )
         with pytest.raises(ValidationError, match="default"):
-            s_component_labels(small_random_hypergraph, 2, include_isolated=True, engine=engine)
+            s_component_labels(
+                small_random_hypergraph, 2, include_isolated=True, engine=engine
+            )

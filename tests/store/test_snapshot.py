@@ -11,7 +11,6 @@ from repro.store.format import (
     FORMAT_VERSION,
     Manifest,
     StoreFormatError,
-    manifest_path,
     read_manifest,
 )
 from repro.store.snapshot import (

@@ -109,7 +109,10 @@ class TestValidation:
 
 class TestRng:
     def test_seed_reproducibility(self):
-        assert make_rng(3).integers(0, 100, 5).tolist() == make_rng(3).integers(0, 100, 5).tolist()
+        assert (
+            make_rng(3).integers(0, 100, 5).tolist()
+            == make_rng(3).integers(0, 100, 5).tolist()
+        )
 
     def test_generator_passthrough(self):
         gen = np.random.default_rng(0)

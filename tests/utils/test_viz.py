@@ -1,7 +1,5 @@
 """Unit tests for the DOT / ASCII visualisation helpers."""
 
-import pytest
-
 from repro.core.dispatch import s_line_graph
 from repro.viz import (
     ascii_bar_chart,
