@@ -25,7 +25,12 @@ the built-in surrogate datasets:
                  frames — see :mod:`repro.service.transport`);
 ``connect``      drive ad-hoc queries against a ``serve --listen``
                  server: one-shot metric queries with ``--s``, or a JSONL
-                 request loop proxied over the socket.
+                 request loop proxied over the socket;
+``replicate``    mirror a remote store over the socket protocol alone (no
+                 shared filesystem): bootstrap/refresh a local store
+                 directory from any serving peer, and with ``--serve``
+                 keep it current while serving it as a read replica —
+                 one command stands up a remote read server.
 
 Examples
 --------
@@ -45,6 +50,8 @@ Examples
         | python -m repro serve --path idx/ --read-only
     python -m repro serve --path idx/ --listen 127.0.0.1:7474
     python -m repro connect --address 127.0.0.1:7474 --s 3 --metric pagerank
+    python -m repro replicate --from 127.0.0.1:7474 --store mirror/ \
+        --serve 127.0.0.1:7475
 """
 
 from __future__ import annotations
@@ -559,6 +566,100 @@ def _cmd_connect(args: argparse.Namespace) -> int:
         client.close()
 
 
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    """Mirror a remote store over the socket protocol (no shared filesystem).
+
+    Connects to any serving peer (``serve --listen`` writer or replica),
+    pulls the snapshot + WAL into ``--store`` (full fetch the first time,
+    checksum-driven delta afterwards), and either exits after the sync
+    (bootstrap/backup mode) or — with ``--serve HOST:PORT`` — serves the
+    mirror as a hot-reloading read replica while a background thread keeps
+    polling the peer's change token and pulling deltas.  The mirror
+    directory's writer lock is held for the duration, so a local writer
+    (or second ``replicate``) cannot corrupt it.
+    """
+    import threading
+
+    from repro.service import QueryService, StoreLock
+    from repro.service.transport import ServiceClient, TransportError
+    from repro.store import StoreMirror
+    from repro.store.format import StoreError
+
+    host, port = _parse_address(args.source)
+    try:
+        client = ServiceClient(
+            host, port, timeout=args.timeout, connect_retries=args.connect_retries
+        ).connect()
+    except TransportError as exc:
+        raise SystemExit(f"connect failed: {exc}")
+    try:
+        mirror = StoreMirror(client, args.store)
+        lock = StoreLock(args.store, owner="repro-replicate").acquire(blocking=False)
+    except (StoreError, OSError) as exc:
+        # OSError: --store points at a file / an unwritable directory.
+        client.close()
+        raise SystemExit(str(exc))
+    try:
+        try:
+            last_token = client.state_token()
+            report = mirror.sync()
+        except (TransportError, StoreError) as exc:
+            raise SystemExit(f"sync failed: {exc}")
+        print(
+            json.dumps(
+                {
+                    "ok": True,
+                    "op": "synced",
+                    "store": mirror.path,
+                    "generation": report.generation,
+                    "full_sync": report.full_sync,
+                    "fetched_files": report.fetched_files,
+                    "reused_files": report.reused_files,
+                    "fetched_bytes": report.fetched_bytes,
+                    "wal_records": report.wal_records,
+                }
+            ),
+            flush=True,
+        )
+        if not args.serve:
+            return 0
+
+        service = QueryService(args.store, read_only=True, num_workers=args.workers)
+        stop = threading.Event()
+
+        def follow() -> None:
+            """Poll the peer's change token; pull a delta sync on change.
+
+            Peer outages and racing compactions leave the local mirror
+            serving its last good state; a failed poll backs off so an
+            outage costs one connect budget per backoff window, not a
+            continuous retry storm against the dead address."""
+            nonlocal last_token
+            backoff = 0.0
+            while not stop.wait(max(args.poll_interval, backoff)):
+                try:
+                    token = client.state_token()
+                    if token is None or token != last_token:
+                        mirror.sync()
+                        last_token = token
+                    backoff = 0.0
+                except (TransportError, StoreError, OSError):
+                    backoff = max(1.0, args.poll_interval)
+
+        syncer = threading.Thread(target=follow, name="repro-replicate-sync", daemon=True)
+        syncer.start()
+        args.listen = args.serve
+        args.read_only = True
+        try:
+            return _serve_socket(service, args)
+        finally:
+            stop.set()
+            syncer.join(timeout=10)
+    finally:
+        lock.release()
+        client.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -737,6 +838,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="connection attempts before giving up (busy/refused servers)",
     )
     p.set_defaults(func=_cmd_connect)
+
+    p = sub.add_parser(
+        "replicate",
+        help="mirror a remote store over the socket protocol — bootstrap a "
+        "local copy, or keep serving it as a read replica with --serve",
+    )
+    p.add_argument(
+        "--from",
+        dest="source",
+        required=True,
+        metavar="HOST:PORT",
+        help="serving peer to replicate from (writer or replica server)",
+    )
+    p.add_argument(
+        "--store",
+        required=True,
+        help="local mirror directory (created if missing; locked while syncing)",
+    )
+    p.add_argument(
+        "--serve",
+        metavar="HOST:PORT",
+        default=None,
+        help="after the first sync, serve the mirror on this address and "
+        "keep pulling deltas (port 0 picks an ephemeral port)",
+    )
+    p.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="seconds between change-token polls of the peer (with --serve)",
+    )
+    p.add_argument(
+        "--max-connections",
+        type=int,
+        default=32,
+        help="with --serve: concurrent connections before 'busy' backpressure",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="with --serve: thread fan-out for batched query requests",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=30.0, help="per-operation socket timeout"
+    )
+    p.add_argument(
+        "--connect-retries",
+        type=int,
+        default=40,
+        help="connection attempts before giving up (busy/refused peers)",
+    )
+    p.set_defaults(func=_cmd_replicate)
 
     return parser
 

@@ -22,12 +22,18 @@ it a *served* one.  The pieces, bottom-up:
 * :class:`SocketServer` / :class:`ServiceClient`
   (:mod:`repro.service.transport`) — a length-prefixed JSON-over-TCP
   protocol in front of :class:`QueryService`, so writers and replicas
-  serve clients on other machines.
+  serve clients on other machines;
+* :class:`RemoteReadReplica` (:mod:`repro.service.remote`) — a replica fed
+  purely over the wire: a :class:`~repro.store.StoreMirror` pulls
+  snapshot/WAL deltas through the socket protocol into a local mirror
+  directory served by an inner :class:`ReadReplica` — read fleets without
+  a shared filesystem.
 """
 
 from repro.service.admission import AdmissionQueue, AdmissionStats
 from repro.service.compaction import BackgroundCompactor, CompactionPolicy
 from repro.service.lock import StoreLock, StoreLockHeldError
+from repro.service.remote import RemoteReadReplica
 from repro.service.replica import ReadReplica
 from repro.service.service import QueryService
 from repro.service.sync import RWLock
@@ -47,6 +53,7 @@ __all__ = [
     "RWLock",
     "ReadReplica",
     "RemoteEngine",
+    "RemoteReadReplica",
     "ServiceClient",
     "SocketServer",
     "StoreLock",

@@ -1,0 +1,252 @@
+"""Remote read replicas: serve a store that lives on another machine.
+
+:class:`RemoteReadReplica` closes the loop the replication ops opened: it
+bootstraps a local mirror of a remote store **over the socket protocol
+alone** (no shared filesystem) and keeps serving from it exactly like a
+local :class:`~repro.service.ReadReplica` — because it *contains* one.
+
+The moving parts:
+
+* a :class:`~repro.service.transport.client.ServiceClient` connected to
+  any serving peer (the writer's socket server, or another replica's);
+* a :class:`~repro.store.StoreMirror` that materialises/refreshes the
+  local store directory from the peer's ``repl_manifest`` /
+  ``repl_fetch`` / ``repl_wal`` ops — full fetch once, then delta syncs
+  (WAL tails between compactions, changed-shards-only after one);
+* a :class:`~repro.service.ReadReplica` over the mirror directory, whose
+  existing change-token polling notices every completed sync and
+  hot-swaps engines without dropping in-flight queries.
+
+Staleness is detected by polling the *peer's* ``state_token`` through one
+``stats`` round trip (cheap; no checksum work on either side) and only
+then pulling a sync.  Transient failures — the peer restarting, a
+compaction racing the sync — leave the replica serving its last good
+local state, the same degraded-but-available contract ``ReadReplica``
+has on a shared filesystem.
+
+The mirror directory is guarded with the store's single-writer
+:class:`~repro.service.StoreLock`: the syncing replica is the directory's
+writer; any number of *additional* local read-only services may serve
+from the same mirror.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.engine import SweepResult
+from repro.parallel.executor import ParallelConfig
+from repro.service.lock import StoreLock
+from repro.service.replica import ReadReplica
+from repro.service.transport.client import ServiceClient
+from repro.service.transport.framing import TransportError
+from repro.store.format import PathLike, StoreError
+from repro.store.replication import ReplicationError, StoreMirror, SyncReport
+
+#: Seconds before the next remote poll after one *failed* (peer down,
+#: racing compaction).  Without this, a ``poll_interval=0`` replica would
+#: pay the client's full connect-retry budget on every query of an
+#: outage instead of serving the local mirror immediately.
+_FAILED_POLL_BACKOFF = 1.0
+
+
+class RemoteReadReplica:
+    """A hot-reloading read replica fed purely over the wire.
+
+    Parameters
+    ----------
+    host / port:
+        Address of a serving peer (``serve --listen`` writer or replica).
+    store_path:
+        Local directory for the mirror (created and locked as its writer).
+    poll_interval:
+        Minimum seconds between remote staleness checks; ``0`` (default)
+        checks before every query.  Between checks, queries are served
+        from the local mirror without any network traffic.
+    client:
+        An already-connected :class:`ServiceClient` to reuse (the replica
+        then does not close it); by default one is created and owned.
+    sharded / max_resident_shards / cache_size / config:
+        Forwarded to the inner :class:`ReadReplica`.
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        store_path: PathLike = None,
+        poll_interval: float = 0.0,
+        client: Optional[ServiceClient] = None,
+        sharded: bool = True,
+        max_resident_shards: Optional[int] = None,
+        cache_size: int = 256,
+        config: Optional[ParallelConfig] = None,
+        chunk_bytes: Optional[int] = None,
+    ) -> None:
+        if store_path is None:
+            raise StoreError("RemoteReadReplica needs a local store_path to mirror into")
+        if client is None:
+            if host is None or port is None:
+                raise StoreError("RemoteReadReplica needs host/port or a client")
+            client = ServiceClient(str(host), int(port)).connect()
+            self._owns_client = True
+        else:
+            self._owns_client = False
+        self._client = client
+        self._poll_interval = float(poll_interval)
+        self._sync_lock = threading.Lock()
+        self._closed = False
+        self._lock: Optional[StoreLock] = None
+        try:
+            mirror_kwargs = (
+                {} if chunk_bytes is None else {"chunk_bytes": int(chunk_bytes)}
+            )
+            self.mirror = StoreMirror(client, store_path, **mirror_kwargs)
+            self._lock = StoreLock(store_path, owner="RemoteReadReplica").acquire(
+                blocking=False
+            )
+            self._remote_token = self._peer_token()
+            self.mirror.sync()
+            self._replica = ReadReplica(
+                store_path,
+                sharded=sharded,
+                poll_interval=0.0,  # the local token is checked after syncs
+                max_resident_shards=max_resident_shards,
+                cache_size=cache_size,
+                config=config,
+            )
+        except BaseException:
+            if self._lock is not None:
+                self._lock.release()
+            if self._owns_client:
+                self._client.close()
+            raise
+        self._next_check = time.monotonic() + self._poll_interval
+
+    # ------------------------------------------------------------------ #
+    # Syncing
+    # ------------------------------------------------------------------ #
+    def _peer_token(self) -> Optional[Tuple[int, ...]]:
+        return self._client.state_token()
+
+    def sync(self, force: bool = False) -> Optional[SyncReport]:
+        """Pull the peer's state if it changed; ``None`` when it had not.
+
+        One ``stats`` round trip decides; only a changed token (or
+        ``force=True``) pays for a mirror sync.  Concurrent callers
+        serialise on one sync at a time.
+        """
+        if self._closed:
+            return None
+        with self._sync_lock:
+            token = self._peer_token()
+            if not force and token is not None and token == self._remote_token:
+                return None
+            report = self.mirror.sync()
+            self._remote_token = token
+        # The mirror moved on disk; swap the serving engine now rather
+        # than waiting for the next query's poll.
+        self._replica.refresh()
+        return report
+
+    def _maybe_sync(self) -> None:
+        now = time.monotonic()
+        if now < self._next_check:
+            return
+        try:
+            self.sync()
+            self._next_check = time.monotonic() + self._poll_interval
+        except (TransportError, ReplicationError, StoreError, OSError):
+            # Keep serving the last good local state through peer
+            # restarts and racing compactions; back off so an outage
+            # costs one connect budget per backoff window, not per query.
+            self._next_check = time.monotonic() + max(
+                self._poll_interval, _FAILED_POLL_BACKOFF
+            )
+
+    def _serve(self, method: str, *args, **kwargs):
+        if self._closed:
+            raise StoreError(f"remote replica for {self.path} is closed")
+        self._maybe_sync()
+        return getattr(self._replica, method)(*args, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> str:
+        """The local mirror directory."""
+        return self.mirror.path
+
+    @property
+    def client(self) -> ServiceClient:
+        return self._client
+
+    @property
+    def replica(self) -> ReadReplica:
+        """The inner (local) read replica serving the mirror."""
+        return self._replica
+
+    @property
+    def generation(self) -> int:
+        return self._replica.generation
+
+    def fingerprint(self) -> str:
+        return self._serve("fingerprint")
+
+    def max_s(self) -> int:
+        return self._serve("max_s")
+
+    # ------------------------------------------------------------------ #
+    # Queries (the ReadReplica surface)
+    # ------------------------------------------------------------------ #
+    def line_graph(self, s: int):
+        return self._serve("line_graph", s)
+
+    #: ``extract(s)`` is the service-facing name for a threshold view.
+    extract = line_graph
+
+    def metric(self, s: int, name: str) -> np.ndarray:
+        return self._serve("metric", s, name)
+
+    def metric_by_hyperedge(self, s: int, name: str) -> Dict[int, float]:
+        return self._serve("metric_by_hyperedge", s, name)
+
+    def metrics(self, s: int, names: Sequence[str]) -> Dict[str, np.ndarray]:
+        return self._serve("metrics", s, names)
+
+    def sweep(self, s_values: Iterable[int], metrics: Sequence[str] = ()) -> SweepResult:
+        return self._serve("sweep", list(s_values), metrics=metrics)
+
+    def num_components(self, s: int) -> int:
+        return self._serve("num_components", s)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop serving and release the mirror lock (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._replica.close()
+        self._lock.release()
+        if self._owns_client:
+            self._client.close()
+
+    def __enter__(self) -> "RemoteReadReplica":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = ", closed" if self._closed else ""
+        return (
+            f"RemoteReadReplica(path={self.path!r}, "
+            f"generation={self.generation}{state})"
+        )

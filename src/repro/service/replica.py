@@ -122,21 +122,39 @@ class ReadReplica:
         deliberately *not* ordered — a restarted writer legitimately
         shrinks the log (torn-tail truncation), and refusing smaller
         byte counts would wedge the replica on its stale view.
+
+        A freshly opened engine that is *not* installed (lost the race,
+        equal token, replica closed) has no queries running on it and is
+        closed immediately — without this, every superseded refresh leaks
+        the loser's mmap'd shard handles.  The *replaced* engine is never
+        closed here: in-flight queries may still hold it (see
+        :meth:`close`).
         """
-        if self._closed:
-            return False
-        if not force and IndexStore.state_token(self._path) == self._token:
+        with self._swap_lock:
+            if self._closed:
+                return False
+            token_now = self._token
+        if not force and IndexStore.state_token(self._path) == token_now:
             return False
         engine, token = self._open()
-        with self._swap_lock:
-            if self._closed or token[0] < self._token[0]:
-                return False  # superseded by a newer generation (or closed)
-            if token == self._token and not force:
-                return False  # a concurrent refresh already installed this state
-            self._engine = engine
-            self._token = token
-            self.reloads += 1
-        return True
+        superseded: Optional[PersistentQueryEngine] = None
+        try:
+            with self._swap_lock:
+                if self._closed or token[0] < self._token[0]:
+                    # Superseded by a newer generation (or closed).
+                    superseded = engine
+                    return False
+                if token == self._token and not force:
+                    # A concurrent refresh already installed this state.
+                    superseded = engine
+                    return False
+                self._engine = engine
+                self._token = token
+                self.reloads += 1
+            return True
+        finally:
+            if superseded is not None:
+                superseded.close()
 
     def _current_engine(self) -> PersistentQueryEngine:
         if self._closed:

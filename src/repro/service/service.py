@@ -35,6 +35,8 @@ from repro.service.lock import StoreLock
 from repro.service.replica import ReadReplica
 from repro.service.sync import RWLock
 from repro.store.format import PathLike, ReadOnlyStoreError, StoreError
+from repro.store.replication import LocalReplicationSource
+from repro.store.store import IndexStore
 from repro.utils.validation import ValidationError
 
 #: A serving request: ``{"op": ..., ...}`` (see :meth:`QueryService.serve`).
@@ -98,6 +100,10 @@ class QueryService:
         self._admission: Optional[AdmissionQueue] = None
         self._compactor: Optional[BackgroundCompactor] = None
         self._replica: Optional[ReadReplica] = None
+        # Serves the repl_* ops (writer and replica mode alike): any peer
+        # that can reach this service can bootstrap a remote mirror of the
+        # store (see repro.store.replication).
+        self._replication = LocalReplicationSource(self.path)
 
         if self.read_only:
             self._engine = None
@@ -176,6 +182,13 @@ class QueryService:
             "generation": self.generation,
             "fingerprint": self.engine.fingerprint(),
         }
+        try:
+            # Remote mirrors poll this to decide when to pull a sync (see
+            # repro.store.replication); it changes on every append,
+            # truncate and compaction.
+            out["state_token"] = list(IndexStore.state_token(self.path))
+        except (StoreError, OSError):  # pragma: no cover - racing compaction
+            pass
         out["engine"] = vars(self.engine.stats())
         if self._admission is not None:
             out["admission"] = vars(self._admission.stats())
@@ -277,6 +290,7 @@ class QueryService:
         flush      —                                    ``flushed``
         compact    —                                    ``generation``
         stats      —                                    :meth:`stats`
+        repl_*     see :mod:`repro.store.replication`   manifest/chunks/WAL
         ========== ==================================== =====================
 
         Responses carry ``ok`` (bool) and, on failure, ``error``; request
@@ -374,9 +388,25 @@ class QueryService:
             }
         if op == "stats":
             return {"ok": True, "op": op, "stats": self.stats()}
+        if op == "repl_manifest":
+            return {"ok": True, "op": op, **self._replication.repl_manifest()}
+        if op == "repl_wal":
+            payload = self._replication.repl_wal(
+                int(request["generation"]), int(request.get("after_seq", 0))
+            )
+            return {"ok": True, "op": op, **payload}
+        if op == "repl_fetch":
+            payload = self._replication.repl_fetch(
+                str(request["file"]),
+                int(request["generation"]),
+                int(request.get("offset", 0)),
+                int(request["length"]),
+                raw=False,
+            )
+            return {"ok": True, "op": op, **payload}
         raise ValidationError(
             f"unknown op {op!r}; expected one of metric/components/sweep/"
-            "add/remove/flush/compact/stats"
+            "add/remove/flush/compact/stats/repl_manifest/repl_wal/repl_fetch"
         )
 
     # ------------------------------------------------------------------ #

@@ -31,12 +31,14 @@ store with the exact guard rails of the local engine path.
 
 from __future__ import annotations
 
+import base64
 import socket
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.service.transport.framing import (
     DEFAULT_MAX_FRAME_BYTES,
+    E_STALE,
     FrameError,
     ProtocolVersionError,
     RemoteServiceError,
@@ -48,9 +50,30 @@ from repro.service.transport.framing import (
     recv_frame,
     send_frame,
 )
+from repro.store.replication import ReplicationStaleError
 
-#: Request ops the client may safely re-send after a reconnect.
-_IDEMPOTENT_OPS = frozenset({"metric", "components", "sweep", "stats"})
+#: Request ops the client may safely re-send after a reconnect.  The
+#: replication ops are pure reads of pinned-generation state, so a mirror
+#: mid-sync survives a server restart instead of aborting the sync.
+_IDEMPOTENT_OPS = frozenset(
+    {"metric", "components", "sweep", "stats", "repl_manifest", "repl_fetch", "repl_wal"}
+)
+
+
+def _close_quietly(sock: Optional[socket.socket]) -> None:
+    """Close a socket without letting the close itself raise.
+
+    ``socket.close`` can fail with ``OSError`` (e.g. a pending ECONNRESET
+    flushed at close time); surfacing that from an error-handling path
+    would leak a raw ``OSError`` through the client's typed
+    :class:`TransportError` contract.
+    """
+    if sock is None:
+        return
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover - platform/timing dependent
+        pass
 
 
 def _is_idempotent(request: Dict[str, object]) -> bool:
@@ -137,12 +160,10 @@ class ServiceClient:
                 self._sock = sock
                 return self
             except (ProtocolVersionError, RemoteServiceError):
-                if sock is not None:
-                    sock.close()
+                _close_quietly(sock)
                 raise  # retrying cannot fix a rejected handshake
             except (ServiceBusyError, FrameError, ConnectionError, OSError) as exc:
-                if sock is not None:
-                    sock.close()
+                _close_quietly(sock)
                 last_error = exc
         raise TransportError(
             f"could not connect to {self.host}:{self.port} after "
@@ -160,12 +181,11 @@ class ServiceClient:
         except (FrameError, ConnectionError, OSError):
             pass
         finally:
-            sock.close()
+            _close_quietly(sock)
 
     def _drop_connection(self) -> None:
         sock, self._sock = self._sock, None
-        if sock is not None:
-            sock.close()
+        _close_quietly(sock)
 
     def __enter__(self) -> "ServiceClient":
         return self.connect()
@@ -199,7 +219,18 @@ class ServiceClient:
                     f"({exc}); op {request.get('op')!r} is not idempotent, so "
                     "its fate on the server is unknown"
                 ) from exc
-            self.connect()
+            try:
+                self.connect()
+            except TransportError:
+                # Already typed: exhausted retries, or a handshake
+                # rejection (ProtocolVersionError / RemoteServiceError)
+                # that a retry cannot fix.
+                raise
+            except OSError as connect_exc:  # pragma: no cover - belt and braces
+                self._drop_connection()
+                raise TransportError(
+                    f"reconnect to {self.host}:{self.port} failed: {connect_exc}"
+                ) from connect_exc
             try:
                 return self._roundtrip(request)
             except (FrameError, ConnectionError, OSError) as retry_exc:
@@ -313,6 +344,60 @@ class ServiceClient:
     def fingerprint(self) -> str:
         """Fingerprint of the hypergraph currently served by the peer."""
         return str(self.stats()["fingerprint"])
+
+    def state_token(self) -> Optional[tuple]:
+        """The peer store's ``(generation, WAL bytes)`` change token."""
+        token = self.stats().get("state_token")
+        return None if token is None else tuple(int(v) for v in token)
+
+    # ------------------------------------------------------------------ #
+    # Replication (the StoreMirror source interface — see
+    # repro.store.replication; a connected client IS a ReplicationSource)
+    # ------------------------------------------------------------------ #
+    def _repl_request(self, request: Dict[str, object]) -> Dict[str, object]:
+        try:
+            return self.request(request)
+        except RemoteServiceError as exc:
+            if exc.code == E_STALE:
+                # Typed for the mirror: restart the sync from a fresh
+                # manifest instead of treating this as a server fault.
+                raise ReplicationStaleError(str(exc)) from exc
+            raise
+
+    def repl_manifest(self) -> Dict[str, object]:
+        """The peer's live manifest text plus per-file checksums."""
+        return dict(self._repl_request({"op": "repl_manifest"}))
+
+    def repl_wal(self, generation: int, after_seq: int) -> Dict[str, object]:
+        """WAL records after a ``(generation, seq)`` cursor."""
+        return dict(
+            self._repl_request(
+                {
+                    "op": "repl_wal",
+                    "generation": int(generation),
+                    "after_seq": int(after_seq),
+                }
+            )
+        )
+
+    def repl_fetch(
+        self, name: str, generation: int, offset: int, length: int
+    ) -> Dict[str, object]:
+        """One chunk of one snapshot file, base64-decoded to bytes."""
+        response = dict(
+            self._repl_request(
+                {
+                    "op": "repl_fetch",
+                    "file": str(name),
+                    "generation": int(generation),
+                    "offset": int(offset),
+                    "length": int(length),
+                }
+            )
+        )
+        data = response.get("data", b"")
+        response["data"] = base64.b64decode(data) if isinstance(data, str) else data
+        return response
 
 
 class RemoteEngine:

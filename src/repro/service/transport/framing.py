@@ -64,6 +64,7 @@ E_BAD_REQUEST = "bad_request"  #: well-formed frame, invalid request
 E_READ_ONLY = "read_only"  #: write sent to a read-only replica server
 E_BUSY = "busy"  #: connection limit reached — retry later
 E_UNAVAILABLE = "unavailable"  #: server is shutting down / store error
+E_STALE = "stale_generation"  #: replication op pinned a superseded generation
 E_INTERNAL = "internal"  #: unexpected server-side failure
 
 
@@ -213,7 +214,10 @@ def recv_frame(
             f"peer announced a {length}-byte frame; this side caps frames "
             f"at {max_frame_bytes} bytes"
         )
-    body = recv_exact(sock, length, at_boundary=False, on_timeout=on_timeout) if length else b""
+    if length:
+        body = recv_exact(sock, length, at_boundary=False, on_timeout=on_timeout)
+    else:
+        body = b""
     return decode_payload(body)
 
 

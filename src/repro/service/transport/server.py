@@ -41,6 +41,7 @@ from repro.service.transport.framing import (
     E_INTERNAL,
     E_PROTOCOL,
     E_READ_ONLY,
+    E_STALE,
     E_UNAVAILABLE,
     PROTOCOL_VERSION,
     FrameError,
@@ -73,6 +74,8 @@ _ERROR_CODE_BY_TYPE = {
     "StoreError": E_UNAVAILABLE,
     "StoreFormatError": E_UNAVAILABLE,
     "FingerprintMismatchError": E_UNAVAILABLE,
+    "ReplicationError": E_UNAVAILABLE,
+    "ReplicationStaleError": E_STALE,
     "KeyError": E_BAD_REQUEST,
     "TypeError": E_BAD_REQUEST,
     "ValueError": E_BAD_REQUEST,

@@ -16,7 +16,10 @@ the system's storage layer:
 * :class:`IndexStore` — the directory manager (build / open / update /
   compact);
 * :class:`PersistentQueryEngine` — a store-backed
-  :class:`~repro.engine.QueryEngine` with durable updates and warm opens.
+  :class:`~repro.engine.QueryEngine` with durable updates and warm opens;
+* :mod:`repro.store.replication` — mirror a whole store directory over
+  the serving protocol (:class:`StoreMirror`): checksum-driven delta
+  syncs, byte-identical copies, no shared filesystem required.
 """
 
 from repro.store.format import (
@@ -30,6 +33,13 @@ from repro.store.format import (
     read_manifest,
 )
 from repro.store.persistent import PersistentQueryEngine
+from repro.store.replication import (
+    LocalReplicationSource,
+    ReplicationError,
+    ReplicationStaleError,
+    StoreMirror,
+    SyncReport,
+)
 from repro.store.sharded import ShardedIndex
 from repro.store.snapshot import materialize_index, write_snapshot
 from repro.store.store import IndexStore
@@ -39,13 +49,18 @@ __all__ = [
     "FORMAT_VERSION",
     "FingerprintMismatchError",
     "IndexStore",
+    "LocalReplicationSource",
     "Manifest",
     "PersistentQueryEngine",
     "ReadOnlyStoreError",
+    "ReplicationError",
+    "ReplicationStaleError",
     "ShardInfo",
     "ShardedIndex",
     "StoreError",
     "StoreFormatError",
+    "StoreMirror",
+    "SyncReport",
     "WalRecord",
     "WriteAheadLog",
     "materialize_index",

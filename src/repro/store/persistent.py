@@ -143,6 +143,22 @@ class PersistentQueryEngine(QueryEngine):
         self.store.append_remove(edge_id, fingerprint=self.fingerprint())
 
     # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release file-backed resources (the index's mmap'd shard handles).
+
+        Engines opened speculatively — e.g. by a read replica's refresh
+        that then loses the install race — must be closed instead of
+        dropped, or every superseded refresh leaks open shard mmaps until
+        garbage collection gets around to them.
+        """
+        index = self._index
+        close_index = getattr(index, "close", None)
+        if close_index is not None:
+            close_index()
+
+    # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
     def compact(self, num_shards: Optional[int] = None) -> None:

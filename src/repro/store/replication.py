@@ -1,0 +1,671 @@
+"""Snapshot replication: mirror a store directory over the serving protocol.
+
+PR 3-4 let any number of replica processes serve one store — provided they
+could *see* its directory.  This module removes the shared-filesystem
+requirement: a :class:`StoreMirror` materialises (and keeps current) a
+local store directory purely from three read-only replication ops any
+serving peer answers:
+
+``repl_manifest``
+    The live manifest (verbatim JSON text, so the mirror is byte-identical)
+    plus the size and CRC32 of every snapshot file it references, pinned to
+    one generation.
+``repl_fetch``
+    One chunk of one snapshot file (shard arrays, the generation-named
+    edge-size array, ``hypergraph.npz``) at a pinned generation —
+    base64-in-JSON on the wire, sized under the frame cap.
+``repl_wal``
+    The write-ahead-log records after a ``(generation, seq)`` cursor.  The
+    mirror re-frames them with the WAL's own deterministic encoder, so the
+    mirrored log is byte-identical to the source's.
+
+Sync is *delta* by construction: files whose checksum the mirror already
+holds (under any name — compaction renames shards it did not change) are
+hard-linked/copied locally instead of re-fetched, and between compactions
+only the WAL tail crosses the wire.  Crash safety reuses the store's own
+layout: fetched shard/edge-size files are generation-named (laying them
+down never touches the live snapshot), the manifest and WAL are swapped
+atomically, and a sync killed at any point leaves the previous state
+serveable — the next sync detects the partial files by checksum and
+finishes the job.
+
+The ops are served by :meth:`repro.service.QueryService.execute` (local or
+behind a :class:`~repro.service.transport.SocketServer`) via
+:class:`LocalReplicationSource`; :class:`~repro.service.transport.client.
+ServiceClient` exposes the matching typed helpers, so the same
+:class:`StoreMirror` code drives an in-process sync (tests) and a
+cross-machine sync (production) unchanged.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import shutil
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol
+
+from repro.store.format import (
+    HYPERGRAPH_NAME,
+    Manifest,
+    PathLike,
+    SHARD_DIR,
+    StoreError,
+    WAL_NAME,
+    fsync_path,
+    manifest_path,
+    read_manifest,
+)
+from repro.store.snapshot import sweep_orphan_shards
+from repro.store.wal import WriteAheadLog, _frame
+from repro.utils.validation import ValidationError
+
+#: Sidecar file recording the mirror's sync cursor and per-file checksums.
+#: Not part of the store format — store readers ignore it.
+MIRROR_STATE_NAME = "replication.json"
+
+#: Default raw bytes per ``repl_fetch`` chunk.  Base64 inflates by 4/3, so
+#: a 4 MiB chunk rides a ~5.6 MiB frame — far under the 64 MiB frame cap.
+DEFAULT_CHUNK_BYTES = 4 * 1024 * 1024
+
+#: Server-side clamp on one chunk, so a client cannot request a frame the
+#: server's own cap would then refuse to send.
+MAX_FETCH_CHUNK_BYTES = 8 * 1024 * 1024
+
+#: Attempts to assemble a consistent manifest payload / complete a sync
+#: while a writer compacts underneath (each retry re-reads fresh state).
+_PAYLOAD_RETRIES = 6
+_SYNC_RETRIES = 4
+_RETRY_SLEEP = 0.05
+
+
+class ReplicationError(StoreError):
+    """Base error for snapshot replication failures."""
+
+
+class ReplicationStaleError(ReplicationError):
+    """The pinned generation was superseded mid-operation (restart the sync)."""
+
+
+def file_crc32(path: PathLike, chunk_bytes: int = 1 << 20) -> int:
+    """CRC32 of a whole file, streamed (never loads it into memory)."""
+    crc = 0
+    with open(str(path), "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_bytes)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF
+
+
+def _snapshot_file_names(store_path: str, manifest: Manifest) -> List[str]:
+    """Relative (posix-style) names of every file the snapshot references."""
+    names: List[str] = []
+    for info in manifest.shards:
+        names.append(f"{SHARD_DIR}/{info.edges_file}")
+        names.append(f"{SHARD_DIR}/{info.weights_file}")
+    names.append(manifest.edge_sizes_file)
+    if os.path.isfile(os.path.join(store_path, HYPERGRAPH_NAME)):
+        names.append(HYPERGRAPH_NAME)
+    return names
+
+
+def _local_path(store_path: str, name: str) -> str:
+    return os.path.join(str(store_path), *name.split("/"))
+
+
+def _write_file_atomic(dest: str, data: bytes, suffix: str = ".sync") -> None:
+    """Durably replace ``dest``: write-temp, fsync, rename, fsync dir.
+
+    The one copy of the crash-safety sequence the mirror's small writes
+    (sidecar, WAL image, manifest text) share."""
+    tmp = dest + suffix
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, dest)
+    fsync_path(os.path.dirname(dest) or ".")
+
+
+# --------------------------------------------------------------------- #
+# Server-side payload builders (the replication request vocabulary)
+# --------------------------------------------------------------------- #
+def manifest_payload(
+    store_path: PathLike, cache: Optional[Dict[object, int]] = None
+) -> Dict[str, object]:
+    """The ``repl_manifest`` response: manifest text + file checksums.
+
+    ``cache`` (optional) memoises checksums keyed by ``(name, size,
+    mtime_ns)`` — snapshot files are immutable once written, so a serving
+    process pays the CRC pass once per generation, not once per sync.
+    Retries internally when a compaction swaps the snapshot mid-walk.
+    """
+    path = str(store_path)
+    last_error: Optional[Exception] = None
+    for _ in range(_PAYLOAD_RETRIES):
+        try:
+            with open(manifest_path(path), "r", encoding="utf-8") as handle:
+                text = handle.read()
+            manifest = Manifest.from_json(text)
+            files = []
+            for name in _snapshot_file_names(path, manifest):
+                full = _local_path(path, name)
+                st = os.stat(full)
+                key = (name, st.st_size, st.st_mtime_ns)
+                crc = cache.get(key) if cache is not None else None
+                if crc is None:
+                    crc = file_crc32(full)
+                    if cache is not None:
+                        if len(cache) > 1024:
+                            cache.clear()
+                        cache[key] = crc
+                files.append({"name": name, "size": st.st_size, "crc32": crc})
+            if read_manifest(path).generation != manifest.generation:
+                raise ReplicationStaleError(
+                    "snapshot generation changed while checksumming"
+                )
+            try:
+                wal_bytes = os.path.getsize(os.path.join(path, WAL_NAME))
+            except OSError:
+                wal_bytes = 0
+            return {
+                "generation": manifest.generation,
+                "manifest_json": text,
+                "files": files,
+                "state_token": [manifest.generation, wal_bytes],
+            }
+        except (OSError, StoreError) as exc:
+            last_error = exc
+            time.sleep(_RETRY_SLEEP)
+    raise ReplicationStaleError(
+        f"could not assemble a consistent replication manifest for {path} "
+        f"after {_PAYLOAD_RETRIES} attempts: {last_error}"
+    )
+
+
+def wal_payload(
+    store_path: PathLike, generation: int, after_seq: int
+) -> Dict[str, object]:
+    """The ``repl_wal`` response: log records after a ``(generation, seq)`` cursor.
+
+    Raises :class:`ReplicationStaleError` when the live snapshot is no
+    longer at ``generation`` (a compaction landed; the mirror must restart
+    with a snapshot sync).  A log stamped with a *different* generation —
+    the crash window between a compaction's manifest swap and its WAL
+    truncate — is reported empty, exactly as a recovering open would treat
+    it.
+    """
+    path = str(store_path)
+    generation = int(generation)
+    after_seq = int(after_seq)
+    manifest = read_manifest(path)
+    if manifest.generation != generation:
+        raise ReplicationStaleError(
+            f"snapshot at {path} is at generation {manifest.generation}, "
+            f"not the pinned {generation}"
+        )
+    records, _, _ = WriteAheadLog(os.path.join(path, WAL_NAME)).replay()
+    if any(r.generation is not None and r.generation != generation for r in records):
+        records = []
+    return {
+        "generation": generation,
+        "total": len(records),
+        "after_seq": after_seq,
+        "records": [
+            {"seq": r.seq, "payload": r.payload} for r in records if r.seq > after_seq
+        ],
+    }
+
+
+def fetch_payload(
+    store_path: PathLike,
+    name: str,
+    generation: int,
+    offset: int,
+    length: int,
+    raw: bool = False,
+) -> Dict[str, object]:
+    """The ``repl_fetch`` response: one chunk of one snapshot file.
+
+    ``name`` must be a file the *live* manifest references (no path
+    escapes; the WAL travels via :func:`wal_payload`, never here), and the
+    live generation must still match the pinned one — a swept file or a
+    swapped manifest answers :class:`ReplicationStaleError` so the mirror
+    restarts cleanly instead of splicing two generations together.  With
+    ``raw=True`` the chunk is returned as bytes (in-process callers);
+    otherwise base64 text, JSON-safe under the frame cap.
+    """
+    path = str(store_path)
+    generation = int(generation)
+    offset = int(offset)
+    length = min(int(length), MAX_FETCH_CHUNK_BYTES)
+    if offset < 0 or length < 0:
+        raise ValidationError("repl_fetch offset/length must be non-negative")
+    manifest = read_manifest(path)
+    if manifest.generation != generation:
+        raise ReplicationStaleError(
+            f"snapshot at {path} is at generation {manifest.generation}, "
+            f"not the pinned {generation}"
+        )
+    allowed = set(_snapshot_file_names(path, manifest))
+    if str(name) not in allowed:
+        raise ValidationError(
+            f"{name!r} is not a snapshot file of generation {generation}"
+        )
+    try:
+        with open(_local_path(path, str(name)), "rb") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            handle.seek(offset)
+            data = handle.read(length)
+    except FileNotFoundError as exc:
+        raise ReplicationStaleError(
+            f"snapshot file {name!r} vanished (compaction swept it): {exc}"
+        ) from exc
+    return {
+        "name": str(name),
+        "generation": generation,
+        "offset": offset,
+        "size": size,
+        "eof": offset + len(data) >= size,
+        "data": data if raw else base64.b64encode(data).decode("ascii"),
+    }
+
+
+class ReplicationSource(Protocol):
+    """What a :class:`StoreMirror` pulls from (duck-typed).
+
+    Implemented by :class:`LocalReplicationSource` (same-process source
+    directory) and :class:`repro.service.transport.client.ServiceClient`
+    (the socket protocol) — ``repl_fetch`` must return ``data`` as bytes.
+    """
+
+    def repl_manifest(self) -> Dict[str, object]: ...
+
+    def repl_wal(self, generation: int, after_seq: int) -> Dict[str, object]: ...
+
+    def repl_fetch(
+        self, name: str, generation: int, offset: int, length: int
+    ) -> Dict[str, object]: ...
+
+
+class LocalReplicationSource:
+    """Serve the replication ops straight from a store directory.
+
+    Used by :class:`repro.service.QueryService` to answer ``repl_*``
+    requests, and by tests/tools that mirror without a socket.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = str(path)
+        self._crc_cache: Dict[object, int] = {}
+
+    def repl_manifest(self) -> Dict[str, object]:
+        return manifest_payload(self.path, cache=self._crc_cache)
+
+    def repl_wal(self, generation: int, after_seq: int) -> Dict[str, object]:
+        return wal_payload(self.path, generation, after_seq)
+
+    def repl_fetch(
+        self, name: str, generation: int, offset: int, length: int, raw: bool = True
+    ) -> Dict[str, object]:
+        """One file chunk; ``raw=False`` base64-encodes it (the wire shape)."""
+        return fetch_payload(self.path, name, generation, offset, length, raw=raw)
+
+
+@dataclass
+class SyncReport:
+    """What one :meth:`StoreMirror.sync` did (observability / tests)."""
+
+    generation: int
+    #: A snapshot (not just a WAL tail) was installed this sync.
+    full_sync: bool
+    #: Whether anything changed at all.
+    changed: bool
+    fetched_files: int = 0
+    #: Files satisfied from the local previous generation (delta sync).
+    reused_files: int = 0
+    fetched_bytes: int = 0
+    #: WAL records newly applied (appended or rewritten).
+    wal_records: int = 0
+
+
+class StoreMirror:
+    """Materialise and maintain a local copy of a remote store directory.
+
+    Parameters
+    ----------
+    source:
+        A :class:`ReplicationSource` — typically a connected
+        :class:`~repro.service.transport.client.ServiceClient`.
+    path:
+        Local directory for the mirror (created if missing).  Any store
+        reader — :class:`~repro.store.IndexStore`,
+        :class:`~repro.service.ReadReplica` — can open it read-only while
+        the mirror keeps syncing; generation swaps are atomic.
+    chunk_bytes:
+        Raw bytes per fetch round trip.
+
+    The mirror is the directory's only writer (pair it with the service
+    layer's ``StoreLock`` when that needs enforcing across processes).
+    """
+
+    def __init__(
+        self,
+        source: ReplicationSource,
+        path: PathLike,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        sync_retries: int = _SYNC_RETRIES,
+    ) -> None:
+        self.source = source
+        self.path = str(path)
+        self.chunk_bytes = int(chunk_bytes)
+        self.sync_retries = int(sync_retries)
+        #: Completed syncs that changed anything (observability).
+        self.syncs = 0
+        os.makedirs(os.path.join(self.path, SHARD_DIR), exist_ok=True)
+        self._state = self._load_state()
+
+    # ------------------------------------------------------------------ #
+    # Sidecar state
+    # ------------------------------------------------------------------ #
+    def _state_path(self) -> str:
+        return os.path.join(self.path, MIRROR_STATE_NAME)
+
+    def _load_state(self) -> Dict[str, object]:
+        try:
+            with open(self._state_path(), "r", encoding="utf-8") as handle:
+                state = json.load(handle)
+            if isinstance(state, dict):
+                return state
+        except (OSError, json.JSONDecodeError):
+            pass
+        return {"generation": None, "wal_seq": 0, "wal_bytes": 0, "files": {}}
+
+    def _save_state(self) -> None:
+        data = json.dumps(self._state, indent=2, sort_keys=True).encode("utf-8")
+        _write_file_atomic(self._state_path(), data, suffix=".tmp")
+
+    @property
+    def generation(self) -> Optional[int]:
+        """Generation of the last completed sync (None before the first)."""
+        gen = self._state.get("generation")
+        return None if gen is None else int(gen)
+
+    @property
+    def wal_seq(self) -> int:
+        """Highest WAL sequence number mirrored so far."""
+        return int(self._state.get("wal_seq", 0))
+
+    # ------------------------------------------------------------------ #
+    # Sync
+    # ------------------------------------------------------------------ #
+    def sync(self) -> SyncReport:
+        """Bring the mirror up to date; retries through source compactions."""
+        last_error: Optional[Exception] = None
+        for attempt in range(max(1, self.sync_retries)):
+            if attempt:
+                time.sleep(_RETRY_SLEEP)
+            try:
+                report = self._sync_once()
+            except ReplicationStaleError as exc:
+                last_error = exc
+                continue
+            if report.changed:
+                self.syncs += 1
+            return report
+        raise ReplicationError(
+            f"mirror at {self.path} could not complete a sync in "
+            f"{self.sync_retries} attempts (source kept moving): {last_error}"
+        )
+
+    def _sync_once(self) -> SyncReport:
+        remote = self.source.repl_manifest()
+        generation = int(remote["generation"])
+        if self.generation == generation:
+            return self._sync_wal_only(generation)
+        return self._sync_snapshot(remote)
+
+    # -- WAL tail only (same generation) ------------------------------- #
+    def _sync_wal_only(self, generation: int) -> SyncReport:
+        wal_path = os.path.join(self.path, WAL_NAME)
+        try:
+            local_bytes = os.path.getsize(wal_path)
+        except OSError:
+            local_bytes = 0
+        intact = local_bytes == int(self._state.get("wal_bytes", 0))
+        after_seq = self.wal_seq if intact else 0
+        tail = self.source.repl_wal(generation, after_seq)
+        total = int(tail["total"])
+        if intact and total == after_seq:
+            return SyncReport(generation=generation, full_sync=False, changed=False)
+        if intact and total > after_seq:
+            frames = b"".join(
+                _frame(int(r["seq"]), dict(r["payload"])) for r in tail["records"]
+            )
+            with open(wal_path, "ab") as handle:
+                handle.write(frames)
+                handle.flush()
+                os.fsync(handle.fileno())
+            applied = total - after_seq
+        else:
+            # The source's log shrank under our cursor (writer restart
+            # recovery) or our own tail is suspect (killed mid-append):
+            # rewrite the whole log atomically.
+            if after_seq:
+                tail = self.source.repl_wal(generation, 0)
+                total = int(tail["total"])
+            self._write_wal_atomic(tail["records"])
+            applied = total
+        self._state["wal_seq"] = total
+        self._state["wal_bytes"] = os.path.getsize(wal_path)
+        self._save_state()
+        return SyncReport(
+            generation=generation,
+            full_sync=False,
+            changed=True,
+            wal_records=applied,
+        )
+
+    def _write_wal_atomic(self, records) -> str:
+        frames = b"".join(_frame(int(r["seq"]), dict(r["payload"])) for r in records)
+        wal_path = os.path.join(self.path, WAL_NAME)
+        _write_file_atomic(wal_path, frames)
+        return wal_path
+
+    # -- Snapshot (generation changed or first sync) -------------------- #
+    def _sync_snapshot(self, remote: Dict[str, object]) -> SyncReport:
+        generation = int(remote["generation"])
+        manifest = Manifest.from_json(str(remote["manifest_json"]))
+        report = SyncReport(generation=generation, full_sync=True, changed=True)
+
+        # Files already present under their final name and checksum (e.g.
+        # an unchanged hypergraph.npz) are kept; files whose *content* the
+        # previous generation already holds under another name (compaction
+        # renames every shard, changes few) are linked/copied locally.
+        # Only generation-named files may act as donors: they are
+        # write-once, so the sidecar checksum is trustworthy — a
+        # same-name file like hypergraph.npz can have been atomically
+        # replaced by a killed sync after the sidecar was last written.
+        known: Dict[str, Dict[str, object]] = dict(self._state.get("files", {}))
+        # Donors are keyed by (size, crc32), not bare CRC32: 32 bits alone
+        # is thin enough that a collision across many generations would
+        # silently install the wrong shard and poison the sidecar.
+        by_content: Dict[tuple, str] = {}
+        for known_name, meta in known.items():
+            if known_name == HYPERGRAPH_NAME:
+                continue
+            local = _local_path(self.path, known_name)
+            if os.path.isfile(local) and os.path.getsize(local) == int(meta["size"]):
+                by_content.setdefault((int(meta["size"]), int(meta["crc32"])), known_name)
+
+        new_files: Dict[str, Dict[str, object]] = {}
+        to_fetch: List[Dict[str, object]] = []
+        to_reuse: List[tuple] = []
+        for entry in remote["files"]:
+            name = str(entry["name"])
+            size = int(entry["size"])
+            crc = int(entry["crc32"])
+            new_files[name] = {"size": size, "crc32": crc}
+            dest = _local_path(self.path, name)
+            prior = known.get(name)
+            if (
+                prior is not None
+                and int(prior["crc32"]) == crc
+                and os.path.isfile(dest)
+                and os.path.getsize(dest) == size
+                # Replace-in-place files re-verify against the disk (the
+                # sidecar may be stale after a killed sync); write-once
+                # generation-named files trust the sidecar.
+                and (name != HYPERGRAPH_NAME or file_crc32(dest) == crc)
+            ):
+                continue  # unchanged in place
+            donor = by_content.get((size, crc))
+            if donor is not None and donor != name:
+                to_reuse.append((donor, name))
+            else:
+                to_fetch.append(entry)
+        # All local reuse happens before any fetch lands, so a fetch that
+        # overwrites a same-name file can never corrupt a donor.  Files
+        # whose final name already exists locally (hypergraph.npz, or any
+        # same-name collision) are *staged* and only installed in the swap
+        # sequence below — a sync killed mid-fetch must leave the previous
+        # state fully openable.
+        self._clean_stale_staged()
+        staged: Dict[str, str] = {}
+
+        def _dest(name: str) -> str:
+            dest = _local_path(self.path, name)
+            if name == HYPERGRAPH_NAME or os.path.exists(dest):
+                staged[dest] = dest + ".staged"
+                return staged[dest]
+            return dest
+
+        for donor, name in to_reuse:
+            self._reuse_file(_local_path(self.path, donor), _dest(name))
+            report.reused_files += 1
+        for entry in to_fetch:
+            name, size, crc = str(entry["name"]), int(entry["size"]), int(entry["crc32"])
+            self._fetch_file(name, generation, size, crc, _dest(name))
+            report.fetched_files += 1
+            report.fetched_bytes += size
+        if to_reuse or to_fetch:
+            # One directory fsync makes every rename/link above durable
+            # BEFORE the manifest swap can reference the new names — the
+            # same data-before-manifest ordering write_snapshot() uses.
+            # (File *contents* are already durable: fetches fsync their
+            # bytes, and reuse donors were fsynced when first written; a
+            # per-link fsync here would make a mostly-reused delta sync
+            # pay full-sync latency for nothing.)
+            fsync_path(os.path.join(self.path, SHARD_DIR))
+            fsync_path(self.path)
+
+        # The WAL for the pinned generation, staged next to the live one.
+        tail = self.source.repl_wal(generation, 0)
+        wal_frames = b"".join(
+            _frame(int(r["seq"]), dict(r["payload"])) for r in tail["records"]
+        )
+        wal_path = os.path.join(self.path, WAL_NAME)
+        wal_tmp = wal_path + ".sync"
+        with open(wal_tmp, "wb") as handle:
+            handle.write(wal_frames)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+        # Install: back-to-back renames in the writer compaction's own
+        # order — hypergraph (and any other staged in-place file),
+        # manifest, log.  Every fetch above only staged files, so a kill
+        # before this point leaves the previous state fully openable; the
+        # windows between the renames are the same (microsecond) ones the
+        # writer's compact() accepts, and the serving replica rides them
+        # out on its already-open engine.
+        for final, tmp in staged.items():
+            os.replace(tmp, final)
+        self._write_manifest_text(str(remote["manifest_json"]))
+        os.replace(wal_tmp, wal_path)
+        fsync_path(self.path)
+
+        self._state = {
+            "generation": generation,
+            "wal_seq": int(tail["total"]),
+            "wal_bytes": os.path.getsize(wal_path),
+            "files": new_files,
+        }
+        self._save_state()
+        report.wal_records = int(tail["total"])
+        sweep_orphan_shards(self.path, manifest)
+        return report
+
+    def _clean_stale_staged(self) -> None:
+        """Drop ``*.staged`` leftovers of an earlier killed sync."""
+        for directory in (self.path, os.path.join(self.path, SHARD_DIR)):
+            if not os.path.isdir(directory):
+                continue
+            for name in os.listdir(directory):
+                if name.endswith(".staged"):
+                    try:
+                        os.remove(os.path.join(directory, name))
+                    except OSError:  # pragma: no cover - racing cleanup
+                        pass
+
+    def _write_manifest_text(self, text: str) -> None:
+        _write_file_atomic(manifest_path(self.path), text.encode("utf-8"))
+
+    def _reuse_file(self, donor: str, dest: str) -> None:
+        """Satisfy a fetch from a local file with identical content.
+
+        The caller fsyncs the enclosing directories once after the whole
+        reuse pass; the donor's content is already durable."""
+        tmp = dest + ".sync"
+        try:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+            os.link(donor, tmp)  # O(1); snapshot files are immutable
+        except OSError:
+            shutil.copyfile(donor, tmp)
+            with open(tmp, "rb") as handle:
+                os.fsync(handle.fileno())
+        os.replace(tmp, dest)
+
+    def _fetch_file(
+        self, name: str, generation: int, size: int, crc: int, dest: str
+    ) -> None:
+        """Stream one remote file to ``dest``, verifying size and checksum."""
+        tmp = dest + ".sync"
+        received = 0
+        running_crc = 0
+        with open(tmp, "wb") as handle:
+            while received < size:
+                chunk = self.source.repl_fetch(
+                    name, generation, received, min(self.chunk_bytes, size - received)
+                )
+                data = chunk["data"]
+                if isinstance(data, str):
+                    data = base64.b64decode(data)
+                if not data:
+                    break
+                handle.write(data)
+                running_crc = zlib.crc32(data, running_crc)
+                received += len(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if received != size or (running_crc & 0xFFFFFFFF) != crc:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise ReplicationStaleError(
+                f"fetched {name!r} does not match its advertised size/checksum "
+                f"({received}/{size} bytes); the source moved — restarting sync"
+            )
+        os.replace(tmp, dest)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StoreMirror(path={self.path!r}, generation={self.generation}, "
+            f"wal_seq={self.wal_seq}, syncs={self.syncs})"
+        )

@@ -354,6 +354,21 @@ class ShardedIndex:
         return total
 
     # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop every resident shard handle (mmaps close with them).
+
+        The index stays usable — a later query simply re-opens the shards
+        it touches — so ``close()`` is a resource release, not a terminal
+        state.  Callers that replace an index (the read replica's hot
+        swap) use it to return file handles eagerly instead of waiting for
+        garbage collection.
+        """
+        with self._residency_lock:
+            self._resident.clear()
+
+    # ------------------------------------------------------------------ #
     # Dunders
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -31,7 +31,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.store.format import PathLike, StoreFormatError
+from repro.store.format import PathLike, StoreError, StoreFormatError
 
 OP_ADD = "add"
 OP_REMOVE = "remove"
@@ -73,6 +73,7 @@ class WriteAheadLog:
         self.path = str(path)
         self._next_seq: Optional[int] = None
         self._batch_handle = None
+        self._batch_poisoned = False
         #: Group commits performed via :meth:`batch` (observability).
         self.batch_commits = 0
 
@@ -161,7 +162,7 @@ class WriteAheadLog:
     # ------------------------------------------------------------------ #
     # Writing
     # ------------------------------------------------------------------ #
-    def _advance_seq(self) -> int:
+    def _peek_seq(self) -> int:
         if self._next_seq is None:
             records, _, torn = self.replay()
             if torn:
@@ -170,22 +171,61 @@ class WriteAheadLog:
                     "recover() before appending"
                 )
             self._next_seq = len(records) + 1
-        seq = self._next_seq
-        self._next_seq += 1
-        return seq
+        return self._next_seq
 
     def _append(self, payload: dict) -> int:
-        seq = self._advance_seq()
+        # The sequence number is consumed only AFTER the frame is written
+        # (and, outside a batch, fsynced).  Advancing it first would leave
+        # a hole when the write raises (e.g. ENOSPC): the next successful
+        # append would frame seq N+1 with no seq N on disk, replay() would
+        # stop at the gap, and every later durable, acknowledged record
+        # would silently vanish on recovery.
+        seq = self._peek_seq()
         frame = _frame(seq, payload)
         if self._batch_handle is not None:
-            # Group commit: the enclosing batch() owns the flush + fsync.
-            self._batch_handle.write(frame)
-            return seq
-        with open(self.path, "ab") as handle:
-            handle.write(frame)
+            if self._batch_poisoned:
+                raise StoreError(
+                    f"write-ahead log {self.path} batch is poisoned by an "
+                    "earlier failed append; no further records may join "
+                    "this group commit"
+                )
+            try:
+                # Group commit: the enclosing batch() owns the flush + fsync.
+                self._batch_handle.write(frame)
+            except OSError:
+                # The frame may be partially buffered/written; refuse any
+                # further appends (they would land after the tear and be
+                # discarded by replay) and let batch() trim on exit.
+                self._batch_poisoned = True
+                raise
+        else:
+            with open(self.path, "ab") as handle:
+                start = handle.tell()
+                try:
+                    handle.write(frame)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                except OSError:
+                    self._rollback_failed_write(handle, start)
+                    raise
+        self._next_seq = seq + 1
+        return seq
+
+    def _rollback_failed_write(self, handle, start: int) -> None:
+        """Trim whatever a failed append left behind ``start``.
+
+        A failed write/flush/fsync may have pushed part (or all) of the
+        frame to disk; since the record was never acknowledged it must not
+        survive, and a torn frame must not sit under later appends.  When
+        even the trim fails, drop the cached sequence so the next append
+        re-replays the file and surfaces the torn tail to ``recover()``.
+        """
+        try:
+            handle.truncate(start)
             handle.flush()
             os.fsync(handle.fileno())
-        return seq
+        except OSError:
+            self._next_seq = None
 
     @contextmanager
     def batch(self) -> Iterator["WriteAheadLog"]:
@@ -199,21 +239,44 @@ class WriteAheadLog:
         outermost one (one fsync total).  The fsync runs even when the block
         raises: records already framed stay valid on disk, and the recovery
         contract (valid prefix survives) is unaffected.
+
+        A failed append *poisons* the batch: the broken frame may be torn
+        on disk, so later appends (which would land after the tear and be
+        discarded by replay) raise :class:`StoreError` until the batch
+        exits, and exit trims the torn tail back to the last whole record.
         """
         if self._batch_handle is not None:
             yield self  # nested: the outer batch owns the commit
             return
         self._batch_handle = open(self.path, "ab")
+        self._batch_poisoned = False
         try:
             yield self
         finally:
             handle, self._batch_handle = self._batch_handle, None
+            poisoned, self._batch_poisoned = self._batch_poisoned, False
             try:
-                handle.flush()
-                os.fsync(handle.fileno())
+                try:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                except OSError:
+                    # Durability of the framed records is unknown; the next
+                    # append must re-derive its sequence from disk.
+                    poisoned = True
+                    self._next_seq = None
+                    raise
             finally:
                 handle.close()
-            self.batch_commits += 1
+                if poisoned:
+                    # A failed append may have left a torn frame at the
+                    # tail; trim it now so the log is append-ready again.
+                    self._next_seq = None
+                    try:
+                        self.recover()
+                    except (OSError, StoreError):
+                        pass  # the next append/recover() surfaces it
+            if not poisoned:
+                self.batch_commits += 1
 
     def append_add(
         self,

@@ -119,6 +119,76 @@ class TestCatchUp:
         assert replica.reloads >= 1
 
 
+class TestEngineLeaks:
+    """Regression: a refresh that opens an engine and then does not install
+    it (lost the race, equal token, replica closed) used to drop the fresh
+    engine without closing — leaking mmap'd shard handles every time."""
+
+    @pytest.fixture
+    def close_counter(self, monkeypatch):
+        closed = []
+        original = PersistentQueryEngine.close
+
+        def counting_close(engine):
+            closed.append(engine)
+            return original(engine)
+
+        monkeypatch.setattr(PersistentQueryEngine, "close", counting_close)
+        return closed
+
+    def test_superseded_refresh_closes_the_loser(
+        self, store_path, writer, close_counter, monkeypatch
+    ):
+        replica = ReadReplica(store_path)
+        served = replica.engine
+        # Make the cheap outer staleness check lie so refresh() opens a
+        # fresh engine even though the store did not change; the in-lock
+        # install checks must then discard — and close — the loser.
+        monkeypatch.setattr(
+            IndexStore, "state_token", staticmethod(lambda path: (-1, -1))
+        )
+        assert replica.refresh() is False
+        assert len(close_counter) == 1
+        assert close_counter[0] is not served  # the serving engine survives
+        monkeypatch.undo()
+        assert replica.engine is served
+        assert replica.metric_by_hyperedge(2, "pagerank")  # still serving
+
+    def test_refresh_losing_to_close_shuts_the_fresh_engine(
+        self, store_path, writer, close_counter
+    ):
+        replica = ReadReplica(store_path)
+        real_open = replica._open
+
+        def open_then_close():
+            engine, token = real_open()
+            replica.close()  # close() lands while the refresh is mid-open
+            return engine, token
+
+        replica._open = open_then_close
+        writer.add_hyperedge([0, 1, 2])
+        assert replica.refresh() is False
+        # Exactly the freshly opened (never-installed) engine was closed.
+        assert len(close_counter) == 1
+
+    def test_installed_refresh_closes_nothing(self, store_path, writer, close_counter):
+        replica = ReadReplica(store_path)
+        writer.add_hyperedge([0, 1, 2, 3])
+        assert replica.refresh() is True
+        # Neither the new engine nor the replaced one (in-flight queries
+        # may still hold it) is closed by a successful install.
+        assert close_counter == []
+
+    def test_sharded_index_close_releases_and_reopens(self, store_path):
+        engine = PersistentQueryEngine.open(store_path, read_only=True, sharded=True)
+        graph = engine.line_graph(2)
+        assert engine.index.num_resident_shards > 0
+        engine.close()
+        assert engine.index.num_resident_shards == 0
+        # close() releases handles; it is not a terminal state.
+        assert engine.line_graph(2) == graph
+
+
 class TestLifecycleAndConcurrency:
     def test_closed_replica_refuses_cleanly(self, store_path):
         from repro.store.format import StoreError

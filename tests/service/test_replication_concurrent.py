@@ -1,0 +1,227 @@
+"""Acceptance: multi-machine read replicas with no shared filesystem.
+
+A writer :class:`SocketServer` (in-process, so the test can consult the
+writer's hypergraph for the oracle) and a ``python -m repro replicate
+--from ... --store ... --serve`` subprocess that mirrors the store into
+its *own* directory purely over TCP — the only channel between the two
+"machines" is the socket protocol.  Remote reader clients in separate OS
+processes drive queries against the replica server; every served value
+must be byte-identical (JSON text) to the
+:class:`repro.core.pipeline.SLinePipeline` oracle on the writer's current
+hypergraph — across batched updates (WAL-tail delta syncs) and a
+compaction (changed-shards-only delta sync with a hot generation swap).
+"""
+
+import json
+import multiprocessing as mp
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.pipeline import SLinePipeline
+from repro.service import QueryService, ServiceClient, SocketServer
+from repro.store.store import IndexStore
+from repro.utils.rng import make_rng
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+@pytest.fixture
+def store_path(community_hypergraph, tmp_path):
+    IndexStore.build(community_hypergraph, tmp_path / "idx", num_shards=4)
+    return str(tmp_path / "idx")
+
+
+def oracle_json(h, s, metric):
+    """Pipeline oracle, serialised exactly like the wire's ``values``."""
+    pipeline = SLinePipeline(
+        metrics=(metric,), drop_empty_edges=False, drop_isolated_vertices=False
+    )
+    values = pipeline.run(h, s).metric_by_hyperedge(metric)
+    return json.dumps(
+        {str(k): float(v) for k, v in sorted(values.items())}, sort_keys=True
+    )
+
+
+def reader_process(address, phases, results):
+    """Remote client: each phase, serve queries and report the raw JSON."""
+    host, port = address
+    with ServiceClient(host, port) as client:
+        while True:
+            phase = phases.get()
+            if phase is None:
+                return
+            answers = {}
+            for s, metric in [(2, "pagerank"), (1, "connected_components")]:
+                response = client.request({"op": "metric", "s": s, "metric": metric})
+                answers[f"{metric}/{s}"] = json.dumps(response["values"], sort_keys=True)
+            answers["components/2"] = client.components(2)
+            results.put((phase, answers, client.generation()))
+
+
+def await_convergence(monitor, fingerprint, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while monitor.fingerprint() != fingerprint:
+        assert time.monotonic() < deadline, "remote mirror did not catch up"
+        time.sleep(0.05)
+
+
+def await_generation(monitor, generation, timeout=60.0):
+    """Compaction does not change the fingerprint — wait on the generation."""
+    deadline = time.monotonic() + timeout
+    while monitor.generation() != generation:
+        assert time.monotonic() < deadline, "remote mirror did not pull the compaction"
+        time.sleep(0.05)
+
+
+NUM_READERS = 2
+
+
+class TestRemoteMirrorAcceptance:
+    def test_replicate_serve_matches_oracle_across_updates_and_compaction(
+        self, store_path, tmp_path
+    ):
+        mirror_path = str(tmp_path / "mirror")
+        with QueryService(store_path, max_batch=16) as writer:
+            with SocketServer(writer, port=0) as writer_server:
+                proc = subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro", "replicate",
+                        "--from", f"{writer_server.host}:{writer_server.port}",
+                        "--store", mirror_path,
+                        "--serve", "127.0.0.1:0",
+                        "--poll-interval", "0.1",
+                    ],
+                    env=_env(),
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                    bufsize=1,
+                )
+                try:
+                    synced = json.loads(proc.stdout.readline())
+                    assert synced["op"] == "synced" and synced["full_sync"]
+                    listening = json.loads(proc.stdout.readline())
+                    assert listening["op"] == "listening" and listening["read_only"]
+                    replica_address = (listening["host"], listening["port"])
+
+                    ctx = mp.get_context("spawn")
+                    phases = [ctx.Queue() for _ in range(NUM_READERS)]
+                    results = ctx.Queue()
+                    readers = [
+                        ctx.Process(
+                            target=reader_process,
+                            args=(replica_address, phases[i], results),
+                        )
+                        for i in range(NUM_READERS)
+                    ]
+                    for reader in readers:
+                        reader.start()
+
+                    def run_phase(name):
+                        h = writer.engine.hypergraph
+                        expected = {
+                            "pagerank/2": oracle_json(h, 2, "pagerank"),
+                            "connected_components/1": oracle_json(
+                                h, 1, "connected_components"
+                            ),
+                            "components/2": SLinePipeline(
+                                metrics=("connected_components",)
+                            ).run(h, 2).num_components(),
+                        }
+                        for queue in phases:
+                            queue.put(name)
+                        for _ in readers:
+                            phase, answers, generation = results.get(timeout=120)
+                            assert phase == name
+                            assert answers == expected, f"diverged in phase {name}"
+                        return generation
+
+                    try:
+                        with ServiceClient(*replica_address) as monitor, ServiceClient(
+                            *writer_server.address
+                        ) as updater:
+                            # Phase 1: the bootstrapped snapshot.
+                            assert run_phase("snapshot") == 0
+
+                            # Phase 2: durable updates; the mirror pulls
+                            # them as a WAL-tail delta over the socket.
+                            rng = make_rng(31)
+                            h = writer.engine.hypergraph
+                            for _ in range(8):
+                                members = sorted(
+                                    set(int(v) for v in rng.choice(h.num_vertices, 5))
+                                )
+                                updater.add(members, wait=True)
+                            updater.remove(1, wait=True)
+                            await_convergence(monitor, writer.engine.fingerprint())
+                            run_phase("updated")
+
+                            # Phase 3: compaction; the mirror delta-syncs
+                            # the new generation and hot-swaps it.
+                            assert updater.compact() == 1
+                            await_generation(monitor, 1)
+                            assert run_phase("compacted") == 1
+                    finally:
+                        for queue in phases:
+                            queue.put(None)
+                        for reader in readers:
+                            reader.join(timeout=30)
+                            if reader.is_alive():  # pragma: no cover - cleanup
+                                reader.terminate()
+                finally:
+                    proc.terminate()
+                    proc.wait(timeout=30)
+                    proc.stdout.close()
+                    proc.stderr.close()
+
+    def test_replicate_bootstrap_once_is_byte_identical(self, store_path, tmp_path):
+        """Without --serve, replicate is a one-shot bootstrap/backup."""
+        mirror_path = str(tmp_path / "mirror")
+        with QueryService(store_path, max_batch=16) as writer:
+            writer.submit_add([0, 1, 2, 3]).result()
+            with SocketServer(writer, port=0) as server:
+                out = subprocess.run(
+                    [
+                        sys.executable, "-m", "repro", "replicate",
+                        "--from", f"{server.host}:{server.port}",
+                        "--store", mirror_path,
+                    ],
+                    env=_env(),
+                    capture_output=True,
+                    text=True,
+                    timeout=120,
+                )
+        assert out.returncode == 0, out.stderr
+        synced = json.loads(out.stdout.splitlines()[0])
+        assert synced["op"] == "synced" and synced["wal_records"] == 1
+        _assert_byte_identical(store_path, mirror_path)
+
+
+def _store_files(path):
+    skip = {"replication.json", "writer.lock"}
+    out = {}
+    for root, _, files in os.walk(str(path)):
+        for name in files:
+            if name in skip or name.endswith((".sync", ".staged")):
+                continue
+            full = os.path.join(root, name)
+            rel = os.path.relpath(full, str(path)).replace(os.sep, "/")
+            with open(full, "rb") as handle:
+                out[rel] = handle.read()
+    return out
+
+
+def _assert_byte_identical(source_path, mirror_path):
+    source, mirror = _store_files(source_path), _store_files(mirror_path)
+    assert sorted(source) == sorted(mirror)
+    for name in source:
+        assert source[name] == mirror[name], f"mirror differs from source: {name}"

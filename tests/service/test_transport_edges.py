@@ -176,6 +176,49 @@ class TestClientReconnect:
             client.add([3, 4, 5])
         client.close()
 
+    def test_dead_server_reconnect_raises_typed_transport_error(self, writer):
+        """Regression (client error contract): every failure mode of the
+        mid-call reconnect — including ``connect()`` exhausting its retries
+        against an address nothing listens on — must surface as
+        :class:`TransportError`, never a raw ``OSError``."""
+        server = SocketServer(writer, port=0).start()
+        client = ServiceClient(
+            server.host, server.port, connect_retries=2, retry_interval=0.05
+        ).connect()
+        assert client.components(1) >= 0
+        server.close()  # the port is dead: reconnects are refused
+        with pytest.raises(TransportError) as excinfo:
+            client.call({"op": "components", "s": 1})
+        assert not isinstance(excinfo.value, OSError)
+        # Non-idempotent ops fail typed too (here in connect(): the socket
+        # is already known-dead, so the update was never sent at all).
+        with pytest.raises(TransportError) as excinfo:
+            client.call({"op": "add", "members": [0, 1], "wait": True})
+        assert not isinstance(excinfo.value, OSError)
+        client.close()
+
+    def test_handshake_error_from_mid_call_reconnect_stays_typed(
+        self, writer, monkeypatch
+    ):
+        """A version skew discovered by the *reconnect* (rolling upgrade
+        under our feet) surfaces as ProtocolVersionError — not a raw
+        OSError, and not an endless retry loop."""
+        server = SocketServer(writer, port=0).start()
+        client = ServiceClient(server.host, server.port, connect_retries=50).connect()
+        assert client.components(1) >= 0
+        server.close()
+        second = SocketServer(writer, host=server.host, port=server.port).start()
+        monkeypatch.setattr(
+            "repro.service.transport.client.hello_request",
+            lambda: {"op": "hello", "protocol": 99},
+        )
+        try:
+            with pytest.raises(ProtocolVersionError):
+                client.call({"op": "components", "s": 1})
+        finally:
+            client.close()
+            second.close()
+
     def test_batches_containing_updates_are_not_resent_either(self, writer):
         """A batch is only as idempotent as its contents: one add inside
         makes the whole frame non-retryable (a committed batch must not be

@@ -1,0 +1,388 @@
+"""Snapshot replication: payload builders, StoreMirror sync, crash safety.
+
+The mirror's contract is byte-for-byte fidelity: after every sync, the
+mirror directory holds exactly the source's snapshot files, manifest and
+write-ahead log (the sidecar cursor and writer lock excepted), so any
+store reader serves identical answers from either directory.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.engine import QueryEngine
+from repro.store import (
+    IndexStore,
+    LocalReplicationSource,
+    PersistentQueryEngine,
+    ReplicationError,
+    ReplicationStaleError,
+    StoreMirror,
+)
+from repro.store.format import HYPERGRAPH_NAME, WAL_NAME
+from repro.store.replication import (
+    MIRROR_STATE_NAME,
+    fetch_payload,
+    file_crc32,
+    manifest_payload,
+    wal_payload,
+)
+from repro.utils.rng import make_rng
+
+#: Files that legitimately differ between a source and its mirror.
+_NON_STORE_FILES = {MIRROR_STATE_NAME, "writer.lock"}
+
+
+def store_files(path):
+    """``relative name -> bytes`` of every store file under ``path``."""
+    out = {}
+    for root, _, files in os.walk(str(path)):
+        for name in files:
+            if name in _NON_STORE_FILES or name.endswith((".sync", ".staged")):
+                continue
+            full = os.path.join(root, name)
+            rel = os.path.relpath(full, str(path)).replace(os.sep, "/")
+            with open(full, "rb") as handle:
+                out[rel] = handle.read()
+    return out
+
+
+def live_store_files(path):
+    """``relative name -> bytes`` of the files the live manifest references
+    (plus the manifest, WAL and hypergraph) — the state a reader opens.
+    A killed sync may leave staged next-generation files alongside; those
+    are invisible to readers and excluded here."""
+    from repro.store.format import read_manifest
+
+    manifest = read_manifest(path)
+    names = ["manifest.json", WAL_NAME, HYPERGRAPH_NAME, manifest.edge_sizes_file]
+    for info in manifest.shards:
+        names.append(f"shards/{info.edges_file}")
+        names.append(f"shards/{info.weights_file}")
+    out = {}
+    for name in names:
+        full = os.path.join(str(path), *name.split("/"))
+        if os.path.isfile(full):
+            with open(full, "rb") as handle:
+                out[name] = handle.read()
+    return out
+
+
+def assert_byte_identical(source_path, mirror_path):
+    source, mirror = store_files(source_path), store_files(mirror_path)
+    assert sorted(source) == sorted(mirror)
+    for name in source:
+        assert source[name] == mirror[name], f"mirror differs from source: {name}"
+
+
+@pytest.fixture
+def source_path(community_hypergraph, tmp_path):
+    IndexStore.build(community_hypergraph, tmp_path / "src", num_shards=4)
+    return str(tmp_path / "src")
+
+
+@pytest.fixture
+def mirror_path(tmp_path):
+    return str(tmp_path / "dst")
+
+
+@pytest.fixture
+def writer(source_path):
+    return PersistentQueryEngine.open(source_path)
+
+
+def random_members(h, rng, size=5):
+    return sorted(set(int(v) for v in rng.choice(h.num_vertices, size=size)))
+
+
+class TestPayloads:
+    def test_manifest_payload_lists_every_snapshot_file(self, source_path):
+        payload = manifest_payload(source_path)
+        store = IndexStore.open(source_path)
+        names = {f["name"] for f in payload["files"]}
+        for info in store.manifest.shards:
+            assert f"shards/{info.edges_file}" in names
+            assert f"shards/{info.weights_file}" in names
+        assert store.manifest.edge_sizes_file in names
+        assert HYPERGRAPH_NAME in names
+        assert payload["generation"] == store.manifest.generation
+        assert payload["state_token"] == list(store.current_state_token())
+        for entry in payload["files"]:
+            full = os.path.join(source_path, *entry["name"].split("/"))
+            assert entry["size"] == os.path.getsize(full)
+            assert entry["crc32"] == file_crc32(full)
+
+    def test_manifest_payload_caches_checksums(self, source_path):
+        cache = {}
+        first = manifest_payload(source_path, cache=cache)
+        assert cache
+        again = manifest_payload(source_path, cache=cache)
+        assert first["files"] == again["files"]
+
+    def test_wal_payload_cursor(self, source_path, writer):
+        writer.add_hyperedge([0, 1, 2])
+        writer.add_hyperedge([1, 2, 3])
+        full = wal_payload(source_path, 0, 0)
+        assert full["total"] == 2
+        assert [r["seq"] for r in full["records"]] == [1, 2]
+        tail = wal_payload(source_path, 0, 1)
+        assert tail["total"] == 2
+        assert [r["seq"] for r in tail["records"]] == [2]
+        assert wal_payload(source_path, 0, 2)["records"] == []
+
+    def test_wal_payload_rejects_stale_generation(self, source_path, writer):
+        writer.add_hyperedge([0, 1, 2])
+        writer.compact()
+        with pytest.raises(ReplicationStaleError, match="generation"):
+            wal_payload(source_path, 0, 0)
+
+    def test_fetch_payload_chunks_and_bounds(self, source_path):
+        store = IndexStore.open(source_path)
+        name = store.manifest.edge_sizes_file
+        size = os.path.getsize(os.path.join(source_path, name))
+        first = fetch_payload(source_path, name, 0, 0, 16, raw=True)
+        assert first["size"] == size and len(first["data"]) == 16
+        assert first["eof"] is (size <= 16)
+        rest = fetch_payload(source_path, name, 0, 16, size, raw=True)
+        assert rest["eof"] is True
+        with open(os.path.join(source_path, name), "rb") as handle:
+            assert first["data"] + rest["data"] == handle.read()
+
+    def test_fetch_payload_is_base64_on_the_wire(self, source_path):
+        import base64
+
+        store = IndexStore.open(source_path)
+        name = store.manifest.edge_sizes_file
+        wire = fetch_payload(source_path, name, 0, 0, 16)
+        assert isinstance(wire["data"], str)
+        assert base64.b64decode(wire["data"]) == fetch_payload(
+            source_path, name, 0, 0, 16, raw=True
+        )["data"]
+
+    def test_fetch_payload_refuses_non_snapshot_files(self, source_path):
+        from repro.utils.validation import ValidationError
+
+        for name in (WAL_NAME, "../secrets", "manifest.json", "shards/nope.npy"):
+            with pytest.raises((ValidationError, ReplicationStaleError)):
+                fetch_payload(source_path, name, 0, 0, 1024)
+
+    def test_fetch_payload_rejects_stale_generation(self, source_path, writer):
+        store = IndexStore.open(source_path)
+        name = f"shards/{store.manifest.shards[0].edges_file}"
+        writer.add_hyperedge([0, 1, 2])
+        writer.compact()  # sweeps generation-0 files
+        with pytest.raises(ReplicationStaleError):
+            fetch_payload(source_path, name, 0, 0, 1024)
+
+
+class TestStoreMirror:
+    def test_bootstrap_is_byte_identical(self, source_path, mirror_path):
+        mirror = StoreMirror(LocalReplicationSource(source_path), mirror_path)
+        report = mirror.sync()
+        assert report.full_sync and report.changed
+        assert report.fetched_files > 0
+        assert_byte_identical(source_path, mirror_path)
+        # The mirror is a fully functional store.
+        engine = PersistentQueryEngine.open(mirror_path, read_only=True, sharded=True)
+        source = PersistentQueryEngine.open(source_path, read_only=True)
+        assert engine.fingerprint() == source.fingerprint()
+        assert engine.metric_by_hyperedge(2, "pagerank") == pytest.approx(
+            source.metric_by_hyperedge(2, "pagerank")
+        )
+
+    def test_wal_tail_rides_delta_syncs(self, source_path, mirror_path, writer):
+        mirror = StoreMirror(LocalReplicationSource(source_path), mirror_path)
+        mirror.sync()
+        rng = make_rng(3)
+        for _ in range(4):
+            writer.add_hyperedge(random_members(writer.hypergraph, rng))
+        writer.remove_hyperedge(1)
+        report = mirror.sync()
+        assert not report.full_sync
+        assert report.fetched_files == 0 and report.wal_records == 5
+        assert_byte_identical(source_path, mirror_path)
+        # Appending again moves only the new tail.
+        writer.add_hyperedge(random_members(writer.hypergraph, rng))
+        report = mirror.sync()
+        assert report.wal_records == 1
+        assert_byte_identical(source_path, mirror_path)
+
+    def test_noop_sync_reports_unchanged(self, source_path, mirror_path):
+        mirror = StoreMirror(LocalReplicationSource(source_path), mirror_path)
+        mirror.sync()
+        report = mirror.sync()
+        assert not report.changed and report.wal_records == 0
+
+    def test_compaction_delta_reuses_unchanged_shards(
+        self, source_path, mirror_path, writer
+    ):
+        mirror = StoreMirror(LocalReplicationSource(source_path), mirror_path)
+        mirror.sync()
+        # Remove-only updates keep the row partition, so compaction
+        # rewrites every shard *name* but changes few shard *contents* —
+        # the delta sync must satisfy the unchanged ones locally.
+        writer.remove_hyperedge(3)
+        writer.compact()
+        report = mirror.sync()
+        assert report.full_sync
+        assert report.reused_files > 0
+        assert_byte_identical(source_path, mirror_path)
+        assert mirror.generation == 1
+
+    def test_updates_and_compaction_match_pipeline_oracle(
+        self, source_path, mirror_path, writer
+    ):
+        """The acceptance loop: mirror across live updates and a
+        compaction, cross-checking served metrics against a from-scratch
+        engine on the writer's current hypergraph."""
+        mirror = StoreMirror(LocalReplicationSource(source_path), mirror_path)
+        rng = make_rng(11)
+        for phase in range(3):
+            for _ in range(3):
+                writer.add_hyperedge(random_members(writer.hypergraph, rng))
+            if phase == 1:
+                writer.remove_hyperedge(int(rng.integers(writer.hypergraph.num_edges)))
+            if phase == 2:
+                writer.compact()
+            mirror.sync()
+            assert_byte_identical(source_path, mirror_path)
+            served = PersistentQueryEngine.open(
+                mirror_path, read_only=True, sharded=True
+            )
+            oracle = QueryEngine(writer.hypergraph)
+            for s in (1, 2, 3):
+                assert served.line_graph(s) == oracle.line_graph(s), (phase, s)
+                assert served.metric_by_hyperedge(s, "pagerank") == pytest.approx(
+                    oracle.metric_by_hyperedge(s, "pagerank")
+                ), (phase, s)
+
+
+class _KilledSync(Exception):
+    """Stands in for SIGKILL: aborts a sync at an arbitrary point."""
+
+
+class _FlakySource:
+    """A replication source that dies after ``fail_after`` fetch chunks."""
+
+    def __init__(self, inner, fail_after):
+        self._inner = inner
+        self.fail_after = fail_after
+        self.fetches = 0
+
+    def repl_manifest(self):
+        return self._inner.repl_manifest()
+
+    def repl_wal(self, generation, after_seq):
+        if self.fail_after is not None and self.fetches >= self.fail_after:
+            raise _KilledSync()
+        return self._inner.repl_wal(generation, after_seq)
+
+    def repl_fetch(self, name, generation, offset, length):
+        self.fetches += 1
+        if self.fail_after is not None and self.fetches > self.fail_after:
+            raise _KilledSync()
+        return self._inner.repl_fetch(name, generation, offset, length)
+
+
+class TestCrashSafety:
+    @pytest.mark.parametrize("fail_after", [0, 1, 3, 5])
+    def test_killed_bootstrap_recovers_on_next_sync(
+        self, source_path, mirror_path, fail_after
+    ):
+        source = LocalReplicationSource(source_path)
+        flaky = _FlakySource(source, fail_after)
+        mirror = StoreMirror(flaky, mirror_path)
+        with pytest.raises(_KilledSync):
+            mirror.sync()
+        # Nothing was installed: no manifest, so no reader opens it.
+        assert not IndexStore.exists(mirror_path)
+        # A fresh mirror process finishes the job.
+        resumed = StoreMirror(source, mirror_path)
+        resumed.sync()
+        assert_byte_identical(source_path, mirror_path)
+
+    @pytest.mark.parametrize("fail_after", [0, 2, 4])
+    def test_killed_delta_sync_keeps_serving_the_old_state(
+        self, source_path, mirror_path, writer, fail_after
+    ):
+        """A sync killed mid-fetch never corrupts the mirror: the previous
+        generation keeps serving, and the next sync completes the delta."""
+        source = LocalReplicationSource(source_path)
+        mirror = StoreMirror(source, mirror_path)
+        mirror.sync()
+        before = live_store_files(mirror_path)
+        old_answers = PersistentQueryEngine.open(
+            mirror_path, read_only=True
+        ).metric_by_hyperedge(2, "pagerank")
+
+        writer.add_hyperedge([0, 1, 2, 3])
+        writer.compact()
+        flaky = _FlakySource(source, fail_after)
+        killed = StoreMirror(flaky, mirror_path)
+        with pytest.raises(_KilledSync):
+            killed.sync()
+        # The mirror still serves its previous, consistent state (staged
+        # next-generation files may linger; readers never see them).
+        assert live_store_files(mirror_path) == before
+        survivor = PersistentQueryEngine.open(mirror_path, read_only=True)
+        assert survivor.metric_by_hyperedge(2, "pagerank") == pytest.approx(old_answers)
+        # The next sync (fresh process) completes and converges.
+        StoreMirror(source, mirror_path).sync()
+        assert_byte_identical(source_path, mirror_path)
+
+    def test_source_wal_shrink_triggers_full_log_rewrite(
+        self, source_path, mirror_path, writer
+    ):
+        """A restarted writer can legitimately shrink the log (torn-tail
+        truncation); the mirror detects the cursor overrun and rewrites."""
+        source = LocalReplicationSource(source_path)
+        mirror = StoreMirror(source, mirror_path)
+        writer.add_hyperedge([0, 1, 2])
+        writer.add_hyperedge([1, 2, 3])
+        mirror.sync()
+        assert mirror.wal_seq == 2
+        # Simulate a writer restart that truncated the whole log and then
+        # logged one fresh record.
+        writer.store.wal.truncate()
+        writer.store._records = []
+        writer.add_hyperedge([2, 3, 4])
+        report = mirror.sync()
+        assert report.changed
+        assert mirror.wal_seq == 1
+        assert_byte_identical(source_path, mirror_path)
+
+    def test_sync_retries_through_a_racing_compaction(
+        self, source_path, mirror_path, writer
+    ):
+        """A compaction landing between the manifest read and the fetches
+        answers ReplicationStaleError; sync() restarts and converges."""
+        source = LocalReplicationSource(source_path)
+
+        class _CompactingSource(_FlakySource):
+            def __init__(self, inner):
+                super().__init__(inner, None)
+                self.compacted = False
+
+            def repl_fetch(self, name, generation, offset, length):
+                if not self.compacted:
+                    self.compacted = True
+                    writer.add_hyperedge([0, 1, 2, 3])
+                    writer.compact()  # sweeps the pinned generation
+                return self._inner.repl_fetch(name, generation, offset, length)
+
+        mirror = StoreMirror(_CompactingSource(source), mirror_path)
+        report = mirror.sync()
+        assert report.full_sync
+        assert_byte_identical(source_path, mirror_path)
+        assert mirror.generation == 1
+
+    def test_sync_gives_up_after_bounded_retries(self, source_path, mirror_path):
+        source = LocalReplicationSource(source_path)
+
+        class _AlwaysStale(_FlakySource):
+            def repl_manifest(self):
+                raise ReplicationStaleError("the source never holds still")
+
+        mirror = StoreMirror(_AlwaysStale(source, None), mirror_path, sync_retries=3)
+        with pytest.raises(ReplicationError, match="3 attempts"):
+            mirror.sync()

@@ -5,7 +5,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.store.format import StoreFormatError
+from repro.store.format import StoreError, StoreFormatError
 from repro.store.wal import OP_ADD, OP_REMOVE, WriteAheadLog
 
 
@@ -113,3 +113,114 @@ class TestCrashRecovery:
         size = os.path.getsize(wal.path)
         assert len(wal.recover()) == 3
         assert os.path.getsize(wal.path) == size
+
+
+class _FlakyHandle:
+    """Wrap the batch file handle so one write fails like ENOSPC would."""
+
+    def __init__(self, handle):
+        self._handle = handle
+        self.fail_next = False
+
+    def write(self, data):
+        if self.fail_next:
+            self.fail_next = False
+            raise OSError(28, "No space left on device")
+        return self._handle.write(data)
+
+    def __getattr__(self, name):
+        return getattr(self._handle, name)
+
+
+class TestFailedAppendRecovery:
+    """Regression (seq-gap bug): a failed append must not burn a sequence
+    number.  The old code advanced the sequence *before* the write, so the
+    next successful append framed seq N+1 with no seq N on disk — replay
+    stopped at the gap and silently discarded every later, durable,
+    acknowledged record on recovery."""
+
+    def test_failed_append_does_not_create_a_seq_gap(self, wal, monkeypatch):
+        import repro.store.wal as wal_module
+
+        append_three(wal)
+
+        def failing_fsync(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(wal_module.os, "fsync", failing_fsync)
+        with pytest.raises(OSError, match="No space"):
+            wal.append_remove(9)
+        monkeypatch.undo()
+
+        # The next append reuses the failed record's sequence number...
+        record = wal.append_remove(7)
+        assert record.seq == 4
+        wal.append_add(8, [0, 1], [0], [2])
+        # ...and recovery sees every acknowledged record, none lost.
+        records = WriteAheadLog(wal.path).recover()
+        assert [r.seq for r in records] == [1, 2, 3, 4, 5]
+        assert records[3].edge_id == 7
+        assert 9 not in [r.edge_id for r in records]  # never acknowledged
+
+    def test_acknowledged_records_survive_recovery_after_failed_append(
+        self, wal, monkeypatch
+    ):
+        """The acceptance scenario: ack, fail, ack, crash, recover."""
+        import repro.store.wal as wal_module
+
+        acked = []
+        acked.append(wal.append_add(4, [0, 1], [0], [2]).seq)
+
+        monkeypatch.setattr(
+            wal_module.os, "fsync", lambda fd: (_ for _ in ()).throw(OSError(28, "full"))
+        )
+        with pytest.raises(OSError):
+            wal.append_add(5, [1, 2], [1], [1])
+        monkeypatch.undo()
+
+        acked.append(wal.append_add(5, [1, 2], [1], [1]).seq)
+        acked.append(wal.append_remove(0).seq)
+        # A fresh process (crash + restart) replays the log from scratch.
+        recovered = WriteAheadLog(wal.path).recover()
+        assert [r.seq for r in recovered] == acked == [1, 2, 3]
+        assert [r.op for r in recovered] == [OP_ADD, OP_ADD, OP_REMOVE]
+
+    def test_failed_append_poisons_an_open_batch(self, wal):
+        with wal.batch():
+            wal.append_remove(0)
+            flaky = _FlakyHandle(wal._batch_handle)
+            wal._batch_handle = flaky
+            flaky.fail_next = True
+            with pytest.raises(OSError, match="No space"):
+                wal.append_remove(1)
+            # The broken frame may be torn on disk; later appends would
+            # land after the tear and be discarded by replay.
+            with pytest.raises(StoreError, match="poisoned"):
+                wal.append_remove(2)
+        assert wal.batch_commits == 0  # a poisoned batch is not a commit
+        # The good prefix survives, the log is append-ready again.
+        assert [r.seq for r in wal.replay()[0]] == [1]
+        record = wal.append_remove(3)
+        assert record.seq == 2
+        assert [r.edge_id for r in WriteAheadLog(wal.path).recover()] == [0, 3]
+
+    def test_poisoned_batch_trims_a_torn_frame_on_exit(self, wal):
+        class _TearingHandle(_FlakyHandle):
+            def write(self, data):
+                if self.fail_next:
+                    self.fail_next = False
+                    self._handle.write(data[: len(data) // 2])  # torn frame
+                    raise OSError(5, "Input/output error")
+                return self._handle.write(data)
+
+        with wal.batch():
+            wal.append_remove(0)
+            tearing = _TearingHandle(wal._batch_handle)
+            wal._batch_handle = tearing
+            tearing.fail_next = True
+            with pytest.raises(OSError):
+                wal.append_remove(1)
+        records, _, torn = WriteAheadLog(wal.path).replay()
+        assert not torn  # exit trimmed the half-written frame
+        assert [r.seq for r in records] == [1]
+        assert wal.append_remove(5).seq == 2
