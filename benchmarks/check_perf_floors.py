@@ -23,15 +23,18 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: The paper-headline ratios the perf-smoke job must always gate on:
 #: engine sweep vs per-s pipeline, warm store open vs cold rebuild, WAL
-#: group commit vs per-record fsync, and replication delta sync vs full
-#: re-fetch.  (The replication ratio is loopback but byte-dominated —
-#: the delta moves a small fraction of the store — so it is stable
-#: enough to gate on, unlike the latency-dominated transport bench.)
+#: group commit vs per-record fsync, replication delta sync vs full
+#: re-fetch, and the observability layer's cost on the serving hot path
+#: (instrumented vs NullRegistry; must stay within ~5% — floor 0.95x).
+#: (The replication ratio is loopback but byte-dominated — the delta
+#: moves a small fraction of the store — so it is stable enough to gate
+#: on, unlike the latency-dominated transport bench.)
 DEFAULT_REQUIRED = (
     "engine_sweep",
     "store_reuse",
     "service_group_commit",
     "replication",
+    "obs_overhead",
 )
 
 

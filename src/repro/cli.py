@@ -124,11 +124,87 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.address:
+        if args.dataset or args.input:
+            raise SystemExit(
+                "--address prints a remote server's stats; it cannot be "
+                "combined with --dataset/--input"
+            )
+        return _remote_stats(args)
+    if args.raw:
+        raise SystemExit("--raw needs --address (it prints remote Prometheus text)")
     h = _load_hypergraph(args)
     stats = compute_stats(h)
     label = args.dataset or args.input or "hypergraph"
     print(stats.as_table_row(str(label)))
     return 0
+
+
+def _remote_stats(args: argparse.Namespace) -> int:
+    """One-shot ``stats``/``metrics`` round trip against a serving peer."""
+    from repro.service.transport import ServiceClient, TransportError
+
+    host, port = _parse_address(args.address)
+    try:
+        client = ServiceClient(
+            host, port, timeout=args.timeout, connect_retries=args.connect_retries
+        ).connect()
+    except TransportError as exc:
+        raise SystemExit(f"connect failed: {exc}")
+    try:
+        if args.raw:
+            sys.stdout.write(client.metrics_text())
+            return 0
+        stats = client.stats()
+        rows = [
+            ("mode", "replica" if stats.get("read_only") else "writer"),
+            ("generation", stats.get("generation")),
+            ("fingerprint", stats.get("fingerprint")),
+        ]
+        token = stats.get("state_token")
+        if token is not None:
+            rows.append(("state_token", f"gen {token[0]}, {token[1]} WAL bytes"))
+        engine = stats.get("engine") or {}
+        for key in (
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "cache_entries",
+            "incremental_adds",
+            "incremental_removes",
+        ):
+            if key in engine:
+                rows.append((f"engine.{key}", engine[key]))
+        admission = stats.get("admission") or {}
+        for key in sorted(admission):
+            rows.append((f"admission.{key}", admission[key]))
+        for key in ("replica_reloads", "compactions", "slow_query_ms"):
+            if key in stats:
+                rows.append((key, stats[key]))
+        slow = stats.get("slow_queries")
+        if slow is not None:
+            rows.append(("slow_queries", len(slow)))
+        metrics = stats.get("metrics") or {}
+        rows.append(("metrics registered", len(metrics)))
+        width = max(len(str(k)) for k, _ in rows)
+        for key, value in rows:
+            print(f"{key:<{width}}  {value}")
+        if slow:
+            print("\nslowest recent queries:")
+            for entry in sorted(
+                slow, key=lambda e: -float(e.get("duration_ms", 0))
+            )[:5]:
+                op = entry.get("op", "?")
+                detail = "".join(
+                    f" {k}={entry[k]}" for k in ("s", "metric", "generation")
+                    if k in entry
+                )
+                print(f"  {entry.get('duration_ms', 0):>9.3f} ms  {op}{detail}")
+        return 0
+    except TransportError as exc:
+        raise SystemExit(f"transport error: {exc}")
+    finally:
+        client.close()
 
 
 def _cmd_slinegraph(args: argparse.Namespace) -> int:
@@ -306,7 +382,7 @@ def _cmd_index_query(args: argparse.Namespace) -> int:
 
 
 #: Request ops that only read — safe to fan out over worker threads.
-_SERVE_QUERY_OPS = frozenset({"metric", "components", "sweep", "stats"})
+_SERVE_QUERY_OPS = frozenset({"metric", "components", "sweep", "stats", "metrics"})
 
 
 def _run_jsonl_loop(stream, interactive, execute_one, execute_batch, batch_chunk=None):
@@ -466,30 +542,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         max_batch=args.max_batch if args.max_batch is not None else 64,
         compaction=policy,
+        slow_query_ms=args.slow_query_ms,
     )
-    if args.listen:
-        return _serve_socket(service, args)
-    stream = open(args.requests, "r", encoding="utf-8") if args.requests else sys.stdin
+    metrics_server = _start_metrics_server(args)
     try:
-        print(
-            json.dumps(
-                {"ok": True, "op": "ready", "read_only": args.read_only,
-                 "generation": service.generation}
-            ),
-            flush=True,
+        if args.listen:
+            return _serve_socket(service, args)
+        stream = (
+            open(args.requests, "r", encoding="utf-8") if args.requests else sys.stdin
         )
-        served = _run_jsonl_loop(
-            stream,
-            interactive=args.requests is None,
-            execute_one=service.execute,
-            execute_batch=service.serve,
-        )
+        try:
+            print(
+                json.dumps(
+                    {"ok": True, "op": "ready", "read_only": args.read_only,
+                     "generation": service.generation}
+                ),
+                flush=True,
+            )
+            served = _run_jsonl_loop(
+                stream,
+                interactive=args.requests is None,
+                execute_one=service.execute,
+                execute_batch=service.serve,
+            )
+        finally:
+            service.close()
+            if args.requests:
+                stream.close()
+        print(json.dumps({"ok": True, "op": "stopped", "served": served}), flush=True)
+        return 0
     finally:
-        service.close()
-        if args.requests:
-            stream.close()
-    print(json.dumps({"ok": True, "op": "stopped", "served": served}), flush=True)
-    return 0
+        if metrics_server is not None:
+            metrics_server.close()
+
+
+def _start_metrics_server(args: argparse.Namespace):
+    """Start the plain-HTTP ``/metrics`` listener when ``--metrics-port`` asks."""
+    port = getattr(args, "metrics_port", None)
+    if port is None:
+        return None
+    from repro.obs import MetricsHTTPServer
+
+    server = MetricsHTTPServer(port=port).start()
+    print(
+        json.dumps(
+            {
+                "ok": True,
+                "op": "metrics-listening",
+                "host": server.address[0],
+                "port": server.address[1],
+                "url": server.url,
+            }
+        ),
+        flush=True,
+    )
+    return server
 
 
 def _cmd_connect(args: argparse.Namespace) -> int:
@@ -639,6 +746,9 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
             while not stop.wait(max(args.poll_interval, backoff)):
                 try:
                     token = client.state_token()
+                    # Every poll updates the replica-lag gauges, so a
+                    # scraper sees lag rise while the peer runs ahead.
+                    mirror.observe_peer_token(token)
                     if token is None or token != last_token:
                         mirror.sync()
                         last_token = token
@@ -650,11 +760,14 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         syncer.start()
         args.listen = args.serve
         args.read_only = True
+        metrics_server = _start_metrics_server(args)
         try:
             return _serve_socket(service, args)
         finally:
             stop.set()
             syncer.join(timeout=10)
+            if metrics_server is not None:
+                metrics_server.close()
     finally:
         lock.release()
         client.close()
@@ -671,8 +784,34 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("datasets", help="list the built-in surrogate datasets")
     p.set_defaults(func=_cmd_datasets)
 
-    p = sub.add_parser("stats", help="print Table IV-style hypergraph characteristics")
+    p = sub.add_parser(
+        "stats",
+        help="print Table IV-style hypergraph characteristics, or — with "
+        "--address — a remote server's serving stats and metrics",
+    )
     _add_input_arguments(p)
+    p.add_argument(
+        "--address",
+        metavar="HOST:PORT",
+        default=None,
+        help="print a 'serve --listen' server's stats instead of dataset "
+        "characteristics",
+    )
+    p.add_argument(
+        "--raw",
+        action="store_true",
+        help="with --address: print the raw Prometheus text exposition "
+        "instead of the summary table",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=30.0, help="per-operation socket timeout"
+    )
+    p.add_argument(
+        "--connect-retries",
+        type=int,
+        default=40,
+        help="connection attempts before giving up (busy/refused servers)",
+    )
     p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("slinegraph", help="compute an s-line graph edge list")
@@ -808,6 +947,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve from a materialised index instead of mmap'd shards",
     )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve Prometheus text on http://127.0.0.1:N/metrics "
+        "(0 picks an ephemeral port, printed on the 'metrics-listening' line)",
+    )
+    p.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="record queries slower than this many ms in the stats "
+        "payload's slow-query log",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -889,6 +1044,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=40,
         help="connection attempts before giving up (busy/refused peers)",
+    )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --serve: expose Prometheus text (incl. replica lag) on "
+        "http://127.0.0.1:N/metrics",
     )
     p.set_defaults(func=_cmd_replicate)
 

@@ -131,7 +131,7 @@ class QueryEngine:
                 "(hyperedge count or sizes differ)"
             )
         self._index: Optional[OverlapIndex] = index
-        self._cache = LRUCache(maxsize=cache_size)
+        self._cache = LRUCache(maxsize=cache_size, metrics_label="engine")
         self._index_builds = 0
         self._incremental_adds = 0
         self._incremental_removes = 0
@@ -244,11 +244,12 @@ class QueryEngine:
 
     def stats(self) -> QueryStats:
         """Snapshot of cache and maintenance counters."""
+        cache = self._cache.counters()  # one lock hold: consistent split
         return QueryStats(
-            cache_hits=self._cache.hits,
-            cache_misses=self._cache.misses,
-            cache_evictions=self._cache.evictions,
-            cache_entries=len(self._cache),
+            cache_hits=cache["hits"],
+            cache_misses=cache["misses"],
+            cache_evictions=cache["evictions"],
+            cache_entries=cache["entries"],
             index_builds=self._index_builds,
             incremental_adds=self._incremental_adds,
             incremental_removes=self._incremental_removes,

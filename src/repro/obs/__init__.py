@@ -1,0 +1,56 @@
+"""Production observability: metrics registry, exposition, scrape endpoint.
+
+The serving stack instruments itself against a per-process default
+:class:`MetricsRegistry` (:func:`get_registry`): the engine's LRU cache,
+the sharded store's residency cache, the write-ahead log, background
+compaction, the admission queue, the socket server and the replication
+mirror each register counters/gauges/histograms at construction and
+increment them on their hot paths (lock-striped; see
+:mod:`repro.obs.registry`).
+
+The registry is surfaced three ways:
+
+* ``QueryService.stats()`` embeds :meth:`MetricsRegistry.snapshot` — a
+  JSON-safe plain-dict view — under ``"metrics"``;
+* the idempotent ``metrics`` request op answers the rendered Prometheus
+  text (:func:`render_prometheus`) over the existing socket protocol;
+* :class:`MetricsHTTPServer` serves ``GET /metrics`` over plain HTTP
+  (``repro serve --metrics-port N``) for off-the-shelf scrapers.
+
+See README "Observability" for the metric catalogue.
+"""
+
+from repro.obs.http import MetricsHTTPServer
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    time_block,
+    timed,
+    use_registry,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsHTTPServer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "render_prometheus",
+    "set_registry",
+    "time_block",
+    "timed",
+    "use_registry",
+]

@@ -1,0 +1,115 @@
+"""A plain-HTTP ``/metrics`` listener for real Prometheus scrapers.
+
+The socket protocol's ``metrics`` op already makes every serving peer
+scrapeable by anything that speaks our framing; this module removes even
+that requirement: :class:`MetricsHTTPServer` runs a stdlib
+``ThreadingHTTPServer`` in a daemon thread answering ``GET /metrics``
+with the rendered exposition text, so an off-the-shelf Prometheus (or
+``curl``) can scrape a writer or replica directly.  Enabled by
+``repro serve --metrics-port N`` / ``repro replicate --metrics-port N``.
+
+No new dependency: only ``http.server`` — acceptable here because the
+endpoint serves one small text document to trusted scrapers, not
+production query traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+from repro.obs.registry import MetricsRegistry, get_registry
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served here")
+            return
+        # Resolved per scrape: a pinned registry if the server has one,
+        # else whatever the process default is *now* (use_registry-aware).
+        registry = self.server.registry or get_registry()  # type: ignore[attr-defined]
+        body = render_prometheus(registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # scrapes must not spam the serving process's stdout
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    #: Registry pinned by MetricsHTTPServer (None: live process default).
+    registry: Optional[MetricsRegistry] = None
+
+
+class MetricsHTTPServer:
+    """Serve ``GET /metrics`` from a registry on a background thread.
+
+    Parameters
+    ----------
+    port:
+        TCP port to bind (``0`` picks an ephemeral one; read it back
+        from :attr:`port`).
+    host:
+        Bind address (default loopback; bind ``0.0.0.0`` explicitly to
+        expose metrics beyond the machine).
+    registry:
+        Registry to render; ``None`` (default) renders the process
+        default registry at scrape time.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._httpd = _Server((host, int(port)), _MetricsHandler)
+        self._httpd.registry = registry
+        self._thread: Optional[threading.Thread] = None
+        self.host, self.port = self._httpd.server_address[:2]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsHTTPServer":
+        if self._thread is not None:
+            raise RuntimeError("metrics server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-metrics-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self, timeout: float = 5.0) -> None:
+        if self._thread is None:
+            self._httpd.server_close()
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=timeout)
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start() if self._thread is None else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "serving" if self._thread is not None else "stopped"
+        return f"MetricsHTTPServer({self.host}:{self.port}, {state})"

@@ -1,0 +1,79 @@
+"""Prometheus text-exposition rendering of a :class:`MetricsRegistry`.
+
+Produces the ``text/plain; version=0.0.4`` format real Prometheus
+scrapes: per metric a ``# HELP`` line (backslash/newline escaped), a
+``# TYPE`` line, then one sample line per label set.  Histograms expand
+to cumulative ``_bucket{le="..."}`` series (always ending in the
+``+Inf`` bucket), plus ``_sum`` and ``_count`` — exactly the shape
+``histogram_quantile()`` expects.
+
+The renderer trusts metric/label *names* (the registry validated them at
+registration) but escapes label *values* and help text, which are
+arbitrary strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.registry import (
+    Histogram,
+    MetricsRegistry,
+    _HistogramChild,
+    format_number,
+    get_registry,
+)
+
+#: The HTTP Content-Type of the rendered payload.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring: backslash and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value: backslash, double-quote and newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_text(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{escape_label_value(v)}"' for k, v in labels.items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry = None) -> str:
+    """The registry's current state as Prometheus exposition text."""
+    if registry is None:
+        registry = get_registry()
+    lines: List[str] = []
+    for instrument in registry.collect():
+        name = instrument.name
+        if instrument.help:
+            lines.append(f"# HELP {name} {escape_help(instrument.help)}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        for labels, child in instrument.samples():
+            if isinstance(instrument, Histogram):
+                assert isinstance(child, _HistogramChild)
+                counts, total, count = child.snapshot()
+                cumulative = 0
+                for bound, bucket_count in zip(instrument.buckets, counts):
+                    cumulative += bucket_count
+                    le = _label_text(
+                        labels, f'le="{format_number(bound)}"'
+                    )
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                inf = _label_text(labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{inf} {count}")
+                suffix = _label_text(labels)
+                lines.append(f"{name}_sum{suffix} {format_number(total)}")
+                lines.append(f"{name}_count{suffix} {count}")
+            else:
+                suffix = _label_text(labels)
+                lines.append(f"{name}{suffix} {format_number(child.value)}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -32,12 +32,14 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from concurrent.futures import Future
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
 from repro.engine.engine import QueryEngine
+from repro.obs import get_registry
 from repro.service.sync import RWLock
 from repro.store.format import StoreError
 from repro.utils.validation import ValidationError
@@ -65,6 +67,8 @@ class _Op:
     name: Optional[object] = None
     edge_id: Optional[int] = None
     future: Future = field(default_factory=Future)
+    #: perf_counter() stamp taken at submission (queue-wait histogram).
+    submitted_at: float = 0.0
 
 
 @dataclass
@@ -124,6 +128,28 @@ class AdmissionQueue:
         self._commit_failure: Optional[BaseException] = None
         self._stats = AdmissionStats()
         self._stats_lock = threading.Lock()
+        registry = get_registry()
+        self._m_depth = registry.gauge(
+            "repro_admission_queue_depth", "Mutations waiting for the writer thread."
+        )
+        self._m_wait = registry.histogram(
+            "repro_admission_wait_seconds",
+            "Time a mutation spends queued before the writer claims it.",
+        )
+        self._m_batch_size = registry.histogram(
+            "repro_admission_batch_size",
+            "Mutations coalesced into one group commit.",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+        )
+        self._m_submitted = registry.counter(
+            "repro_admission_submitted_total", "Mutations accepted for admission."
+        )
+        self._m_applied = registry.counter(
+            "repro_admission_applied_total", "Mutations applied and made durable."
+        )
+        self._m_failed = registry.counter(
+            "repro_admission_failed_total", "Mutations rejected by validation."
+        )
         self._thread = threading.Thread(
             target=self._run, name="admission-writer", daemon=True
         )
@@ -147,7 +173,10 @@ class AdmissionQueue:
             raise self._poison_error()
         with self._stats_lock:
             self._stats.submitted += 1
+        self._m_submitted.inc()
+        op.submitted_at = time.perf_counter()
         self._queue.put(op)  # blocks when full: backpressure
+        self._m_depth.set(self._queue.qsize())
         if self._drained:
             # We raced close(): its final drain may have missed this op.
             _fail_future(
@@ -180,6 +209,27 @@ class AdmissionQueue:
     def stats(self) -> AdmissionStats:
         with self._stats_lock:
             return AdmissionStats(**vars(self._stats))
+
+    def snapshot(self) -> dict:
+        """Atomic plain-dict view of the queue's counters.
+
+        All counter fields are copied under one lock hold, so the returned
+        values are mutually consistent (``applied + failed`` never exceeds
+        a concurrently-advancing ``submitted``).  Stable keys:
+        ``submitted``, ``applied``, ``failed``, ``batches``,
+        ``largest_batch``, ``mean_batch_size``, ``pending``.
+        """
+        with self._stats_lock:
+            snap = AdmissionStats(**vars(self._stats))
+        return {
+            "submitted": snap.submitted,
+            "applied": snap.applied,
+            "failed": snap.failed,
+            "batches": snap.batches,
+            "largest_batch": snap.largest_batch,
+            "mean_batch_size": snap.mean_batch_size(),
+            "pending": self._queue.qsize(),
+        }
 
     # ------------------------------------------------------------------ #
     # Writer thread
@@ -232,6 +282,9 @@ class AdmissionQueue:
                     for op in candidates
                     if op.future.set_running_or_notify_cancel()
                 ]
+                claimed_at = time.perf_counter()
+                for op in batch:
+                    self._m_wait.observe(claimed_at - op.submitted_at)
                 with self._durability_scope():
                     for op in batch:
                         try:
@@ -271,6 +324,11 @@ class AdmissionQueue:
             self._stats.applied += applied
             self._stats.failed += failed
             self._stats.largest_batch = max(self._stats.largest_batch, len(batch))
+        if batch:
+            self._m_batch_size.observe(len(batch))
+        self._m_applied.inc(applied)
+        self._m_failed.inc(failed)
+        self._m_depth.set(self._queue.qsize())
         return saw_sentinel
 
     def _apply(self, op: _Op):

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs import get_registry
 from repro.service.sync import RWLock
 from repro.store.persistent import PersistentQueryEngine
 from repro.utils.validation import ValidationError
@@ -86,6 +87,22 @@ class BackgroundCompactor:
         self._last_compacted = float("-inf")
         #: Completed compactions (observability / tests).
         self.compactions = 0
+        registry = get_registry()
+        self._m_compactions = registry.counter(
+            "repro_compactions_total", "WAL-folding compactions completed."
+        )
+        self._m_duration = registry.histogram(
+            "repro_compaction_seconds",
+            "Wall time of one compaction (exclusive lock held).",
+        )
+        self._m_folded_records = registry.counter(
+            "repro_compaction_folded_records_total",
+            "WAL records folded into snapshots by compaction.",
+        )
+        self._m_folded_bytes = registry.counter(
+            "repro_compaction_folded_bytes_total",
+            "WAL bytes folded into snapshots by compaction.",
+        )
         self._thread = threading.Thread(
             target=self._run, name="background-compactor", daemon=True
         )
@@ -115,8 +132,15 @@ class BackgroundCompactor:
                 self._engine.store.num_wal_records(), self._wal_bytes()
             ):
                 return False
+        folded_records = self._engine.store.num_wal_records()
+        folded_bytes = self._wal_bytes()
+        start = time.perf_counter()
         with self._write_lock.write():
             self._engine.compact()
+        self._m_duration.observe(time.perf_counter() - start)
+        self._m_compactions.inc()
+        self._m_folded_records.inc(folded_records)
+        self._m_folded_bytes.inc(folded_bytes)
         self._last_compacted = time.monotonic()
         self.compactions += 1
         return True

@@ -144,6 +144,7 @@ class RemoteReadReplica:
             return None
         with self._sync_lock:
             token = self._peer_token()
+            self.mirror.observe_peer_token(token)
             if not force and token is not None and token == self._remote_token:
                 return None
             report = self.mirror.sync()
@@ -167,6 +168,15 @@ class RemoteReadReplica:
             self._next_check = time.monotonic() + max(
                 self._poll_interval, _FAILED_POLL_BACKOFF
             )
+
+    def lag(self) -> Dict[str, float]:
+        """Measure how far behind the peer this replica is, without syncing.
+
+        One ``stats`` round trip; updates the ``repro_replica_*`` lag
+        gauges and returns ``generation_lag`` / ``wal_lag_bytes`` /
+        ``last_sync_age_seconds`` (empty when the peer reports no token).
+        """
+        return self.mirror.observe_peer_token(self._peer_token())
 
     def _serve(self, method: str, *args, **kwargs):
         if self._closed:

@@ -20,14 +20,17 @@ the Stage-3 algorithms use.
 from __future__ import annotations
 
 import threading
+import time
+from collections import deque
 from concurrent.futures import Future
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.core.pipeline import METRIC_FUNCTIONS
 from repro.engine.engine import QueryEngine, SweepResult
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.obs import get_registry, render_prometheus
 from repro.parallel.executor import ParallelConfig, run_partitioned
 from repro.service.admission import AdmissionQueue, AdmissionStats
 from repro.service.compaction import BackgroundCompactor, CompactionPolicy
@@ -69,6 +72,10 @@ class QueryService:
     lock_timeout:
         Seconds to wait for the writer lock (``None``: fail immediately
         when another writer holds it).
+    slow_query_ms:
+        When set, queries slower than this many milliseconds are recorded
+        in a bounded in-memory ring exposed as ``stats()["slow_queries"]``
+        (``None`` — the default — disables the log).
     """
 
     def __init__(
@@ -89,10 +96,23 @@ class QueryService:
         replica_poll_interval: float = 0.0,
         lock_timeout: Optional[float] = None,
         config: Optional[ParallelConfig] = None,
+        slow_query_ms: Optional[float] = None,
+        slow_query_capacity: int = 128,
     ) -> None:
         self.path = str(path)
         self.read_only = bool(read_only)
         self._num_workers = int(num_workers)
+        # The registry is captured once so the metrics op / stats snapshot
+        # report the same registry the layers below bound their instruments
+        # against at construction time.
+        self._registry = get_registry()
+        if slow_query_ms is not None and slow_query_ms < 0:
+            raise ValidationError("slow_query_ms must be >= 0")
+        self._slow_query_ms = None if slow_query_ms is None else float(slow_query_ms)
+        self._slow_queries: Deque[Dict[str, object]] = deque(
+            maxlen=max(1, int(slow_query_capacity))
+        )
+        self._slow_lock = threading.Lock()
         self._rw = RWLock()
         self._closed = False
         self._close_lock = threading.Lock()
@@ -191,12 +211,24 @@ class QueryService:
             pass
         out["engine"] = vars(self.engine.stats())
         if self._admission is not None:
-            out["admission"] = vars(self._admission.stats())
+            # snapshot() copies every counter under one lock hold, so the
+            # reported values are mutually consistent (the old
+            # vars(dataclass) path could interleave with a commit).
+            out["admission"] = self._admission.snapshot()
         if self._replica is not None:
             out["replica_reloads"] = self._replica.reloads
         if self._compactor is not None:
             out["compactions"] = self._compactor.compactions
+        if self._slow_query_ms is not None:
+            out["slow_query_ms"] = self._slow_query_ms
+            out["slow_queries"] = self.slow_queries()
+        out["metrics"] = self._registry.snapshot()
         return out
+
+    def slow_queries(self) -> List[Dict[str, object]]:
+        """Snapshot of the slow-query ring, oldest first (empty when off)."""
+        with self._slow_lock:
+            return [dict(entry) for entry in self._slow_queries]
 
     def admission_stats(self) -> Optional[AdmissionStats]:
         return self._admission.stats() if self._admission is not None else None
@@ -208,10 +240,43 @@ class QueryService:
         """One dispatch rule for every read: the replica serves directly
         (its engine swap is atomic), the writer's engine is read-locked
         so no query overlaps an update batch or compaction."""
-        if self._replica is not None:
-            return getattr(self._replica, method)(*args, **kwargs)
-        with self._rw.read():
-            return getattr(self._engine, method)(*args, **kwargs)
+        if self._slow_query_ms is None:
+            if self._replica is not None:
+                return getattr(self._replica, method)(*args, **kwargs)
+            with self._rw.read():
+                return getattr(self._engine, method)(*args, **kwargs)
+        start = time.perf_counter()
+        try:
+            if self._replica is not None:
+                return getattr(self._replica, method)(*args, **kwargs)
+            with self._rw.read():
+                return getattr(self._engine, method)(*args, **kwargs)
+        finally:
+            duration_ms = (time.perf_counter() - start) * 1000.0
+            if duration_ms >= self._slow_query_ms:
+                self._record_slow(method, args, kwargs, duration_ms)
+
+    def _record_slow(self, method: str, args, kwargs, duration_ms: float) -> None:
+        entry: Dict[str, object] = {
+            "op": method,
+            "duration_ms": round(duration_ms, 3),
+            "timestamp": time.time(),
+        }
+        if args:
+            first = args[0]
+            if isinstance(first, (int, np.integer)):
+                entry["s"] = int(first)
+        if method in ("metric", "metric_by_hyperedge") and len(args) > 1:
+            entry["metric"] = str(args[1])
+        metrics = kwargs.get("metrics")
+        if metrics:
+            entry["metric"] = ",".join(str(m) for m in metrics)
+        try:
+            entry["generation"] = self.generation
+        except (StoreError, OSError):  # pragma: no cover - racing compaction
+            pass
+        with self._slow_lock:
+            self._slow_queries.append(entry)
 
     def metric(self, s: int, name: str) -> np.ndarray:
         return self._query("metric", s, name)
@@ -290,6 +355,7 @@ class QueryService:
         flush      —                                    ``flushed``
         compact    —                                    ``generation``
         stats      —                                    :meth:`stats`
+        metrics    —                                    Prometheus ``text``
         repl_*     see :mod:`repro.store.replication`   manifest/chunks/WAL
         ========== ==================================== =====================
 
@@ -388,6 +454,13 @@ class QueryService:
             }
         if op == "stats":
             return {"ok": True, "op": op, "stats": self.stats()}
+        if op == "metrics":
+            return {
+                "ok": True,
+                "op": op,
+                "content_type": "text/plain; version=0.0.4; charset=utf-8",
+                "text": render_prometheus(self._registry),
+            }
         if op == "repl_manifest":
             return {"ok": True, "op": op, **self._replication.repl_manifest()}
         if op == "repl_wal":
@@ -406,7 +479,8 @@ class QueryService:
             return {"ok": True, "op": op, **payload}
         raise ValidationError(
             f"unknown op {op!r}; expected one of metric/components/sweep/"
-            "add/remove/flush/compact/stats/repl_manifest/repl_wal/repl_fetch"
+            "add/remove/flush/compact/stats/metrics/"
+            "repl_manifest/repl_wal/repl_fetch"
         )
 
     # ------------------------------------------------------------------ #

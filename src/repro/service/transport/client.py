@@ -56,7 +56,16 @@ from repro.store.replication import ReplicationStaleError
 #: replication ops are pure reads of pinned-generation state, so a mirror
 #: mid-sync survives a server restart instead of aborting the sync.
 _IDEMPOTENT_OPS = frozenset(
-    {"metric", "components", "sweep", "stats", "repl_manifest", "repl_fetch", "repl_wal"}
+    {
+        "metric",
+        "components",
+        "sweep",
+        "stats",
+        "metrics",
+        "repl_manifest",
+        "repl_fetch",
+        "repl_wal",
+    }
 )
 
 
@@ -336,6 +345,10 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         """The server's :meth:`QueryService.stats` payload."""
         return dict(self.request({"op": "stats"})["stats"])
+
+    def metrics_text(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        return str(self.request({"op": "metrics"})["text"])
 
     def generation(self) -> int:
         """Snapshot generation currently served by the peer."""

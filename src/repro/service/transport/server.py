@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import get_registry
 from repro.service.service import QueryService
 from repro.service.transport.framing import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -83,6 +84,26 @@ _ERROR_CODE_BY_TYPE = {
 
 #: Ops handled by the transport itself rather than the service.
 _TRANSPORT_OPS = frozenset({"hello", "goodbye", "batch"})
+
+#: The op vocabulary the per-op latency histogram is labelled with.  A
+#: bounded set keeps label cardinality fixed no matter what clients send;
+#: anything else is folded into ``other``.
+_METRIC_OPS = (
+    "metric",
+    "components",
+    "sweep",
+    "add",
+    "remove",
+    "flush",
+    "compact",
+    "stats",
+    "metrics",
+    "repl_manifest",
+    "repl_wal",
+    "repl_fetch",
+    "batch",
+    "other",
+)
 
 
 @dataclass
@@ -142,6 +163,23 @@ class SocketServer:
         self._handlers_lock = threading.Lock()
         self._handlers: Dict[int, threading.Thread] = {}
         self._conn_counter = 0
+        registry = get_registry()
+        latency = registry.histogram(
+            "repro_request_seconds",
+            "Wall time serving one request frame, by op.",
+            ("op",),
+        )
+        # Children are bound once here so the per-request cost is a single
+        # striped observe — and the label set stays bounded (see _METRIC_OPS).
+        self._m_latency = {op: latency.labels(op=op) for op in _METRIC_OPS}
+        self._m_inflight = registry.gauge(
+            "repro_inflight_requests", "Request frames currently being served."
+        )
+        self._m_errors = registry.counter(
+            "repro_request_errors_total",
+            "Failed responses, by op and transport error code.",
+            ("op", "code"),
+        )
         self._accept_thread: Optional[threading.Thread] = None
         self._listener = socket.create_server((host, int(port)), backlog=backlog)
         self._listener.settimeout(_POLL_INTERVAL)
@@ -336,10 +374,22 @@ class SocketServer:
             if op == "goodbye":
                 self._send_best_effort(conn, {"ok": True, "op": "goodbye"})
                 return
-            if op == "batch":
-                response = self._serve_batch(request)
-            else:
-                response = classify_error(self.service.execute(request))
+            latency = self._m_latency.get(op, self._m_latency["other"])
+            self._m_inflight.inc()
+            start = time.perf_counter()
+            try:
+                if op == "batch":
+                    response = self._serve_batch(request)
+                else:
+                    response = classify_error(self.service.execute(request))
+            finally:
+                latency.observe(time.perf_counter() - start)
+                self._m_inflight.dec()
+            if not response.get("ok"):
+                self._m_errors.labels(
+                    op=op if op in self._m_latency else "other",
+                    code=str(response.get("code", E_INTERNAL)),
+                ).inc()
             with self._stats_lock:
                 self.stats.requests_served += 1
             try:

@@ -46,8 +46,9 @@ import shutil
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol
+from typing import Dict, List, Optional, Protocol, Sequence
 
+from repro.obs import get_registry
 from repro.store.format import (
     HYPERGRAPH_NAME,
     Manifest,
@@ -369,6 +370,45 @@ class StoreMirror:
         self.syncs = 0
         os.makedirs(os.path.join(self.path, SHARD_DIR), exist_ok=True)
         self._state = self._load_state()
+        self._last_sync_monotonic: Optional[float] = None
+        registry = get_registry()
+        self._m_fetched_bytes = registry.counter(
+            "repro_replication_fetched_bytes_total",
+            "Snapshot bytes pulled over the replication protocol.",
+        )
+        self._m_fetch_chunks = registry.counter(
+            "repro_replication_fetch_chunks_total",
+            "repl_fetch round trips made while mirroring snapshot files.",
+        )
+        self._m_wal_records = registry.counter(
+            "repro_replication_wal_records_total",
+            "WAL records applied to the mirror (appended or rewritten).",
+        )
+        syncs = registry.counter(
+            "repro_replication_syncs_total",
+            "Completed syncs that changed the mirror, by kind.",
+            ("kind",),
+        )
+        self._m_syncs_full = syncs.labels(kind="full")
+        self._m_syncs_delta = syncs.labels(kind="delta")
+        self._m_gen_lag = registry.gauge(
+            "repro_replica_generation_lag",
+            "Snapshot generations the peer is ahead of this mirror.",
+        )
+        self._m_wal_lag = registry.gauge(
+            "repro_replica_wal_lag_bytes",
+            "WAL bytes the peer holds that this mirror has not applied.",
+        )
+        age = registry.gauge(
+            "repro_replica_last_sync_age_seconds",
+            "Seconds since this mirror last completed a sync (-1: never).",
+        )
+        age.set_function(self._sync_age)
+
+    def _sync_age(self) -> float:
+        if self._last_sync_monotonic is None:
+            return -1.0
+        return time.monotonic() - self._last_sync_monotonic
 
     # ------------------------------------------------------------------ #
     # Sidecar state
@@ -402,6 +442,39 @@ class StoreMirror:
         return int(self._state.get("wal_seq", 0))
 
     # ------------------------------------------------------------------ #
+    # Lag
+    # ------------------------------------------------------------------ #
+    def observe_peer_token(self, token: Optional[Sequence[int]]) -> Dict[str, float]:
+        """Record how far behind the peer this mirror is, from its token.
+
+        ``token`` is the peer's ``(generation, WAL bytes)`` state token (as
+        served by ``stats``); ``None`` — a peer that could not report one —
+        leaves the gauges untouched.  Sets the ``repro_replica_*`` lag
+        gauges and returns the computed distances, so pollers
+        (:class:`repro.service.remote.RemoteReadReplica`, the CLI
+        ``replicate`` loop) expose lag as a side effect of the check they
+        already make.
+        """
+        if token is None:
+            return {}
+        peer_gen, peer_wal = int(token[0]), int(token[1])
+        local_gen = self.generation
+        gen_lag = max(0, peer_gen - (local_gen if local_gen is not None else 0))
+        if local_gen == peer_gen:
+            wal_lag = max(0, peer_wal - int(self._state.get("wal_bytes", 0)))
+        else:
+            # Different generation: none of the peer's current WAL is
+            # mirrored yet (a snapshot sync replaces ours wholesale).
+            wal_lag = peer_wal
+        self._m_gen_lag.set(gen_lag)
+        self._m_wal_lag.set(wal_lag)
+        return {
+            "generation_lag": float(gen_lag),
+            "wal_lag_bytes": float(wal_lag),
+            "last_sync_age_seconds": self._sync_age(),
+        }
+
+    # ------------------------------------------------------------------ #
     # Sync
     # ------------------------------------------------------------------ #
     def sync(self) -> SyncReport:
@@ -417,6 +490,13 @@ class StoreMirror:
                 continue
             if report.changed:
                 self.syncs += 1
+                (self._m_syncs_full if report.full_sync else self._m_syncs_delta).inc()
+                self._m_wal_records.inc(report.wal_records)
+            self._last_sync_monotonic = time.monotonic()
+            # A completed sync means the mirror holds everything the peer
+            # advertised when the sync started.
+            self._m_gen_lag.set(0)
+            self._m_wal_lag.set(0)
             return report
         raise ReplicationError(
             f"mirror at {self.path} could not complete a sync in "
@@ -651,6 +731,8 @@ class StoreMirror:
                 handle.write(data)
                 running_crc = zlib.crc32(data, running_crc)
                 received += len(data)
+                self._m_fetch_chunks.inc()
+                self._m_fetched_bytes.inc(len(data))
             handle.flush()
             os.fsync(handle.fileno())
         if received != size or (running_crc & 0xFFFFFFFF) != crc:

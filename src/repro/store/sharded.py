@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.filtration import filter_weighted_arrays
 from repro.core.slinegraph import SLineGraph
+from repro.obs import get_registry
 from repro.parallel.workload import WorkloadStats
 from repro.store.format import Manifest, PathLike, read_manifest
 from repro.store.snapshot import load_edge_sizes, load_shard
@@ -69,6 +70,20 @@ class ShardedIndex:
         self._edge_sizes = load_edge_sizes(self._path, self._manifest)
         #: Number of shard file loads performed (observability / tests).
         self.shard_loads = 0
+        # Shard-residency telemetry: same family as the engine result
+        # cache, distinguished by the ``cache`` label.
+        registry = get_registry()
+        self._m_hits = registry.counter(
+            "repro_cache_hits_total", "Cache lookups served from cache.", ("cache",)
+        ).labels(cache="shards")
+        self._m_misses = registry.counter(
+            "repro_cache_misses_total", "Cache lookups that missed.", ("cache",)
+        ).labels(cache="shards")
+        self._m_evictions = registry.counter(
+            "repro_cache_evictions_total",
+            "Entries evicted by the LRU policy.",
+            ("cache",),
+        ).labels(cache="shards")
         # WAL overlay: appended pairs, tombstoned IDs, removed-base count.
         self._extra_edges = np.empty((0, 2), dtype=np.int64)
         self._extra_weights = np.empty(0, dtype=np.int64)
@@ -155,11 +170,13 @@ class ShardedIndex:
             cached = self._resident.get(shard_id)
             if cached is not None:
                 self._resident.move_to_end(shard_id)
+                self._m_hits.inc()
                 return cached
         info = self._manifest.shards[shard_id]
         # Two threads may both miss and load the same shard; the mmaps are
         # identical views, the duplicate handle is dropped on insert.
         arrays = load_shard(self._path, info, mmap=self._mmap)
+        self._m_misses.inc()
         with self._residency_lock:
             self._resident[shard_id] = arrays
             self.shard_loads += 1
@@ -168,6 +185,7 @@ class ShardedIndex:
                 and len(self._resident) > self._max_resident
             ):
                 self._resident.popitem(last=False)
+                self._m_evictions.inc()
         return arrays
 
     def _iter_filtered(self, s: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:

@@ -31,6 +31,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.store.format import PathLike, StoreError, StoreFormatError
 
 OP_ADD = "add"
@@ -76,6 +77,21 @@ class WriteAheadLog:
         self._batch_poisoned = False
         #: Group commits performed via :meth:`batch` (observability).
         self.batch_commits = 0
+        # Durability telemetry, bound once per log (striped counters).
+        registry = get_registry()
+        self._m_records = registry.counter(
+            "repro_wal_appended_records_total", "Records framed into the WAL."
+        )
+        self._m_bytes = registry.counter(
+            "repro_wal_appended_bytes_total", "Bytes framed into the WAL."
+        )
+        self._m_fsyncs = registry.counter(
+            "repro_wal_fsyncs_total", "fsync calls made durable by the WAL."
+        )
+        self._m_recovery_discarded = registry.counter(
+            "repro_wal_recovery_discarded_bytes_total",
+            "Torn-tail bytes truncated by WAL recovery.",
+        )
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -143,10 +159,16 @@ class WriteAheadLog:
         keep recovery a single pass over the file.
         """
         if torn:
+            try:
+                torn_bytes = max(0, os.path.getsize(self.path) - valid_bytes)
+            except OSError:
+                torn_bytes = 0
             with open(self.path, "rb+") as handle:
                 handle.truncate(valid_bytes)
                 handle.flush()
                 os.fsync(handle.fileno())
+            self._m_fsyncs.inc()
+            self._m_recovery_discarded.inc(torn_bytes)
         self._next_seq = len(records) + 1
 
     def recover(self) -> List[WalRecord]:
@@ -208,6 +230,9 @@ class WriteAheadLog:
                 except OSError:
                     self._rollback_failed_write(handle, start)
                     raise
+            self._m_fsyncs.inc()
+        self._m_records.inc()
+        self._m_bytes.inc(len(frame))
         self._next_seq = seq + 1
         return seq
 
@@ -277,6 +302,7 @@ class WriteAheadLog:
                         pass  # the next append/recover() surfaces it
             if not poisoned:
                 self.batch_commits += 1
+                self._m_fsyncs.inc()
 
     def append_add(
         self,
@@ -332,4 +358,5 @@ class WriteAheadLog:
         with open(self.path, "wb") as handle:
             handle.flush()
             os.fsync(handle.fileno())
+        self._m_fsyncs.inc()
         self._next_seq = 1

@@ -1,0 +1,68 @@
+"""The plain-HTTP /metrics listener."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    CONTENT_TYPE,
+    MetricsHTTPServer,
+    MetricsRegistry,
+    use_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("scraped_total", "scrapes observed").inc(7)
+    return reg
+
+
+class TestScrape:
+    def test_get_metrics_serves_the_exposition_text(self, registry):
+        with MetricsHTTPServer(registry=registry) as server:
+            with urllib.request.urlopen(server.url) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == CONTENT_TYPE
+                body = response.read().decode("utf-8")
+        assert "# TYPE scraped_total counter" in body
+        assert "scraped_total 7" in body
+
+    def test_root_path_serves_metrics_too(self, registry):
+        with MetricsHTTPServer(registry=registry) as server:
+            body = urllib.request.urlopen(
+                f"http://{server.host}:{server.port}/"
+            ).read().decode("utf-8")
+        assert "scraped_total 7" in body
+
+    def test_other_paths_are_404(self, registry):
+        with MetricsHTTPServer(registry=registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"http://{server.host}:{server.port}/nope")
+            assert err.value.code == 404
+
+    def test_scrape_reflects_live_values(self, registry):
+        with MetricsHTTPServer(registry=registry) as server:
+            registry.get("scraped_total").inc(3)
+            body = urllib.request.urlopen(server.url).read().decode("utf-8")
+        assert "scraped_total 10" in body
+
+    def test_unpinned_server_follows_the_process_registry(self):
+        with MetricsHTTPServer() as server:
+            with use_registry(MetricsRegistry()) as reg:
+                reg.gauge("live").set(4)
+                body = urllib.request.urlopen(server.url).read().decode("utf-8")
+                assert "live 4" in body
+
+    def test_ephemeral_port_is_resolved(self, registry):
+        with MetricsHTTPServer(port=0, registry=registry) as server:
+            assert server.port > 0
+            assert server.address == (server.host, server.port)
+            assert str(server.port) in server.url
+
+    def test_close_is_idempotent(self, registry):
+        server = MetricsHTTPServer(registry=registry).start()
+        server.close()
+        server.close()

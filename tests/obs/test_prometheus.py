@@ -1,0 +1,133 @@
+"""Prometheus text-exposition conformance of the renderer."""
+
+import re
+
+import pytest
+
+from repro.obs import CONTENT_TYPE, MetricsRegistry, render_prometheus, use_registry
+from repro.obs.prometheus import escape_help, escape_label_value
+
+#: The exposition grammar for one sample line:
+#: ``name{label="value",...} value``.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""  # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"  # more labels
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$"  # sample value
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestFormat:
+    def test_content_type_is_the_prometheus_text_format(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_every_sample_line_matches_the_grammar(self, registry):
+        registry.counter("req_total", "requests", ("op", "code")).labels(
+            op="metric", code="bad_request"
+        ).inc(3)
+        registry.gauge("depth", "queue depth").set(-2.5)
+        registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0)).observe(0.2)
+        for line in render_prometheus(registry).splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ", line)
+            else:
+                assert _SAMPLE_RE.match(line), line
+
+    def test_help_and_type_precede_samples(self, registry):
+        registry.counter("a_total", "does things").inc()
+        lines = render_prometheus(registry).splitlines()
+        assert lines[0] == "# HELP a_total does things"
+        assert lines[1] == "# TYPE a_total counter"
+        assert lines[2] == "a_total 1"
+
+    def test_helpless_metric_skips_the_help_line(self, registry):
+        registry.gauge("g").set(1)
+        lines = render_prometheus(registry).splitlines()
+        assert lines[0] == "# TYPE g gauge"
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert render_prometheus(registry) == ""
+
+    def test_output_ends_with_a_newline(self, registry):
+        registry.counter("a_total").inc()
+        assert render_prometheus(registry).endswith("\n")
+
+    def test_defaults_to_the_process_registry(self):
+        with use_registry(MetricsRegistry()) as reg:
+            reg.counter("scoped_total").inc()
+            assert "scoped_total 1" in render_prometheus()
+
+
+class TestEscaping:
+    def test_label_value_escapes(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_help_escapes(self):
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_hostile_label_values_render_parseable(self, registry):
+        c = registry.counter("x_total", "", ("path",))
+        c.labels(path='C:\\tmp\n"quoted"').inc()
+        line = [
+            l for l in render_prometheus(registry).splitlines()
+            if not l.startswith("#")
+        ][0]
+        assert _SAMPLE_RE.match(line), line
+        assert '\\\\tmp' in line and '\\"quoted\\"' in line
+
+    def test_hostile_help_stays_one_line(self, registry):
+        registry.gauge("g", "line one\nline two")
+        text = render_prometheus(registry)
+        assert "# HELP g line one\\nline two" in text
+
+
+class TestHistogramExposition:
+    def test_buckets_are_cumulative_and_end_in_inf(self, registry):
+        h = registry.histogram("lat", "", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        text = render_prometheus(registry)
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 3' in text
+        assert 'lat_bucket{le="10"} 4' in text
+        assert 'lat_bucket{le="+Inf"} 5' in text
+        assert "lat_count 5" in text
+        assert re.search(r"lat_sum 56\.05", text)
+
+    def test_labelled_histogram_keeps_le_last(self, registry):
+        h = registry.histogram("lat", "", ("op",), buckets=(1.0,))
+        h.labels(op="sweep").observe(0.5)
+        text = render_prometheus(registry)
+        assert 'lat_bucket{op="sweep",le="1"} 1' in text
+        assert 'lat_bucket{op="sweep",le="+Inf"} 1' in text
+        assert 'lat_sum{op="sweep"}' in text
+        assert 'lat_count{op="sweep"} 1' in text
+
+    def test_inf_bucket_always_equals_count(self, registry):
+        h = registry.histogram("lat", "", buckets=(0.001,))
+        for v in (5.0, 10.0, 0.0005):
+            h.observe(v)
+        text = render_prometheus(registry)
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+
+class TestCounterMonotonicity:
+    def test_rendered_counter_never_decreases(self, registry):
+        c = registry.counter("mono_total")
+        seen = []
+        for _ in range(5):
+            c.inc(2)
+            value = float(
+                render_prometheus(registry).splitlines()[-1].split()[-1]
+            )
+            seen.append(value)
+        assert seen == sorted(seen)
+        assert seen[-1] == 10

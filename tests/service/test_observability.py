@@ -1,0 +1,257 @@
+"""Observability across the serving stack: stats superset, slow-query log,
+the ``metrics`` op, and replica-lag tracking."""
+
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.service import QueryService
+from repro.service.remote import RemoteReadReplica
+from repro.service.transport import ServiceClient, SocketServer
+from repro.store.store import IndexStore
+
+
+@pytest.fixture
+def store_path(community_hypergraph, tmp_path):
+    IndexStore.build(community_hypergraph, tmp_path / "idx", num_shards=4)
+    return str(tmp_path / "idx")
+
+
+@pytest.fixture
+def registry():
+    """Isolate every instrument the test's components bind."""
+    with use_registry(MetricsRegistry()) as reg:
+        yield reg
+
+
+class TestStatsPayload:
+    def test_stats_is_a_superset_with_a_metrics_snapshot(self, store_path, registry):
+        with QueryService(store_path) as svc:
+            svc.submit_add([0, 1, 2])
+            svc.flush()
+            svc.metric(2, "connected_components")
+            stats = svc.stats()
+        # The pre-existing keys survive for old clients...
+        for key in ("read_only", "generation", "fingerprint", "engine", "admission"):
+            assert key in stats
+        # ...and the metrics snapshot rides along.
+        metrics = stats["metrics"]
+        assert metrics["repro_wal_appended_records_total"]["values"][0]["value"] >= 1
+        assert "repro_admission_wait_seconds" in metrics
+
+    def test_admission_snapshot_has_stable_documented_keys(self, store_path, registry):
+        with QueryService(store_path) as svc:
+            svc.submit_add([0, 1, 2])
+            svc.flush()
+            admission = svc.stats()["admission"]
+        assert set(admission) == {
+            "submitted",
+            "applied",
+            "failed",
+            "batches",
+            "largest_batch",
+            "mean_batch_size",
+            "pending",
+        }
+        assert admission["applied"] == 1
+        assert admission["pending"] == 0
+        assert admission["applied"] + admission["failed"] <= admission["submitted"]
+
+    def test_engine_cache_counters_feed_the_registry(self, store_path, registry):
+        with QueryService(store_path) as svc:
+            svc.metric(2, "connected_components")
+            svc.metric(2, "connected_components")
+        hits = registry.get("repro_cache_hits_total")
+        assert hits.labels(cache="engine").value >= 1
+
+
+class TestSlowQueryLog:
+    def test_disabled_by_default(self, store_path, registry):
+        with QueryService(store_path) as svc:
+            svc.metric(2, "connected_components")
+            stats = svc.stats()
+        assert "slow_queries" not in stats
+
+    def test_slow_queries_are_recorded_with_context(self, store_path, registry):
+        with QueryService(store_path, slow_query_ms=0.0) as svc:
+            svc.metric(3, "pagerank")
+            stats = svc.stats()
+        assert stats["slow_query_ms"] == 0.0
+        entries = stats["slow_queries"]
+        assert entries
+        entry = entries[-1]
+        assert entry["s"] == 3
+        assert entry["metric"] == "pagerank"
+        assert entry["duration_ms"] >= 0
+        assert entry["generation"] == 0
+        assert "timestamp" in entry
+
+    def test_fast_queries_stay_out(self, store_path, registry):
+        with QueryService(store_path, slow_query_ms=60_000.0) as svc:
+            svc.metric(2, "connected_components")
+            assert svc.stats()["slow_queries"] == []
+
+    def test_ring_is_bounded(self, store_path, registry):
+        with QueryService(
+            store_path, slow_query_ms=0.0, slow_query_capacity=4
+        ) as svc:
+            for s in range(1, 9):
+                svc.num_components(s)
+            entries = svc.stats()["slow_queries"]
+        assert len(entries) == 4
+        # Oldest entries fell off: the survivors are the most recent.
+        assert [e["s"] for e in entries] == [5, 6, 7, 8]
+
+
+class TestMetricsOp:
+    def test_writer_serves_prometheus_text_over_the_socket(
+        self, store_path, registry
+    ):
+        with QueryService(store_path) as svc:
+            svc.submit_add([0, 1, 2])
+            svc.flush()
+            with SocketServer(svc) as server:
+                with ServiceClient(*server.address) as client:
+                    client.metric(2, "connected_components")
+                    text = client.metrics_text()
+        assert "# TYPE repro_request_seconds histogram" in text
+        assert 'repro_request_seconds_bucket{op="metric"' in text
+        assert "repro_wal_appended_records_total 1" in text
+        assert "repro_admission_batch_size_count" in text
+
+    def test_metrics_op_is_idempotent_and_inline(self, store_path, registry):
+        with QueryService(store_path) as svc:
+            response = svc.execute({"op": "metrics"})
+        assert response["ok"]
+        assert response["content_type"].startswith("text/plain; version=0.0.4")
+        assert "# TYPE" in response["text"]
+
+    def test_chained_replica_is_scrapeable_too(self, store_path, tmp_path, registry):
+        with QueryService(store_path) as writer:
+            with SocketServer(writer) as upstream:
+                replica = RemoteReadReplica(
+                    *upstream.address, store_path=str(tmp_path / "mirror")
+                )
+                try:
+                    with SocketServer(_replica_service(replica)) as downstream:
+                        with ServiceClient(*downstream.address) as client:
+                            text = client.metrics_text()
+                    assert "repro_replica_wal_lag_bytes" in text
+                    assert "repro_replication_syncs_total" in text
+                finally:
+                    replica.close()
+
+    def test_request_errors_are_counted_by_op_and_code(self, store_path, registry):
+        with QueryService(store_path) as svc:
+            with SocketServer(svc) as server:
+                with ServiceClient(*server.address) as client:
+                    client.call({"op": "metric", "s": 2, "metric": "nope"})
+                    client.call({"op": "definitely_unknown"})
+        errors = registry.get("repro_request_errors_total")
+        assert errors.labels(op="metric", code="bad_request").value == 1
+        assert errors.labels(op="other", code="bad_request").value == 1
+
+
+def _replica_service(replica):
+    """A minimal service façade over a RemoteReadReplica for SocketServer.
+
+    The CLI's ``replicate --serve`` fronts the mirror directory with a real
+    read-only QueryService; here the replica's own mirror dir is locked by
+    the replica, so serve its engine surface through the replica directly.
+    """
+    from repro.service.service import QueryService
+
+    svc = QueryService(replica.path, read_only=True)
+    return svc
+
+
+class TestReplicaLag:
+    def test_lag_rises_while_sync_is_paused_and_recovers(
+        self, store_path, tmp_path, registry
+    ):
+        with QueryService(store_path) as writer:
+            with SocketServer(writer) as server:
+                # poll_interval far in the future = sync is "paused": the
+                # replica serves local state and only lag() talks upstream.
+                replica = RemoteReadReplica(
+                    *server.address,
+                    store_path=str(tmp_path / "mirror"),
+                    poll_interval=3600.0,
+                )
+                try:
+                    assert replica.lag()["wal_lag_bytes"] == 0
+
+                    writer.submit_add([0, 1, 2])
+                    writer.submit_add([1, 2, 3])
+                    writer.flush()
+
+                    lag = replica.lag()
+                    assert lag["wal_lag_bytes"] > 0
+                    gauge = registry.get("repro_replica_wal_lag_bytes")
+                    assert gauge.value == lag["wal_lag_bytes"]
+
+                    replica.sync(force=True)
+                    assert replica.lag()["wal_lag_bytes"] == 0
+                    assert gauge.value == 0
+                finally:
+                    replica.close()
+
+    def test_generation_lag_counts_compactions(self, store_path, tmp_path, registry):
+        with QueryService(store_path) as writer:
+            with SocketServer(writer) as server:
+                replica = RemoteReadReplica(
+                    *server.address,
+                    store_path=str(tmp_path / "mirror"),
+                    poll_interval=3600.0,
+                )
+                try:
+                    writer.submit_add([0, 1, 2])
+                    writer.flush()
+                    writer.compact()
+                    lag = replica.lag()
+                    assert lag["generation_lag"] == 1
+                    replica.sync(force=True)
+                    assert replica.lag()["generation_lag"] == 0
+                finally:
+                    replica.close()
+
+    def test_sync_age_tracks_time_since_last_sync(self, store_path, tmp_path, registry):
+        with QueryService(store_path) as writer:
+            with SocketServer(writer) as server:
+                replica = RemoteReadReplica(
+                    *server.address,
+                    store_path=str(tmp_path / "mirror"),
+                    poll_interval=3600.0,
+                )
+                try:
+                    age = registry.get("repro_replica_last_sync_age_seconds")
+                    first = age.value
+                    assert first >= 0
+                    time.sleep(0.05)
+                    assert age.value > first
+                    replica.sync(force=True)
+                    assert age.value < 0.05 + first
+                finally:
+                    replica.close()
+
+    def test_sync_counters_split_full_from_delta(self, store_path, tmp_path, registry):
+        with QueryService(store_path) as writer:
+            with SocketServer(writer) as server:
+                replica = RemoteReadReplica(
+                    *server.address,
+                    store_path=str(tmp_path / "mirror"),
+                    poll_interval=0.0,
+                )
+                try:
+                    syncs = registry.get("repro_replication_syncs_total")
+                    assert syncs.labels(kind="full").value == 1  # bootstrap
+                    writer.submit_add([0, 1, 2])
+                    writer.flush()
+                    replica.sync()
+                    assert syncs.labels(kind="delta").value == 1
+                    assert registry.get(
+                        "repro_replication_wal_records_total"
+                    ).value >= 1
+                finally:
+                    replica.close()
