@@ -19,6 +19,15 @@ counters, per-query accounting.  The two services run their rounds
 interleaved on identical store copies to cancel machine drift, and the
 headline is min-of-rounds.  The ratio ``t_baseline / t_instrumented``
 must stay **>= 0.95** — instrumentation may cost at most ~5%.
+
+Tracing is its own axis (``test_tracing_overhead_is_bounded``): the same
+serving loop runs with the tracer disabled (the production default —
+this configuration must stay inside the metrics floor above, which the
+first test already enforces since the default tracer is disabled) and
+with every request traced at rate 1.0 (worst case: a span tree allocated
+and ringed per request) plus rate 0.01 (a realistic production sample),
+each request wrapped in the same ``start_request`` root the socket
+server opens.  The rate-1.0 ratio gates at **>= 0.80**.
 """
 
 from __future__ import annotations
@@ -29,7 +38,7 @@ import time
 
 from repro.benchmarks import quick_mode
 from repro.hypergraph.builders import hypergraph_from_edge_lists
-from repro.obs import MetricsRegistry, NullRegistry, use_registry
+from repro.obs import MetricsRegistry, NullRegistry, Tracer, use_registry, use_tracer
 from repro.service import QueryService
 from repro.store import IndexStore
 from repro.utils.rng import make_rng
@@ -42,6 +51,10 @@ QUERIES = 120 if BENCH_QUICK else 240
 ADDS = 16 if BENCH_QUICK else 48
 #: Instrumented may be at most ~5% slower than the NullRegistry baseline.
 MIN_SPEEDUP = 0.95
+#: Tracing every request may cost at most ~25% on the same hot path
+#: (spans are allocated per tier per request at rate 1.0 — the worst
+#: case no deployment runs; rate 0.01 is reported alongside).
+MIN_TRACE_SPEEDUP = 0.80
 
 NUM_VERTICES = 60
 NUM_EDGES = 50
@@ -68,13 +81,15 @@ def _mutate(svc, round_index):
     svc.flush()
 
 
-def _timed_queries(svc):
+def _timed_queries(svc, tracer=None):
     """Serve QUERIES requests through the dispatch entry point.
 
     The mix mirrors serving reality: the round's mutations invalidated
     the cache, so each distinct ``(s, metric)`` pair recomputes once and
     the rest are LRU hits — overhead is measured against real work, not
-    against a bare cache-lookup loop.
+    against a bare cache-lookup loop.  With ``tracer``, each request runs
+    under the ``server.<op>`` root span the socket server would open —
+    without a root, tracing never engages on the query path.
     """
     requests = [
         {
@@ -88,8 +103,13 @@ def _timed_queries(svc):
     gc.disable()  # a collection pause mid-region would swamp the signal
     try:
         start = time.perf_counter()
-        for request in requests:
-            svc.execute(request)
+        if tracer is None:
+            for request in requests:
+                svc.execute(request)
+        else:
+            for request in requests:
+                with tracer.start_request("server.metric", attributes={"op": "metric"}):
+                    svc.execute(request)
         return time.perf_counter() - start
     finally:
         if gc_was_enabled:
@@ -143,3 +163,69 @@ def test_metrics_overhead_is_bounded(tmp_path, report):
         },
     )
     assert speedup >= MIN_SPEEDUP
+
+
+def test_tracing_overhead_is_bounded(tmp_path, report):
+    """Tracing every request costs < ~25%; a 1% sample rides along free.
+
+    Three identical services, full metrics instrumentation on all of
+    them, differing only in tracer: disabled (the untraced production
+    default), ``sample_rate=1.0`` (every request allocates and rings a
+    span tree — the worst case) and ``sample_rate=0.01`` (realistic).
+    The timed loop opens the same root span the socket server does, so
+    the disabled configuration pays exactly the per-request predicate
+    the tentpole promises is ~free.
+    """
+    configs = {
+        "off": Tracer(),  # disabled: sample_rate 0, no slow threshold
+        "sampled": Tracer(sample_rate=0.01),
+        "full": Tracer(sample_rate=1.0),
+    }
+    services = {}
+    for name, tracer in configs.items():
+        with use_registry(MetricsRegistry()), use_tracer(tracer):
+            services[name] = QueryService(str(_build_store(tmp_path / name)))
+    try:
+        rounds = []
+        order = list(configs)
+        for round_index in range(ROUNDS + 1):
+            for name in order:
+                _mutate(services[name], round_index)
+            # Rotate the timing order so no configuration always runs
+            # last with warm caches/branch predictors.
+            rotated = order[round_index % 3:] + order[: round_index % 3]
+            times = {
+                name: _timed_queries(services[name], tracer=configs[name])
+                for name in rotated
+            }
+            if round_index == 0:
+                continue  # warmup: first queries pay one-time setup
+            rounds.append(times)
+    finally:
+        for svc in services.values():
+            svc.close()
+
+    full_ratio = statistics.median(r["off"] / r["full"] for r in rounds)
+    sampled_ratio = statistics.median(r["off"] / r["sampled"] for r in rounds)
+    baseline = statistics.median(r["off"] for r in rounds)
+    traced = statistics.median(r["full"] for r in rounds)
+    overhead_pct = (1.0 / full_ratio - 1.0) * 100.0
+    report(
+        f"Tracing overhead ({QUERIES} traced queries/round, best of "
+        f"{ROUNDS} rotated rounds)\n"
+        f"tracer disabled:      {QUERIES / baseline:10.0f} queries/s\n"
+        f"sampled at 1.0:       {QUERIES / traced:10.0f} queries/s "
+        f"({overhead_pct:+.1f}%, ratio {full_ratio:.3f}x, "
+        f"floor {MIN_TRACE_SPEEDUP:.2f}x)\n"
+        f"sampled at 0.01:      ratio {sampled_ratio:.3f}x (informational)",
+        name="trace_overhead",
+        data={
+            "speedup": full_ratio,
+            "floor": MIN_TRACE_SPEEDUP,
+            "overhead_pct": overhead_pct,
+            "sampled_001_speedup": sampled_ratio,
+            "baseline_seconds": baseline,
+            "traced_seconds": traced,
+        },
+    )
+    assert full_ratio >= MIN_TRACE_SPEEDUP

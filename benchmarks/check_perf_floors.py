@@ -25,7 +25,11 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: engine sweep vs per-s pipeline, warm store open vs cold rebuild, WAL
 #: group commit vs per-record fsync, replication delta sync vs full
 #: re-fetch, and the observability layer's cost on the serving hot path
-#: (instrumented vs NullRegistry; must stay within ~5% — floor 0.95x).
+#: — split into two axes with separate floors: metrics instrumentation
+#: vs NullRegistry (within ~5% — floor 0.95x; the default disabled
+#: tracer rides inside this one) and request tracing at sample rate 1.0
+#: vs tracer disabled (within ~25% — floor 0.80x; the worst case, since
+#: every request allocates and rings a span tree).
 #: (The replication ratio is loopback but byte-dominated — the delta
 #: moves a small fraction of the store — so it is stable enough to gate
 #: on, unlike the latency-dominated transport bench.)
@@ -35,6 +39,7 @@ DEFAULT_REQUIRED = (
     "service_group_commit",
     "replication",
     "obs_overhead",
+    "trace_overhead",
 )
 
 

@@ -105,6 +105,26 @@ def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--seed", type=int, default=0, help="surrogate dataset seed")
 
 
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("tracing")
+    group.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="trace this fraction of requests (0..1); traces are kept in "
+        "a bounded in-memory ring served by 'repro trace'",
+    )
+    group.add_argument(
+        "--trace-slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="always keep traces of requests slower than this many ms, "
+        "regardless of the sample rate",
+    )
+
+
 def _load_hypergraph(args: argparse.Namespace) -> Hypergraph:
     if args.dataset and args.input:
         raise SystemExit("specify either --dataset or --input, not both")
@@ -184,6 +204,12 @@ def _remote_stats(args: argparse.Namespace) -> int:
         slow = stats.get("slow_queries")
         if slow is not None:
             rows.append(("slow_queries", len(slow)))
+        tracing = stats.get("tracing") or {}
+        if tracing.get("enabled"):
+            for key in ("sample_rate", "slow_ms", "requests", "sampled", "kept",
+                        "kept_slow", "buffered"):
+                if tracing.get(key) is not None:
+                    rows.append((f"tracing.{key}", tracing[key]))
         metrics = stats.get("metrics") or {}
         rows.append(("metrics registered", len(metrics)))
         width = max(len(str(k)) for k, _ in rows)
@@ -196,8 +222,10 @@ def _remote_stats(args: argparse.Namespace) -> int:
             )[:5]:
                 op = entry.get("op", "?")
                 detail = "".join(
-                    f" {k}={entry[k]}" for k in ("s", "metric", "generation")
-                    if k in entry
+                    f" {k}={entry[k]}"
+                    for k in ("s", "metric", "generation", "trace_id")
+                    # trace_id is "" for unsampled requests — omit it.
+                    if entry.get(k) not in (None, "")
                 )
                 print(f"  {entry.get('duration_ms', 0):>9.3f} ms  {op}{detail}")
         return 0
@@ -382,7 +410,9 @@ def _cmd_index_query(args: argparse.Namespace) -> int:
 
 
 #: Request ops that only read — safe to fan out over worker threads.
-_SERVE_QUERY_OPS = frozenset({"metric", "components", "sweep", "stats", "metrics"})
+_SERVE_QUERY_OPS = frozenset(
+    {"metric", "components", "sweep", "stats", "metrics", "trace"}
+)
 
 
 def _run_jsonl_loop(stream, interactive, execute_one, execute_batch, batch_chunk=None):
@@ -535,6 +565,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     policy = None
     if args.compact_after is not None:
         policy = CompactionPolicy(max_wal_records=args.compact_after, max_wal_bytes=None)
+    _apply_trace_flags(args)
     service = QueryService(
         args.path,
         read_only=args.read_only,
@@ -544,7 +575,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         compaction=policy,
         slow_query_ms=args.slow_query_ms,
     )
-    metrics_server = _start_metrics_server(args)
+    metrics_server = _start_metrics_server(args, readiness=service.readiness)
     try:
         if args.listen:
             return _serve_socket(service, args)
@@ -576,14 +607,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             metrics_server.close()
 
 
-def _start_metrics_server(args: argparse.Namespace):
-    """Start the plain-HTTP ``/metrics`` listener when ``--metrics-port`` asks."""
+def _apply_trace_flags(args: argparse.Namespace) -> None:
+    """Install the process tracer from ``--trace-sample-rate``/``--trace-slow-ms``.
+
+    Must run before services are constructed — components bind the
+    process tracer once at construction time.  With neither flag set the
+    default (disabled) tracer stays in place and tracing costs nothing.
+    """
+    rate = getattr(args, "trace_sample_rate", None)
+    slow_ms = getattr(args, "trace_slow_ms", None)
+    if rate is None and slow_ms is None:
+        return
+    from repro.obs import Tracer, set_tracer
+
+    set_tracer(Tracer(sample_rate=rate or 0.0, slow_ms=slow_ms))
+
+
+def _start_metrics_server(args: argparse.Namespace, readiness=None):
+    """Start the HTTP ``/metrics`` + ``/healthz`` + ``/readyz`` listener
+    when ``--metrics-port`` asks; ``readiness`` backs ``GET /readyz``."""
     port = getattr(args, "metrics_port", None)
     if port is None:
         return None
     from repro.obs import MetricsHTTPServer
 
-    server = MetricsHTTPServer(port=port).start()
+    server = MetricsHTTPServer(port=port, readiness=readiness).start()
     print(
         json.dumps(
             {
@@ -673,6 +721,45 @@ def _cmd_connect(args: argparse.Namespace) -> int:
         client.close()
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Fetch and render finished traces from a serving peer.
+
+    One idempotent ``trace`` round trip; each trace renders as a span
+    tree with per-span start offsets and durations (see
+    :func:`repro.obs.render_trace`).  ``--trace-id`` narrows to one trace
+    — e.g. an id copied from the slow-query log ``repro stats --address``
+    prints.  Exit code 1 when the buffer holds no matching trace.
+    """
+    from repro.obs import render_trace
+    from repro.service.transport import ServiceClient, TransportError
+
+    host, port = _parse_address(args.address)
+    try:
+        client = ServiceClient(
+            host, port, timeout=args.timeout, connect_retries=args.connect_retries
+        ).connect()
+    except TransportError as exc:
+        raise SystemExit(f"connect failed: {exc}")
+    try:
+        traces = client.traces(trace_id=args.trace_id, limit=args.limit)
+        if not traces:
+            suffix = f" with id {args.trace_id}" if args.trace_id else ""
+            print(
+                f"no finished traces{suffix} on {host}:{port} "
+                "(is tracing enabled? see serve --trace-sample-rate)"
+            )
+            return 1
+        for index, trace in enumerate(traces):
+            if index:
+                print()
+            print(render_trace(trace))
+        return 0
+    except TransportError as exc:
+        raise SystemExit(f"transport error: {exc}")
+    finally:
+        client.close()
+
+
 def _cmd_replicate(args: argparse.Namespace) -> int:
     """Mirror a remote store over the socket protocol (no shared filesystem).
 
@@ -680,8 +767,9 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     pulls the snapshot + WAL into ``--store`` (full fetch the first time,
     checksum-driven delta afterwards), and either exits after the sync
     (bootstrap/backup mode) or — with ``--serve HOST:PORT`` — serves the
-    mirror as a hot-reloading read replica while a background thread keeps
-    polling the peer's change token and pulling deltas.  The mirror
+    mirror as a hot-reloading remote-fed read replica: queries re-check
+    the peer's change token within ``--poll-interval`` and pull deltas,
+    and a background thread does the same while idle.  The mirror
     directory's writer lock is held for the duration, so a local writer
     (or second ``replicate``) cannot corrupt it.
     """
@@ -708,7 +796,6 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc))
     try:
         try:
-            last_token = client.state_token()
             report = mirror.sync()
         except (TransportError, StoreError) as exc:
             raise SystemExit(f"sync failed: {exc}")
@@ -731,27 +818,41 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         if not args.serve:
             return 0
 
-        service = QueryService(args.store, read_only=True, num_workers=args.workers)
+        # Serving mode: hand the mirror over to a remote-fed service
+        # (QueryService over a RemoteReadReplica) so every query's path
+        # includes the peer staleness check — traced as a
+        # ``replica.sync_check`` span under the server's request span.
+        # The replica re-locks the directory as its writer and opens its
+        # own client, so drop the bootstrap lock first; its startup sync
+        # is a checksum-driven no-op against the mirror just written.
+        lock.release()
+        _apply_trace_flags(args)
+        try:
+            service = QueryService(
+                args.store,
+                read_only=True,
+                remote_source=(host, port),
+                num_workers=args.workers,
+                replica_poll_interval=args.poll_interval,
+            )
+        except (TransportError, StoreError, OSError) as exc:
+            raise SystemExit(f"replica start failed: {exc}")
         stop = threading.Event()
 
         def follow() -> None:
-            """Poll the peer's change token; pull a delta sync on change.
+            """Keep the mirror fresh while no queries arrive.
 
-            Peer outages and racing compactions leave the local mirror
+            Queries trigger their own staleness checks through the
+            replica's poll interval; this thread covers quiet periods so
+            the lag gauges and the ``/readyz`` probe track the peer even
+            on an idle replica.  Peer outages leave the local mirror
             serving its last good state; a failed poll backs off so an
             outage costs one connect budget per backoff window, not a
             continuous retry storm against the dead address."""
-            nonlocal last_token
             backoff = 0.0
-            while not stop.wait(max(args.poll_interval, backoff)):
+            while not stop.wait(max(args.poll_interval, backoff, 0.05)):
                 try:
-                    token = client.state_token()
-                    # Every poll updates the replica-lag gauges, so a
-                    # scraper sees lag rise while the peer runs ahead.
-                    mirror.observe_peer_token(token)
-                    if token is None or token != last_token:
-                        mirror.sync()
-                        last_token = token
+                    service.replica.sync()
                     backoff = 0.0
                 except (TransportError, StoreError, OSError):
                     backoff = max(1.0, args.poll_interval)
@@ -760,7 +861,10 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         syncer.start()
         args.listen = args.serve
         args.read_only = True
-        metrics_server = _start_metrics_server(args)
+        metrics_server = _start_metrics_server(
+            args,
+            readiness=lambda: service.readiness(max_generation_lag=args.ready_max_lag),
+        )
         try:
             return _serve_socket(service, args)
         finally:
@@ -963,6 +1067,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="record queries slower than this many ms in the stats "
         "payload's slow-query log",
     )
+    _add_trace_arguments(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -1050,10 +1155,46 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="with --serve: expose Prometheus text (incl. replica lag) on "
-        "http://127.0.0.1:N/metrics",
+        help="with --serve: expose Prometheus text (incl. replica lag), "
+        "/healthz and /readyz on http://127.0.0.1:N",
     )
+    p.add_argument(
+        "--ready-max-lag",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --serve and --metrics-port: /readyz reports 503 once "
+        "the replica runs more than N generations behind the peer",
+    )
+    _add_trace_arguments(p)
     p.set_defaults(func=_cmd_replicate)
+
+    p = sub.add_parser(
+        "trace",
+        help="fetch and render request traces from a 'serve --listen' "
+        "server (enable with serve/replicate --trace-sample-rate)",
+    )
+    p.add_argument(
+        "--address", required=True, metavar="HOST:PORT", help="server address"
+    )
+    p.add_argument(
+        "--trace-id",
+        default=None,
+        help="render only this trace (e.g. from the stats slow-query log)",
+    )
+    p.add_argument(
+        "--limit", type=int, default=5, help="newest traces to fetch (default 5)"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=30.0, help="per-operation socket timeout"
+    )
+    p.add_argument(
+        "--connect-retries",
+        type=int,
+        default=40,
+        help="connection attempts before giving up (busy/refused servers)",
+    )
+    p.set_defaults(func=_cmd_trace)
 
     return parser
 

@@ -35,6 +35,7 @@ from repro.graph.graph import Graph
 from repro.hypergraph.csr import CSRMatrix
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.preprocessing import SqueezeResult
+from repro.obs.trace import get_tracer
 from repro.parallel.executor import ParallelConfig
 from repro.utils.validation import ValidationError, check_s_value
 
@@ -132,6 +133,7 @@ class QueryEngine:
             )
         self._index: Optional[OverlapIndex] = index
         self._cache = LRUCache(maxsize=cache_size, metrics_label="engine")
+        self._tracer = get_tracer()
         self._index_builds = 0
         self._incremental_adds = 0
         self._incremental_removes = 0
@@ -271,12 +273,15 @@ class QueryEngine:
         """``L_s(H)`` in original hyperedge IDs (cached threshold view)."""
         s = check_s_value(s)
         key = self._key(s, "line_graph")
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        graph = self.index.line_graph(s)
-        self._cache.put(key, graph)
-        return graph
+        with self._tracer.start_span("engine.line_graph", {"s": s}) as span:
+            cached = self._cache.get(key)
+            if cached is not None:
+                span.set_attribute("cache_hit", True)
+                return cached
+            span.set_attribute("cache_hit", False)
+            graph = self.index.line_graph(s)
+            self._cache.put(key, graph)
+            return graph
 
     #: ``extract(s)`` is the service-facing name for a threshold view.
     extract = line_graph
@@ -304,13 +309,18 @@ class QueryEngine:
             )
         s = check_s_value(s)
         key = self._key(s, name)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        graph, _ = self.squeezed_graph(s)
-        values = METRIC_FUNCTIONS[name](graph)
-        self._cache.put(key, values)
-        return values
+        with self._tracer.start_span(
+            "engine.metric", {"s": s, "metric": name}
+        ) as span:
+            cached = self._cache.get(key)
+            if cached is not None:
+                span.set_attribute("cache_hit", True)
+                return cached
+            span.set_attribute("cache_hit", False)
+            graph, _ = self.squeezed_graph(s)
+            values = METRIC_FUNCTIONS[name](graph)
+            self._cache.put(key, values)
+            return values
 
     def metric_by_hyperedge(self, s: int, name: str) -> Dict[int, float]:
         """A metric keyed by *original* hyperedge IDs."""
@@ -345,13 +355,16 @@ class QueryEngine:
             )
         start = time.perf_counter()
         result = SweepResult(s_values=s_list)
-        for s in s_list:
-            graph = self.line_graph(s)
-            result.line_graphs[s] = graph
-            result.edge_counts[s] = graph.num_edges
-            result.active_counts[s] = graph.num_active_vertices
-            if metrics:
-                result.metrics[s] = self.metrics(s, metrics)
+        with self._tracer.start_span(
+            "engine.sweep", {"s_count": len(s_list), "metric_count": len(metrics)}
+        ):
+            for s in s_list:
+                graph = self.line_graph(s)
+                result.line_graphs[s] = graph
+                result.edge_counts[s] = graph.num_edges
+                result.active_counts[s] = graph.num_active_vertices
+                if metrics:
+                    result.metrics[s] = self.metrics(s, metrics)
         result.elapsed_seconds = time.perf_counter() - start
         return result
 

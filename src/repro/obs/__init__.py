@@ -15,13 +15,30 @@ The registry is surfaced three ways:
 * the idempotent ``metrics`` request op answers the rendered Prometheus
   text (:func:`render_prometheus`) over the existing socket protocol;
 * :class:`MetricsHTTPServer` serves ``GET /metrics`` over plain HTTP
-  (``repro serve --metrics-port N``) for off-the-shelf scrapers.
+  (``repro serve --metrics-port N``) for off-the-shelf scrapers, plus
+  ``/healthz`` (liveness) and ``/readyz`` (readiness) probes.
 
-See README "Observability" for the metric catalogue.
+Per-request tracing lives in :mod:`repro.obs.trace`: a sampled
+:class:`Tracer` (probabilistic + always-on-slow) collects per-tier
+:class:`Span` trees into a bounded ring, with trace context propagated
+over the socket protocol's optional ``trace`` request field.  Surfaced
+by the ``trace`` op, ``stats()["tracing"]`` and ``repro trace``.
+
+See README "Observability" for the metric and span catalogues.
 """
 
 from repro.obs.http import MetricsHTTPServer
 from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    TraceBuffer,
+    Tracer,
+    get_tracer,
+    render_trace,
+    set_tracer,
+    use_tracer,
+)
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -46,11 +63,19 @@ __all__ = [
     "MetricsError",
     "MetricsHTTPServer",
     "MetricsRegistry",
+    "NOOP_SPAN",
     "NullRegistry",
+    "Span",
+    "TraceBuffer",
+    "Tracer",
     "get_registry",
+    "get_tracer",
     "render_prometheus",
+    "render_trace",
     "set_registry",
+    "set_tracer",
     "time_block",
     "timed",
     "use_registry",
+    "use_tracer",
 ]

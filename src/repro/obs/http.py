@@ -8,6 +8,20 @@ with the rendered exposition text, so an off-the-shelf Prometheus (or
 ``curl``) can scrape a writer or replica directly.  Enabled by
 ``repro serve --metrics-port N`` / ``repro replicate --metrics-port N``.
 
+The same listener answers the two orchestration probes:
+
+``GET /healthz``
+    Process liveness — always ``200 {"status": "ok"}`` while the
+    listener thread is alive (a hung or dead process simply fails to
+    answer, which is the signal).
+``GET /readyz``
+    Traffic readiness — evaluates the server's *readiness callback*
+    (wired by the CLI to ``QueryService.readiness()``): ``200`` with a
+    small JSON body when the node should receive traffic, ``503`` with
+    the reason otherwise (writer: store lock lost / queue failed;
+    replica: last sync failed or generation lag above the threshold).
+    Without a callback the endpoint degrades to liveness.
+
 No new dependency: only ``http.server`` — acceptable here because the
 endpoint serves one small text document to trusted scrapers, not
 production query traffic.
@@ -15,19 +29,29 @@ production query traffic.
 
 from __future__ import annotations
 
+import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
 from repro.obs.registry import MetricsRegistry, get_registry
+
+#: A readiness callback: ``() -> (ready, JSON-safe detail dict)``.
+ReadinessCheck = Callable[[], Tuple[bool, Dict[str, object]]]
 
 
 class _MetricsHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+            return
+        if path == "/readyz":
+            self._serve_readyz()
+            return
         if path not in ("/metrics", "/"):
-            self.send_error(404, "only /metrics is served here")
+            self.send_error(404, "only /metrics, /healthz and /readyz are served here")
             return
         # Resolved per scrape: a pinned registry if the server has one,
         # else whatever the process default is *now* (use_registry-aware).
@@ -35,6 +59,26 @@ class _MetricsHandler(BaseHTTPRequestHandler):
         body = render_prometheus(registry).encode("utf-8")
         self.send_response(200)
         self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _serve_readyz(self) -> None:
+        check = self.server.readiness  # type: ignore[attr-defined]
+        ready, detail = True, {}
+        if check is not None:
+            try:
+                ready, detail = check()
+            except Exception as exc:  # a probe must never 500 the listener
+                ready, detail = False, {"error": str(exc)}
+        payload: Dict[str, object] = {"status": "ok" if ready else "unavailable"}
+        payload.update(detail or {})
+        self._send_json(200 if ready else 503, payload)
+
+    def _send_json(self, code: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -47,6 +91,8 @@ class _Server(ThreadingHTTPServer):
     daemon_threads = True
     #: Registry pinned by MetricsHTTPServer (None: live process default).
     registry: Optional[MetricsRegistry] = None
+    #: Readiness callback for /readyz (None: always ready while alive).
+    readiness: Optional[ReadinessCheck] = None
 
 
 class MetricsHTTPServer:
@@ -63,6 +109,9 @@ class MetricsHTTPServer:
     registry:
         Registry to render; ``None`` (default) renders the process
         default registry at scrape time.
+    readiness:
+        Optional ``() -> (ready, detail dict)`` callback backing
+        ``GET /readyz``; without one the probe mirrors liveness.
     """
 
     def __init__(
@@ -70,9 +119,11 @@ class MetricsHTTPServer:
         port: int = 0,
         host: str = "127.0.0.1",
         registry: Optional[MetricsRegistry] = None,
+        readiness: Optional[ReadinessCheck] = None,
     ) -> None:
         self._httpd = _Server((host, int(port)), _MetricsHandler)
         self._httpd.registry = registry
+        self._httpd.readiness = readiness
         self._thread: Optional[threading.Thread] = None
         self.host, self.port = self._httpd.server_address[:2]
 

@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
 from repro.engine.engine import QueryEngine
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 from repro.service.sync import RWLock
 from repro.store.format import StoreError
 from repro.utils.validation import ValidationError
@@ -69,6 +69,10 @@ class _Op:
     future: Future = field(default_factory=Future)
     #: perf_counter() stamp taken at submission (queue-wait histogram).
     submitted_at: float = 0.0
+    #: The submitting request's active span, if it is being traced —
+    #: carried across the thread hop so the writer thread can attribute
+    #: queue wait and the group-commit fsync to the originating request.
+    trace_span: Optional[object] = None
 
 
 @dataclass
@@ -128,6 +132,7 @@ class AdmissionQueue:
         self._commit_failure: Optional[BaseException] = None
         self._stats = AdmissionStats()
         self._stats_lock = threading.Lock()
+        self._tracer = get_tracer()
         registry = get_registry()
         self._m_depth = registry.gauge(
             "repro_admission_queue_depth", "Mutations waiting for the writer thread."
@@ -158,6 +163,11 @@ class AdmissionQueue:
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
+    @property
+    def poisoned(self) -> bool:
+        """Whether a failed group commit has poisoned further submissions."""
+        return self._commit_failure is not None
+
     def _poison_error(self) -> ValidationError:
         return ValidationError(
             "admission queue is poisoned: a group commit failed "
@@ -175,6 +185,7 @@ class AdmissionQueue:
             self._stats.submitted += 1
         self._m_submitted.inc()
         op.submitted_at = time.perf_counter()
+        op.trace_span = self._tracer.current_span()
         self._queue.put(op)  # blocks when full: backpressure
         self._m_depth.set(self._queue.qsize())
         if self._drained:
@@ -283,21 +294,37 @@ class AdmissionQueue:
                     if op.future.set_running_or_notify_cancel()
                 ]
                 claimed_at = time.perf_counter()
+                traced = None
                 for op in batch:
                     self._m_wait.observe(claimed_at - op.submitted_at)
-                with self._durability_scope():
-                    for op in batch:
-                        try:
-                            outcomes.append((op, self._apply(op), None))
-                        except ValidationError as exc:
-                            if isinstance(exc, StoreError):
-                                # The store refused *after* the in-memory
-                                # apply (WAL append path): state is ahead of
-                                # the log — escalate to the poison path.
-                                raise
-                            # Engine validation rejects before mutating
-                            # anything: safe to isolate to this op.
-                            outcomes.append((op, None, exc))
+                    if op.trace_span is not None:
+                        # Queue wait is only known now that the batch is
+                        # claimed — backfill it from the two stamps.
+                        self._tracer.record_span(
+                            "admission.queue_wait",
+                            op.trace_span,
+                            op.submitted_at,
+                            claimed_at,
+                        )
+                        if traced is None:
+                            traced = op.trace_span
+                # The group commit serves the whole batch; its WAL fsync is
+                # attributed to the first traced request that joined it.
+                with self._tracer.use_span(traced):
+                    with self._durability_scope():
+                        for op in batch:
+                            try:
+                                outcomes.append((op, self._apply(op), None))
+                            except ValidationError as exc:
+                                if isinstance(exc, StoreError):
+                                    # The store refused *after* the in-memory
+                                    # apply (WAL append path): state is ahead
+                                    # of the log — escalate to the poison
+                                    # path.
+                                    raise
+                                # Engine validation rejects before mutating
+                                # anything: safe to isolate to this op.
+                                outcomes.append((op, None, exc))
         except Exception as exc:
             # The group commit itself failed (e.g. fsync error): nothing in
             # this batch may be acknowledged as durable — but the mutations

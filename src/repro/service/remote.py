@@ -39,6 +39,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine.engine import SweepResult
+from repro.obs.trace import get_tracer
 from repro.parallel.executor import ParallelConfig
 from repro.service.lock import StoreLock
 from repro.service.replica import ReadReplica
@@ -101,6 +102,9 @@ class RemoteReadReplica:
         self._sync_lock = threading.Lock()
         self._closed = False
         self._lock: Optional[StoreLock] = None
+        self._tracer = get_tracer()
+        #: Why the most recent sync attempt failed (None: it succeeded).
+        self._last_sync_error: Optional[str] = None
         try:
             mirror_kwargs = (
                 {} if chunk_bytes is None else {"chunk_bytes": int(chunk_bytes)}
@@ -146,9 +150,11 @@ class RemoteReadReplica:
             token = self._peer_token()
             self.mirror.observe_peer_token(token)
             if not force and token is not None and token == self._remote_token:
+                self._last_sync_error = None
                 return None
             report = self.mirror.sync()
             self._remote_token = token
+            self._last_sync_error = None
         # The mirror moved on disk; swap the serving engine now rather
         # than waiting for the next query's poll.
         self._replica.refresh()
@@ -158,16 +164,20 @@ class RemoteReadReplica:
         now = time.monotonic()
         if now < self._next_check:
             return
-        try:
-            self.sync()
-            self._next_check = time.monotonic() + self._poll_interval
-        except (TransportError, ReplicationError, StoreError, OSError):
-            # Keep serving the last good local state through peer
-            # restarts and racing compactions; back off so an outage
-            # costs one connect budget per backoff window, not per query.
-            self._next_check = time.monotonic() + max(
-                self._poll_interval, _FAILED_POLL_BACKOFF
-            )
+        with self._tracer.start_span("replica.sync_check") as span:
+            try:
+                report = self.sync()
+                span.set_attribute("synced", report is not None)
+                self._next_check = time.monotonic() + self._poll_interval
+            except (TransportError, ReplicationError, StoreError, OSError) as exc:
+                # Keep serving the last good local state through peer
+                # restarts and racing compactions; back off so an outage
+                # costs one connect budget per backoff window, not per query.
+                self._last_sync_error = f"{type(exc).__name__}: {exc}"
+                span.set_status("error", self._last_sync_error)
+                self._next_check = time.monotonic() + max(
+                    self._poll_interval, _FAILED_POLL_BACKOFF
+                )
 
     def lag(self) -> Dict[str, float]:
         """Measure how far behind the peer this replica is, without syncing.
@@ -175,8 +185,11 @@ class RemoteReadReplica:
         One ``stats`` round trip; updates the ``repro_replica_*`` lag
         gauges and returns ``generation_lag`` / ``wal_lag_bytes`` /
         ``last_sync_age_seconds`` (empty when the peer reports no token).
+        Serialised with syncs: the client socket carries one request at a
+        time, and probes may run on a different thread than queries.
         """
-        return self.mirror.observe_peer_token(self._peer_token())
+        with self._sync_lock:
+            return self.mirror.observe_peer_token(self._peer_token())
 
     def _serve(self, method: str, *args, **kwargs):
         if self._closed:
@@ -204,6 +217,64 @@ class RemoteReadReplica:
     @property
     def generation(self) -> int:
         return self._replica.generation
+
+    @property
+    def engine(self):
+        """The inner replica's current engine (ReadReplica surface)."""
+        return self._replica.engine
+
+    @property
+    def reloads(self) -> int:
+        """Engine hot-swaps performed by the inner replica."""
+        return self._replica.reloads
+
+    def refresh(self, force: bool = False) -> bool:
+        """ReadReplica-compatible refresh: remote check, then local swap.
+
+        ``force=True`` pays an unconditional mirror sync (and may raise on
+        an unreachable peer); the default path respects the poll interval
+        and degrades to serving local state, like queries do.
+        """
+        if force:
+            self.sync(force=True)
+            return self._replica.refresh(force=True)
+        self._maybe_sync()
+        return self._replica.refresh()
+
+    def readiness(
+        self, max_generation_lag: Optional[int] = 1
+    ) -> Tuple[bool, Dict[str, object]]:
+        """Probe-facing readiness: last sync ok and lag within bounds.
+
+        Backs ``GET /readyz`` on a replica: not ready when closed, when
+        the most recent sync attempt failed, when the peer is unreachable
+        for the lag check, or when the generation lag exceeds
+        ``max_generation_lag`` (``None`` disables the lag bound).
+        """
+        detail: Dict[str, object] = {
+            "role": "replica",
+            "generation": int(self.generation),
+        }
+        if self._closed:
+            detail["reason"] = "closed"
+            return False, detail
+        if self._last_sync_error is not None:
+            detail["reason"] = "last sync failed"
+            detail["error"] = self._last_sync_error
+            return False, detail
+        try:
+            lag = self.lag()
+        except (TransportError, ReplicationError, StoreError, OSError) as exc:
+            detail["reason"] = "peer unreachable"
+            detail["error"] = f"{type(exc).__name__}: {exc}"
+            return False, detail
+        detail.update(lag)
+        gen_lag = lag.get("generation_lag", 0.0)
+        if max_generation_lag is not None and gen_lag > max_generation_lag:
+            detail["reason"] = "generation lag above threshold"
+            detail["max_generation_lag"] = int(max_generation_lag)
+            return False, detail
+        return True, detail
 
     def fingerprint(self) -> str:
         return self._serve("fingerprint")

@@ -23,14 +23,14 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.pipeline import METRIC_FUNCTIONS
 from repro.engine.engine import QueryEngine, SweepResult
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.obs import get_registry, render_prometheus
+from repro.obs import get_registry, get_tracer, render_prometheus
 from repro.parallel.executor import ParallelConfig, run_partitioned
 from repro.service.admission import AdmissionQueue, AdmissionStats
 from repro.service.compaction import BackgroundCompactor, CompactionPolicy
@@ -75,7 +75,17 @@ class QueryService:
     slow_query_ms:
         When set, queries slower than this many milliseconds are recorded
         in a bounded in-memory ring exposed as ``stats()["slow_queries"]``
-        (``None`` — the default — disables the log).
+        (``None`` — the default — disables the log).  Entries carry the
+        request's ``trace_id`` when it was traced, linking the ring to
+        ``repro trace --trace-id``.
+    remote_source:
+        ``(host, port)`` of a serving peer.  With ``read_only=True`` the
+        service serves from a :class:`~repro.service.RemoteReadReplica`
+        mirroring that peer into ``path`` — each query (re-)checks peer
+        staleness within ``replica_poll_interval`` — instead of assuming
+        the writer shares the filesystem.  This is how a chained replica
+        process serves: its socket server front, this service, and the
+        wire-fed mirror underneath.
     """
 
     def __init__(
@@ -98,14 +108,21 @@ class QueryService:
         config: Optional[ParallelConfig] = None,
         slow_query_ms: Optional[float] = None,
         slow_query_capacity: int = 128,
+        remote_source: Optional[Tuple[str, int]] = None,
     ) -> None:
         self.path = str(path)
         self.read_only = bool(read_only)
         self._num_workers = int(num_workers)
-        # The registry is captured once so the metrics op / stats snapshot
-        # report the same registry the layers below bound their instruments
-        # against at construction time.
+        if remote_source is not None and not self.read_only:
+            raise ValidationError(
+                "remote_source requires read_only=True: a remote-fed mirror "
+                "cannot also be the store's writer"
+            )
+        # The registry (and tracer) are captured once so the metrics/trace
+        # ops and stats snapshot report against the same instances the
+        # layers below bound at construction time.
         self._registry = get_registry()
+        self._tracer = get_tracer()
         if slow_query_ms is not None and slow_query_ms < 0:
             raise ValidationError("slow_query_ms must be >= 0")
         self._slow_query_ms = None if slow_query_ms is None else float(slow_query_ms)
@@ -127,13 +144,29 @@ class QueryService:
 
         if self.read_only:
             self._engine = None
-            self._replica = ReadReplica(
-                path,
-                sharded=sharded,
-                poll_interval=replica_poll_interval,
-                cache_size=cache_size,
-                config=config,
-            )
+            if remote_source is not None:
+                # Imported lazily: remote.py pulls in the transport client,
+                # which shared-filesystem replicas never need.
+                from repro.service.remote import RemoteReadReplica
+
+                host, port = remote_source
+                self._replica = RemoteReadReplica(
+                    str(host),
+                    int(port),
+                    store_path=path,
+                    poll_interval=replica_poll_interval,
+                    sharded=sharded,
+                    cache_size=cache_size,
+                    config=config,
+                )
+            else:
+                self._replica = ReadReplica(
+                    path,
+                    sharded=sharded,
+                    poll_interval=replica_poll_interval,
+                    cache_size=cache_size,
+                    config=config,
+                )
             return
 
         self._lock = StoreLock(path, owner="QueryService").acquire(
@@ -176,6 +209,17 @@ class QueryService:
         if self._replica is not None:
             return self._replica.engine
         return self._engine
+
+    @property
+    def replica(self):
+        """The backing replica in reader mode (``None`` for the writer).
+
+        A :class:`~repro.service.ReadReplica`, or a
+        :class:`~repro.service.remote.RemoteReadReplica` when the service
+        was built with ``remote_source`` — callers keeping a remote-fed
+        replica fresh while idle call its ``sync()`` through this.
+        """
+        return self._replica
 
     @property
     def generation(self) -> int:
@@ -223,6 +267,7 @@ class QueryService:
             out["slow_query_ms"] = self._slow_query_ms
             out["slow_queries"] = self.slow_queries()
         out["metrics"] = self._registry.snapshot()
+        out["tracing"] = self._tracer.stats()
         return out
 
     def slow_queries(self) -> List[Dict[str, object]]:
@@ -261,6 +306,10 @@ class QueryService:
             "op": method,
             "duration_ms": round(duration_ms, 3),
             "timestamp": time.time(),
+            # Links the ring to `repro trace --trace-id` ("" when the
+            # request was not sampled; pair --slow-query-ms with
+            # --trace-slow-ms to guarantee slow queries have traces).
+            "trace_id": self._tracer.current_trace_id(),
         }
         if args:
             first = args[0]
@@ -356,6 +405,7 @@ class QueryService:
         compact    —                                    ``generation``
         stats      —                                    :meth:`stats`
         metrics    —                                    Prometheus ``text``
+        trace      ``trace_id?``, ``limit?``            finished ``traces``
         repl_*     see :mod:`repro.store.replication`   manifest/chunks/WAL
         ========== ==================================== =====================
 
@@ -373,8 +423,13 @@ class QueryService:
             backend="thread",
         )
 
+        # Worker threads do not inherit this thread's span context; carry
+        # the caller's span across so batched queries stay in its trace.
+        caller_span = self._tracer.current_span()
+
         def kernel(part: np.ndarray, worker_id: int):
-            return [(int(i), self.execute(requests[int(i)])) for i in part]
+            with self._tracer.use_span(caller_span):
+                return [(int(i), self.execute(requests[int(i)])) for i in part]
 
         merged: List[Optional[Dict[str, object]]] = [None] * len(requests)
         for partial in run_partitioned(kernel, np.arange(len(requests)), config):
@@ -461,6 +516,17 @@ class QueryService:
                 "content_type": "text/plain; version=0.0.4; charset=utf-8",
                 "text": render_prometheus(self._registry),
             }
+        if op == "trace":
+            trace_id = request.get("trace_id")
+            return {
+                "ok": True,
+                "op": op,
+                "traces": self._tracer.finished_traces(
+                    trace_id=None if trace_id is None else str(trace_id),
+                    limit=int(request.get("limit", 20)),
+                ),
+                "tracing": self._tracer.stats(),
+            }
         if op == "repl_manifest":
             return {"ok": True, "op": op, **self._replication.repl_manifest()}
         if op == "repl_wal":
@@ -479,9 +545,47 @@ class QueryService:
             return {"ok": True, "op": op, **payload}
         raise ValidationError(
             f"unknown op {op!r}; expected one of metric/components/sweep/"
-            "add/remove/flush/compact/stats/metrics/"
+            "add/remove/flush/compact/stats/metrics/trace/"
             "repl_manifest/repl_wal/repl_fetch"
         )
+
+    # ------------------------------------------------------------------ #
+    # Readiness (the /readyz probe)
+    # ------------------------------------------------------------------ #
+    def readiness(
+        self, max_generation_lag: Optional[int] = 1
+    ) -> Tuple[bool, Dict[str, object]]:
+        """``(ready, detail)`` for traffic-readiness probes.
+
+        Writer: ready while the store lock is held and the admission
+        queue has not been poisoned by a failed group commit.  Replica:
+        delegates to :meth:`RemoteReadReplica.readiness` when serving a
+        remote mirror (last sync ok, generation lag within
+        ``max_generation_lag``); a shared-filesystem replica is ready as
+        long as its store is readable.
+        """
+        if self._closed:
+            return False, {"reason": "service closed"}
+        if self._replica is not None:
+            probe = getattr(self._replica, "readiness", None)
+            if probe is not None:
+                return probe(max_generation_lag)
+            detail: Dict[str, object] = {"role": "replica"}
+            try:
+                detail["generation"] = int(self.generation)
+            except (StoreError, OSError) as exc:
+                detail["reason"] = f"store unreadable: {exc}"
+                return False, detail
+            return True, detail
+        detail = {"role": "writer"}
+        if self._lock is None or not self._lock.held:
+            detail["reason"] = "store writer lock not held"
+            return False, detail
+        if self._admission is not None and self._admission.poisoned:
+            detail["reason"] = "admission queue poisoned (a group commit failed)"
+            return False, detail
+        detail["generation"] = int(self.generation)
+        return True, detail
 
     # ------------------------------------------------------------------ #
     # Shutdown

@@ -50,6 +50,7 @@ from repro.service.transport.framing import (
     recv_frame,
     send_frame,
 )
+from repro.obs.trace import get_tracer
 from repro.store.replication import ReplicationStaleError
 
 #: Request ops the client may safely re-send after a reconnect.  The
@@ -62,6 +63,7 @@ _IDEMPOTENT_OPS = frozenset(
         "sweep",
         "stats",
         "metrics",
+        "trace",
         "repl_manifest",
         "repl_fetch",
         "repl_wal",
@@ -137,6 +139,7 @@ class ServiceClient:
         self.reconnect = bool(reconnect)
         self.max_frame_bytes = int(max_frame_bytes)
         self._sock: Optional[socket.socket] = None
+        self._tracer = get_tracer()
         #: The server's handshake payload (mode, generation, protocol).
         self.server_info: Dict[str, object] = {}
 
@@ -216,7 +219,22 @@ class ServiceClient:
         ``reconnect`` is enabled; server-side failures come back as
         ``ok = false`` payloads without raising (use :meth:`request` for
         the raising variant).
+
+        When the calling thread is inside a *sampled* trace, the request
+        is stamped with the wire context (``trace`` field) so the server
+        joins the same trace; servers that predate tracing ignore the
+        extra key.
         """
+        op = str(request.get("op", ""))
+        with self._tracer.start_span(f"client.{op or 'unknown'}") as span:
+            if span.recording and "trace" not in request:
+                ctx = self._tracer.wire_context()
+                if ctx is not None:
+                    request = dict(request)
+                    request["trace"] = ctx
+            return self._call(request)
+
+    def _call(self, request: Dict[str, object]) -> Dict[str, object]:
         retryable = self.reconnect and _is_idempotent(request)
         try:
             return self._roundtrip(request)
@@ -349,6 +367,19 @@ class ServiceClient:
     def metrics_text(self) -> str:
         """The server's metrics in Prometheus text exposition format."""
         return str(self.request({"op": "metrics"})["text"])
+
+    def traces(
+        self, trace_id: Optional[str] = None, limit: int = 20
+    ) -> List[Dict[str, object]]:
+        """Finished traces from the server's ring, oldest first.
+
+        ``trace_id`` filters to one trace (e.g. from a slow-query ring
+        entry); ``limit`` keeps the newest N after filtering.
+        """
+        request: Dict[str, object] = {"op": "trace", "limit": int(limit)}
+        if trace_id is not None:
+            request["trace_id"] = str(trace_id)
+        return list(self.request(request)["traces"])
 
     def generation(self) -> int:
         """Snapshot generation currently served by the peer."""

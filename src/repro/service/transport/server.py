@@ -32,7 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 from repro.service.service import QueryService
 from repro.service.transport.framing import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -98,6 +98,7 @@ _METRIC_OPS = (
     "compact",
     "stats",
     "metrics",
+    "trace",
     "repl_manifest",
     "repl_wal",
     "repl_fetch",
@@ -163,6 +164,7 @@ class SocketServer:
         self._handlers_lock = threading.Lock()
         self._handlers: Dict[int, threading.Thread] = {}
         self._conn_counter = 0
+        self._tracer = get_tracer()
         registry = get_registry()
         latency = registry.histogram(
             "repro_request_seconds",
@@ -378,10 +380,22 @@ class SocketServer:
             self._m_inflight.inc()
             start = time.perf_counter()
             try:
-                if op == "batch":
-                    response = self._serve_batch(request)
-                else:
-                    response = classify_error(self.service.execute(request))
+                # The server span is the sampling point of every trace (or
+                # joins the caller's via the optional `trace` field, which
+                # pre-tracing clients simply never send).
+                with self._tracer.start_request(
+                    f"server.{op or 'unknown'}",
+                    remote=request.get("trace"),
+                    attributes={"op": op},
+                ) as span:
+                    if op == "batch":
+                        response = self._serve_batch(request)
+                    else:
+                        response = classify_error(self.service.execute(request))
+                    if not response.get("ok"):
+                        span.set_status(
+                            "error", str(response.get("code", E_INTERNAL))
+                        )
             finally:
                 latency.observe(time.perf_counter() - start)
                 self._m_inflight.dec()

@@ -48,7 +48,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Sequence
 
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 from repro.store.format import (
     HYPERGRAPH_NAME,
     Manifest,
@@ -371,6 +371,7 @@ class StoreMirror:
         os.makedirs(os.path.join(self.path, SHARD_DIR), exist_ok=True)
         self._state = self._load_state()
         self._last_sync_monotonic: Optional[float] = None
+        self._tracer = get_tracer()
         registry = get_registry()
         self._m_fetched_bytes = registry.counter(
             "repro_replication_fetched_bytes_total",
@@ -484,7 +485,10 @@ class StoreMirror:
             if attempt:
                 time.sleep(_RETRY_SLEEP)
             try:
-                report = self._sync_once()
+                with self._tracer.start_span("replication.sync") as span:
+                    report = self._sync_once()
+                    span.set_attribute("full", report.full_sync)
+                    span.set_attribute("changed", report.changed)
             except ReplicationStaleError as exc:
                 last_error = exc
                 continue
@@ -507,8 +511,14 @@ class StoreMirror:
         remote = self.source.repl_manifest()
         generation = int(remote["generation"])
         if self.generation == generation:
-            return self._sync_wal_only(generation)
-        return self._sync_snapshot(remote)
+            with self._tracer.start_span(
+                "replication.sync.delta", {"generation": generation}
+            ):
+                return self._sync_wal_only(generation)
+        with self._tracer.start_span(
+            "replication.sync.full", {"generation": generation}
+        ):
+            return self._sync_snapshot(remote)
 
     # -- WAL tail only (same generation) ------------------------------- #
     def _sync_wal_only(self, generation: int) -> SyncReport:

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.filtration import filter_weighted_arrays
 from repro.core.slinegraph import SLineGraph
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 from repro.parallel.workload import WorkloadStats
 from repro.store.format import Manifest, PathLike, read_manifest
 from repro.store.snapshot import load_edge_sizes, load_shard
@@ -70,6 +70,7 @@ class ShardedIndex:
         self._edge_sizes = load_edge_sizes(self._path, self._manifest)
         #: Number of shard file loads performed (observability / tests).
         self.shard_loads = 0
+        self._tracer = get_tracer()
         # Shard-residency telemetry: same family as the engine result
         # cache, distinguished by the ``cache`` label.
         registry = get_registry()
@@ -175,7 +176,8 @@ class ShardedIndex:
         info = self._manifest.shards[shard_id]
         # Two threads may both miss and load the same shard; the mmaps are
         # identical views, the duplicate handle is dropped on insert.
-        arrays = load_shard(self._path, info, mmap=self._mmap)
+        with self._tracer.start_span("store.shard_load", {"shard_id": shard_id}):
+            arrays = load_shard(self._path, info, mmap=self._mmap)
         self._m_misses.inc()
         with self._residency_lock:
             self._resident[shard_id] = arrays

@@ -31,7 +31,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 from repro.store.format import PathLike, StoreError, StoreFormatError
 
 OP_ADD = "add"
@@ -77,6 +77,7 @@ class WriteAheadLog:
         self._batch_poisoned = False
         #: Group commits performed via :meth:`batch` (observability).
         self.batch_commits = 0
+        self._tracer = get_tracer()
         # Durability telemetry, bound once per log (striped counters).
         registry = get_registry()
         self._m_records = registry.counter(
@@ -282,8 +283,9 @@ class WriteAheadLog:
             poisoned, self._batch_poisoned = self._batch_poisoned, False
             try:
                 try:
-                    handle.flush()
-                    os.fsync(handle.fileno())
+                    with self._tracer.start_span("wal.fsync"):
+                        handle.flush()
+                        os.fsync(handle.fileno())
                 except OSError:
                     # Durability of the framed records is unknown; the next
                     # append must re-derive its sequence from disk.

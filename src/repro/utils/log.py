@@ -2,14 +2,45 @@
 
 The library never configures the root logger; it exposes a namespaced logger
 (``repro``) that applications can configure.  :func:`enable_verbose` is a
-convenience for examples and benchmarks.
+convenience for examples and benchmarks; with ``json_lines=True`` it emits
+one JSON object per line, stamped with the active trace/span ids (when a
+request is being traced) so log lines correlate with ``repro trace`` output.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 
 LOGGER_NAME = "repro"
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record: ts/level/logger/message (+ trace ids).
+
+    When the emitting thread is inside a recorded span (see
+    :mod:`repro.obs.trace`), ``trace_id`` and ``span_id`` are included so
+    a log line can be joined against its trace; untraced lines omit the
+    keys rather than carrying empty strings.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S%z"),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        # Imported lazily so plain-text logging never touches the tracer.
+        from repro.obs.trace import get_tracer
+
+        span = get_tracer().current_span()
+        if span is not None:
+            payload["trace_id"] = span.trace_id
+            payload["span_id"] = span.span_id
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
 
 
 def get_logger(child: str | None = None) -> logging.Logger:
@@ -18,14 +49,27 @@ def get_logger(child: str | None = None) -> logging.Logger:
     return logging.getLogger(name)
 
 
-def enable_verbose(level: int = logging.INFO) -> logging.Logger:
-    """Attach a stream handler to the package logger (idempotent)."""
+def enable_verbose(
+    level: int = logging.INFO, json_lines: bool = False
+) -> logging.Logger:
+    """Attach a stream handler to the package logger (idempotent).
+
+    ``json_lines=True`` formats records as structured JSON lines (see
+    :class:`JsonLineFormatter`); calling again with a different format
+    re-points the existing handler rather than stacking a second one.
+    """
     logger = get_logger()
     logger.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
-        handler = logging.StreamHandler()
-        handler.setFormatter(
-            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
-        )
-        logger.addHandler(handler)
+    formatter: logging.Formatter
+    if json_lines:
+        formatter = JsonLineFormatter()
+    else:
+        formatter = logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    for handler in logger.handlers:
+        if isinstance(handler, logging.StreamHandler):
+            handler.setFormatter(formatter)
+            return logger
+    handler = logging.StreamHandler()
+    handler.setFormatter(formatter)
+    logger.addHandler(handler)
     return logger

@@ -1,5 +1,6 @@
-"""The plain-HTTP /metrics listener."""
+"""The plain-HTTP /metrics listener and its /healthz + /readyz probes."""
 
+import json
 import urllib.error
 import urllib.request
 
@@ -66,3 +67,55 @@ class TestScrape:
         server = MetricsHTTPServer(registry=registry).start()
         server.close()
         server.close()
+
+
+def _get_json(server, path):
+    try:
+        with urllib.request.urlopen(
+            f"http://{server.host}:{server.port}{path}"
+        ) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read().decode("utf-8"))
+
+
+class TestProbes:
+    def test_healthz_is_always_ok(self, registry):
+        with MetricsHTTPServer(registry=registry) as server:
+            status, body = _get_json(server, "/healthz")
+        assert status == 200
+        assert body == {"status": "ok"}
+
+    def test_readyz_without_a_check_reports_liveness_only(self, registry):
+        """A listener with no readiness callback (PR-6 style) stays 200:
+        being up is the only thing it can attest to."""
+        with MetricsHTTPServer(registry=registry) as server:
+            status, body = _get_json(server, "/readyz")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_readyz_reflects_the_callback(self, registry):
+        state = {"ready": True}
+
+        def readiness():
+            return state["ready"], {"role": "writer", "generation": 3}
+
+        with MetricsHTTPServer(registry=registry, readiness=readiness) as server:
+            status, body = _get_json(server, "/readyz")
+            assert status == 200
+            assert body["status"] == "ok"
+            assert body["role"] == "writer" and body["generation"] == 3
+
+            state["ready"] = False
+            status, body = _get_json(server, "/readyz")
+            assert status == 503
+            assert body["status"] == "unavailable"
+
+    def test_readyz_callback_failure_is_503_not_500(self, registry):
+        def readiness():
+            raise RuntimeError("probe exploded")
+
+        with MetricsHTTPServer(registry=registry, readiness=readiness) as server:
+            status, body = _get_json(server, "/readyz")
+        assert status == 503
+        assert "probe exploded" in body["error"]
