@@ -28,6 +28,13 @@ with every request traced at rate 1.0 (worst case: a span tree allocated
 and ringed per request) plus rate 0.01 (a realistic production sample),
 each request wrapped in the same ``start_request`` root the socket
 server opens.  The rate-1.0 ratio gates at **>= 0.80**.
+
+The instrumented path also carries the chaos failpoint predicate now:
+``QueryService.execute`` calls ``fire("service.execute")`` on every
+request, which with no point armed is one module-global boolean read.
+That disabled-failpoint cost rides inside the same 0.95 metrics floor —
+no separate gate, and the floor is unchanged — so a regression that
+makes "failpoints compiled in but idle" expensive fails CI here.
 """
 
 from __future__ import annotations

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Optional, Sequence
@@ -566,6 +567,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.compact_after is not None:
         policy = CompactionPolicy(max_wal_records=args.compact_after, max_wal_bytes=None)
     _apply_trace_flags(args)
+    _apply_chaos_flag(args)
     service = QueryService(
         args.path,
         read_only=args.read_only,
@@ -623,14 +625,30 @@ def _apply_trace_flags(args: argparse.Namespace) -> None:
     set_tracer(Tracer(sample_rate=rate or 0.0, slow_ms=slow_ms))
 
 
+def _apply_chaos_flag(args: argparse.Namespace) -> None:
+    """Enable remote failpoint control (the ``chaos`` wire op) on request.
+
+    ``--chaos`` sets ``REPRO_CHAOS=1`` in this process's environment so
+    :func:`repro.chaos.failpoints.remote_control_enabled` answers true —
+    and so any subprocess this server spawns inherits the setting.  Off
+    by default: a production server must not be chaos-injectable over
+    the wire by accident.
+    """
+    if getattr(args, "chaos", False):
+        from repro.chaos.failpoints import CONTROL_ENV_VAR
+
+        os.environ[CONTROL_ENV_VAR] = "1"
+
+
 def _start_metrics_server(args: argparse.Namespace, readiness=None):
     """Start the HTTP ``/metrics`` + ``/healthz`` + ``/readyz`` listener
     when ``--metrics-port`` asks; ``readiness`` backs ``GET /readyz``."""
     port = getattr(args, "metrics_port", None)
     if port is None:
         return None
-    from repro.obs import MetricsHTTPServer
+    from repro.obs import MetricsHTTPServer, register_process_metrics
 
+    register_process_metrics()
     server = MetricsHTTPServer(port=port, readiness=readiness).start()
     print(
         json.dumps(
@@ -780,6 +798,7 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     from repro.store import StoreMirror
     from repro.store.format import StoreError
 
+    _apply_chaos_flag(args)
     host, port = _parse_address(args.source)
     try:
         client = ServiceClient(
@@ -875,6 +894,44 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     finally:
         lock.release()
         client.close()
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos/fault-injection scenario suite.
+
+    Each scenario launches real ``serve``/``replicate`` subprocesses,
+    injects faults through the failpoint subsystem and scores the
+    orthogonal correctness axes; with ``--results-dir`` the per-axis
+    ``AXES_*.json`` artifacts (consumed by ``benchmarks/check_axes.py``)
+    are written/merged there.  One JSON line per scenario on stdout, a
+    summary line last; exit status 1 if any scenario failed.
+    """
+    from repro.chaos.scenarios import SCENARIOS, run_scenarios
+
+    if args.list:
+        for name in SCENARIOS:
+            print(json.dumps({"op": "scenario", "name": name}))
+        return 0
+    names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario(s) {unknown}; known: {', '.join(SCENARIOS)}"
+        )
+    results = run_scenarios(names, quick=args.quick, results_dir=args.results_dir)
+    failed = [r.name for r in results if not r.passed]
+    print(
+        json.dumps(
+            {
+                "ok": not failed,
+                "op": "chaos",
+                "scenarios": [r.name for r in results],
+                "failed": failed,
+            }
+        ),
+        flush=True,
+    )
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1067,6 +1124,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="record queries slower than this many ms in the stats "
         "payload's slow-query log",
     )
+    p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="allow remote failpoint control via the 'chaos' wire op "
+        "(testing only; equivalent to REPRO_CHAOS=1)",
+    )
     _add_trace_arguments(p)
     p.set_defaults(func=_cmd_serve)
 
@@ -1166,8 +1229,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --serve and --metrics-port: /readyz reports 503 once "
         "the replica runs more than N generations behind the peer",
     )
+    p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="allow remote failpoint control via the 'chaos' wire op "
+        "(testing only; equivalent to REPRO_CHAOS=1)",
+    )
     _add_trace_arguments(p)
     p.set_defaults(func=_cmd_replicate)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the chaos/fault-injection scenario suite against live "
+        "serve/replicate subprocesses and score the correctness axes",
+    )
+    p.add_argument(
+        "--scenario",
+        default="all",
+        metavar="NAME",
+        help="scenario to run (see --list), or 'all' (default)",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads and fewer cycles (the CI tier-2 setting)",
+    )
+    p.add_argument(
+        "--results-dir",
+        default=None,
+        metavar="DIR",
+        help="write/merge per-axis AXES_*.json artifacts here "
+        "(gated by benchmarks/check_axes.py)",
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list scenario names and exit"
+    )
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
         "trace",

@@ -28,6 +28,7 @@ See README "Observability" for the metric and span catalogues.
 """
 
 from repro.obs.http import MetricsHTTPServer
+from repro.obs.process import register_process_metrics
 from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
 from repro.obs.trace import (
     NOOP_SPAN,
@@ -70,6 +71,7 @@ __all__ = [
     "Tracer",
     "get_registry",
     "get_tracer",
+    "register_process_metrics",
     "render_prometheus",
     "render_trace",
     "set_registry",

@@ -8,19 +8,29 @@ with the rendered exposition text, so an off-the-shelf Prometheus (or
 ``curl``) can scrape a writer or replica directly.  Enabled by
 ``repro serve --metrics-port N`` / ``repro replicate --metrics-port N``.
 
-The same listener answers the two orchestration probes:
+The same listener answers the two orchestration probes (``GET`` or
+``HEAD`` — load balancers commonly probe with ``HEAD``, which answers
+the same status line and headers with no body):
 
-``GET /healthz``
+``/healthz``
     Process liveness — always ``200 {"status": "ok"}`` while the
     listener thread is alive (a hung or dead process simply fails to
     answer, which is the signal).
-``GET /readyz``
+``/readyz``
     Traffic readiness — evaluates the server's *readiness callback*
     (wired by the CLI to ``QueryService.readiness()``): ``200`` with a
     small JSON body when the node should receive traffic, ``503`` with
-    the reason otherwise (writer: store lock lost / queue failed;
-    replica: last sync failed or generation lag above the threshold).
-    Without a callback the endpoint degrades to liveness.
+    the reason otherwise.  Without a callback the endpoint degrades to
+    liveness.  The ``reason`` strings are part of the probe contract
+    (see README "Probes & readiness reasons"): writers answer ``service
+    closed``, ``store unreadable: ...``, ``store writer lock not held``
+    or ``admission queue poisoned (a group commit failed)``; remote
+    replicas answer ``closed``, ``last sync failed``, ``peer
+    unreachable`` or ``generation lag above threshold``.
+
+Every probe is timed into a ``repro_probe_seconds{probe}`` histogram on
+the listener's registry, so dashboards can tell a slow readiness check
+(e.g. a store stat on a struggling disk) from a dead process.
 
 No new dependency: only ``http.server`` — acceptable here because the
 endpoint serves one small text document to trusted scrapers, not
@@ -31,6 +41,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional, Tuple
 
@@ -40,19 +51,39 @@ from repro.obs.registry import MetricsRegistry, get_registry
 #: A readiness callback: ``() -> (ready, JSON-safe detail dict)``.
 ReadinessCheck = Callable[[], Tuple[bool, Dict[str, object]]]
 
+#: The bounded label vocabulary for ``repro_probe_seconds``.
+_PROBES = ("healthz", "readyz", "metrics")
+
 
 class _MetricsHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._serve(include_body=True)
+
+    def do_HEAD(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._serve(include_body=False)
+
+    def _serve(self, include_body: bool) -> None:
         path = self.path.split("?", 1)[0]
-        if path == "/healthz":
-            self._send_json(200, {"status": "ok"})
-            return
-        if path == "/readyz":
-            self._serve_readyz()
-            return
-        if path not in ("/metrics", "/"):
+        self._include_body = include_body
+        probe = {"/healthz": "healthz", "/readyz": "readyz"}.get(path)
+        if probe is None and path in ("/metrics", "/"):
+            probe = "metrics"
+        if probe is None:
             self.send_error(404, "only /metrics, /healthz and /readyz are served here")
             return
+        timer = self.server.probe_timers[probe]  # type: ignore[attr-defined]
+        start = time.perf_counter()
+        try:
+            if probe == "healthz":
+                self._send_json(200, {"status": "ok"})
+            elif probe == "readyz":
+                self._serve_readyz()
+            else:
+                self._serve_metrics()
+        finally:
+            timer.observe(time.perf_counter() - start)
+
+    def _serve_metrics(self) -> None:
         # Resolved per scrape: a pinned registry if the server has one,
         # else whatever the process default is *now* (use_registry-aware).
         registry = self.server.registry or get_registry()  # type: ignore[attr-defined]
@@ -61,7 +92,8 @@ class _MetricsHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", CONTENT_TYPE)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
-        self.wfile.write(body)
+        if self._include_body:
+            self.wfile.write(body)
 
     def _serve_readyz(self) -> None:
         check = self.server.readiness  # type: ignore[attr-defined]
@@ -81,7 +113,8 @@ class _MetricsHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
-        self.wfile.write(body)
+        if self._include_body:
+            self.wfile.write(body)
 
     def log_message(self, format: str, *args: object) -> None:
         pass  # scrapes must not spam the serving process's stdout
@@ -93,6 +126,8 @@ class _Server(ThreadingHTTPServer):
     registry: Optional[MetricsRegistry] = None
     #: Readiness callback for /readyz (None: always ready while alive).
     readiness: Optional[ReadinessCheck] = None
+    #: Per-probe histogram children for repro_probe_seconds.
+    probe_timers: Dict[str, object] = {}
 
 
 class MetricsHTTPServer:
@@ -124,6 +159,12 @@ class MetricsHTTPServer:
         self._httpd = _Server((host, int(port)), _MetricsHandler)
         self._httpd.registry = registry
         self._httpd.readiness = readiness
+        histogram = (registry if registry is not None else get_registry()).histogram(
+            "repro_probe_seconds",
+            "Wall time answering one HTTP probe/scrape, by endpoint.",
+            ("probe",),
+        )
+        self._httpd.probe_timers = {p: histogram.labels(probe=p) for p in _PROBES}
         self._thread: Optional[threading.Thread] = None
         self.host, self.port = self._httpd.server_address[:2]
 

@@ -1,0 +1,102 @@
+"""Process-level runtime metrics: uptime, RSS, open fds, GC activity.
+
+Chaos scenarios kill and restart serving processes in a loop; these
+gauges are what lets the harness assert the survivors are not *leaking* —
+that RSS and the open-fd count stay bounded across cycles, and that GC
+pressure is not climbing.  They are equally useful on a long-lived
+production server, so :func:`register_process_metrics` is called by the
+CLI whenever a metrics listener is started (``serve``/``replicate``
+``--metrics-port``).
+
+Everything is collected lazily via :meth:`Gauge.set_function` — a scrape
+pays the ``/proc`` reads, an idle process pays nothing.  The ``/proc``
+sources are Linux-specific; elsewhere the affected gauges report ``-1``
+rather than guessing.
+
+Exported (all on the target registry, default :func:`get_registry`):
+
+``process_uptime_seconds``
+    Wall seconds since :func:`register_process_metrics` ran (process
+    start, for the CLI entry points).
+``process_resident_memory_bytes``
+    ``VmRSS`` from ``/proc/self/status`` (``-1`` where unavailable).
+``process_open_fds``
+    Entries in ``/proc/self/fd`` (``-1`` where unavailable).
+``process_gc_collections_total{generation}``
+    Cumulative collections per GC generation (``gc.get_stats``).
+``process_gc_objects_collected_total{generation}``
+    Cumulative objects collected per GC generation.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = ["open_fds", "register_process_metrics", "resident_memory_bytes"]
+
+_PROC_STATUS = "/proc/self/status"
+_PROC_FD = "/proc/self/fd"
+
+
+def resident_memory_bytes() -> float:
+    """``VmRSS`` in bytes, or ``-1.0`` when ``/proc`` is unavailable."""
+    try:
+        with open(_PROC_STATUS, "r", encoding="ascii", errors="replace") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) * 1024.0  # kB -> bytes
+    except OSError:
+        pass
+    return -1.0
+
+
+def open_fds() -> float:
+    """Open file descriptors, or ``-1.0`` when ``/proc`` is unavailable."""
+    try:
+        return float(len(os.listdir(_PROC_FD)))
+    except OSError:
+        return -1.0
+
+
+def register_process_metrics(registry: Optional[MetricsRegistry] = None) -> None:
+    """Bind the process gauges on ``registry`` (default per-process one).
+
+    Idempotent: re-registering rebinds the collection callbacks (the
+    registry get-or-creates by name), resetting the uptime epoch.
+    """
+    reg = registry if registry is not None else get_registry()
+    started = time.monotonic()
+    reg.gauge(
+        "process_uptime_seconds",
+        "Wall seconds since process metrics were registered.",
+    ).set_function(lambda: time.monotonic() - started)
+    reg.gauge(
+        "process_resident_memory_bytes",
+        "Resident set size from /proc/self/status (-1 where unsupported).",
+    ).set_function(resident_memory_bytes)
+    reg.gauge(
+        "process_open_fds",
+        "Open file descriptors from /proc/self/fd (-1 where unsupported).",
+    ).set_function(open_fds)
+    collections = reg.gauge(
+        "process_gc_collections_total",
+        "Cumulative garbage collections, per GC generation.",
+        ("generation",),
+    )
+    collected = reg.gauge(
+        "process_gc_objects_collected_total",
+        "Cumulative objects collected, per GC generation.",
+        ("generation",),
+    )
+    for generation in range(len(gc.get_stats())):
+        collections.labels(generation=generation).set_function(
+            lambda g=generation: float(gc.get_stats()[g]["collections"])
+        )
+        collected.labels(generation=generation).set_function(
+            lambda g=generation: float(gc.get_stats()[g]["collected"])
+        )

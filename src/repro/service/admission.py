@@ -38,6 +38,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
+from repro.chaos.failpoints import fire as _failpoint
 from repro.engine.engine import QueryEngine
 from repro.obs import get_registry, get_tracer
 from repro.service.sync import RWLock
@@ -312,6 +313,10 @@ class AdmissionQueue:
                 # attributed to the first traced request that joined it.
                 with self._tracer.use_span(traced):
                     with self._durability_scope():
+                        # Chaos: a fault here fails the whole group commit
+                        # (batch futures error, queue poisons) — the acked
+                        # prefix on disk must still survive a restart.
+                        _failpoint("admission.commit")
                         for op in batch:
                             try:
                                 outcomes.append((op, self._apply(op), None))

@@ -27,6 +27,7 @@ from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tup
 
 import numpy as np
 
+from repro.chaos import failpoints as _failpoints
 from repro.core.pipeline import METRIC_FUNCTIONS
 from repro.engine.engine import QueryEngine, SweepResult
 from repro.hypergraph.hypergraph import Hypergraph
@@ -441,6 +442,9 @@ class QueryService:
         """Serve one request mapping, never raising: errors become payloads."""
         op = str(request.get("op", ""))
         try:
+            # Disabled-failpoint cost on every request rides inside the
+            # `obs_overhead` benchmark floor (one module-global bool read).
+            _failpoints.fire("service.execute")
             return self._dispatch(op, request)
         except Exception as exc:
             return {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
@@ -543,11 +547,53 @@ class QueryService:
                 raw=False,
             )
             return {"ok": True, "op": op, **payload}
+        if op == "chaos":
+            return self._serve_chaos(request)
         raise ValidationError(
             f"unknown op {op!r}; expected one of metric/components/sweep/"
             "add/remove/flush/compact/stats/metrics/trace/"
-            "repl_manifest/repl_wal/repl_fetch"
+            "repl_manifest/repl_wal/repl_fetch/chaos"
         )
+
+    def _serve_chaos(self, request: Request) -> Dict[str, object]:
+        """Failpoint control for a live process (the chaos harness's lever).
+
+        Gated: unless the process was launched with ``REPRO_CHAOS`` set
+        (``repro serve --chaos`` does this), the op is refused — fault
+        injection must be opted into at process start, never reachable on
+        a production server by default.
+        """
+        if not _failpoints.remote_control_enabled():
+            raise ValidationError(
+                "chaos control is disabled; start the server with --chaos "
+                "(or REPRO_CHAOS=1) to allow remote failpoint control"
+            )
+        cmd = str(request.get("cmd", "list"))
+        if cmd == "activate":
+            value = request.get("value")
+            count = request.get("count")
+            _failpoints.activate(
+                str(request["point"]),
+                str(request.get("action", "error")),
+                None if value is None else float(value),  # type: ignore[arg-type]
+                None if count is None else int(count),  # type: ignore[arg-type]
+            )
+        elif cmd == "deactivate":
+            _failpoints.deactivate(str(request["point"]))
+        elif cmd == "reset":
+            _failpoints.reset()
+        elif cmd != "list":
+            raise ValidationError(
+                f"unknown chaos cmd {cmd!r}; expected "
+                "activate/deactivate/reset/list"
+            )
+        return {
+            "ok": True,
+            "op": "chaos",
+            "cmd": cmd,
+            "active": _failpoints.active(),
+            "hits": _failpoints.hits(),
+        }
 
     # ------------------------------------------------------------------ #
     # Readiness (the /readyz probe)

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.chaos.failpoints import fire as _failpoint
 from repro.obs import get_registry, get_tracer
 from repro.service.service import QueryService
 from repro.service.transport.framing import (
@@ -423,9 +424,41 @@ class SocketServer:
                         "error": f"response exceeds the frame cap: {exc}",
                     },
                 )
-        # Shutting down: end the stream silently.  EOF *is* the signal — an
-        # unsolicited "shutting down" frame would be read as the answer to
-        # the client's next (pipelined) request and break pairing.
+        # Shutting down: drain frames the client already pipelined with a
+        # typed `unavailable` answer each, then end the stream.  Every
+        # response pairs with a frame the peer actually sent, so pipelining
+        # stays aligned — but the peer learns *why* instead of reading a
+        # bare EOF, and can route the retry to another replica.
+        self._drain_on_shutdown(conn)
+
+    def _drain_on_shutdown(self, conn: socket.socket) -> None:
+        """Answer already-pipelined frames with ``E_UNAVAILABLE``, bounded.
+
+        The drain budget is one :data:`_SHUTDOWN_GRACE` window for the
+        whole connection, so a peer that keeps streaming cannot hold its
+        handler past :meth:`close`'s join deadline.
+        """
+        deadline = time.monotonic() + _SHUTDOWN_GRACE
+        while time.monotonic() < deadline:
+            try:
+                request = self._read_frame(conn)
+            except FrameError:
+                return
+            if request is None:
+                return
+            op = str(request.get("op", ""))
+            if op == "goodbye":
+                self._send_best_effort(conn, {"ok": True, "op": "goodbye"})
+                return
+            self._send_best_effort(
+                conn,
+                {
+                    "ok": False,
+                    "op": op,
+                    "code": E_UNAVAILABLE,
+                    "error": "server is shutting down; retry against another replica",
+                },
+            )
 
     def _serve_batch(self, request: Dict[str, object]) -> Dict[str, object]:
         requests = request.get("requests")
@@ -472,7 +505,12 @@ class SocketServer:
                 grace_deadline = time.monotonic() + _SHUTDOWN_GRACE
             return time.monotonic() > grace_deadline
 
-        return recv_frame(conn, self.max_frame_bytes, on_timeout=on_timeout)
+        request = recv_frame(conn, self.max_frame_bytes, on_timeout=on_timeout)
+        if request is not None:
+            # Chaos: a fault here models a receive-side failure after the
+            # frame arrived — `drop` abandons the client like a real reset.
+            _failpoint("transport.recv")
+        return request
 
     def _reject_frame(self, conn: socket.socket, message: str) -> None:
         with self._stats_lock:
@@ -482,6 +520,10 @@ class SocketServer:
         )
 
     def _send(self, conn: socket.socket, payload: Dict[str, object]) -> None:
+        # Chaos: fired before the frame hits the wire, so a `drop` models a
+        # response lost in transit — the request WAS executed (an acked
+        # update is durable even though the client never saw the ack).
+        _failpoint("transport.send")
         frame = encode_frame(payload, self.max_frame_bytes)
         conn.settimeout(_SEND_TIMEOUT)
         try:

@@ -48,6 +48,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Sequence
 
+from repro.chaos.failpoints import fire as _failpoint
 from repro.obs import get_registry, get_tracer
 from repro.store.format import (
     HYPERGRAPH_NAME,
@@ -147,6 +148,10 @@ def manifest_payload(
     Retries internally when a compaction swaps the snapshot mid-walk.
     """
     path = str(store_path)
+    # Chaos: fired before the retry loop, so an injected error reaches the
+    # peer directly — the harness partitions the *replication plane* with
+    # this point while the stats/query plane keeps serving.
+    _failpoint("repl.manifest")
     last_error: Optional[Exception] = None
     for _ in range(_PAYLOAD_RETRIES):
         try:
@@ -202,6 +207,7 @@ def wal_payload(
     it.
     """
     path = str(store_path)
+    _failpoint("repl.wal")
     generation = int(generation)
     after_seq = int(after_seq)
     manifest = read_manifest(path)
@@ -242,6 +248,7 @@ def fetch_payload(
     otherwise base64 text, JSON-safe under the frame cap.
     """
     path = str(store_path)
+    _failpoint("repl.fetch")
     generation = int(generation)
     offset = int(offset)
     length = min(int(length), MAX_FETCH_CHUNK_BYTES)

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro.chaos.failpoints import fire as _failpoint
 from repro.core.filtration import filter_weighted_arrays
 from repro.core.slinegraph import SLineGraph
 from repro.obs import get_registry, get_tracer
@@ -177,6 +178,7 @@ class ShardedIndex:
         # Two threads may both miss and load the same shard; the mmaps are
         # identical views, the duplicate handle is dropped on insert.
         with self._tracer.start_span("store.shard_load", {"shard_id": shard_id}):
+            _failpoint("store.shard_load")
             arrays = load_shard(self._path, info, mmap=self._mmap)
         self._m_misses.inc()
         with self._residency_lock:

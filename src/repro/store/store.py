@@ -28,6 +28,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.chaos.failpoints import fire as _failpoint
 from repro.engine.index import OverlapIndex
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.io.serialization import load_hypergraph_npz, save_hypergraph_npz
@@ -361,9 +362,21 @@ class IndexStore:
 
         h = load_hypergraph_npz(path)
         target = self.current_fingerprint()
-        if target is not None and h.fingerprint() == target:
+        saved = h.fingerprint()
+        if target is not None and saved == target:
             return h
-        for record in self._records:
+        records = self._records
+        # The saved copy may sit *mid*-sequence: a compaction that died
+        # after atomically swapping in the folded hypergraph but before
+        # the manifest swap leaves a copy already containing a prefix of
+        # the log.  Each record carries its post-apply fingerprint, so
+        # replay only the suffix the copy does not yet contain —
+        # otherwise the prefix would be applied twice.
+        for position, record in enumerate(records):
+            if record.fingerprint is not None and record.fingerprint == saved:
+                records = records[position + 1:]
+                break
+        for record in records:
             if record.op == OP_ADD:
                 members = np.asarray(record.payload["members"], dtype=np.int64)
                 h = with_appended_edge(h, members, record.payload.get("name"))
@@ -372,7 +385,7 @@ class IndexStore:
         if target is not None and h.fingerprint() != target:
             raise StoreError(
                 f"store at {self.path} is inconsistent: saved hypergraph plus "
-                f"{len(self._records)} log records hashes to "
+                f"{len(records)} log records hashes to "
                 f"{h.fingerprint()[:12]}…, expected {target[:12]}…; rebuild "
                 "the store from its source hypergraph"
             )
@@ -452,6 +465,9 @@ class IndexStore:
         if num_shards is None:
             num_shards = max(1, len(old_manifest.shards))
         index = self.load_index()
+        # Chaos: a fault here models a crash during the fold, before any
+        # on-disk state of the new generation exists.
+        _failpoint("store.compact.fold")
         fingerprint = self.current_fingerprint() or old_manifest.fingerprint
         hypergraph = None
         if os.path.isfile(os.path.join(self.path, HYPERGRAPH_NAME)):
@@ -464,6 +480,10 @@ class IndexStore:
             _save_hypergraph_atomic(
                 hypergraph, os.path.join(self.path, HYPERGRAPH_NAME)
             )
+        # Chaos: a fault here models a crash during the install — new shard
+        # files may be partially laid down, the manifest swap has not
+        # happened, so the old generation + WAL must stay authoritative.
+        _failpoint("store.compact.install")
         manifest = write_snapshot(
             index,
             self.path,

@@ -31,6 +31,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.chaos.failpoints import fire as _failpoint
 from repro.obs import get_registry, get_tracer
 from repro.store.format import PathLike, StoreError, StoreFormatError
 
@@ -214,6 +215,7 @@ class WriteAheadLog:
                 )
             try:
                 # Group commit: the enclosing batch() owns the flush + fsync.
+                _failpoint("wal.append")
                 self._batch_handle.write(frame)
             except OSError:
                 # The frame may be partially buffered/written; refuse any
@@ -225,6 +227,7 @@ class WriteAheadLog:
             with open(self.path, "ab") as handle:
                 start = handle.tell()
                 try:
+                    _failpoint("wal.append")
                     handle.write(frame)
                     handle.flush()
                     os.fsync(handle.fileno())
@@ -284,6 +287,7 @@ class WriteAheadLog:
             try:
                 try:
                     with self._tracer.start_span("wal.fsync"):
+                        _failpoint("wal.fsync")
                         handle.flush()
                         os.fsync(handle.fileno())
                 except OSError:

@@ -1,0 +1,93 @@
+"""Chaos scenarios end-to-end (quick mode) and the axis artefacts."""
+
+import json
+
+import pytest
+
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    ScenarioResult,
+    run_scenarios,
+    write_axes,
+)
+
+
+class TestRegistry:
+    def test_the_advertised_scenarios_exist(self):
+        assert set(SCENARIOS) == {
+            "kill_writer_mid_compaction",
+            "partition_replica",
+            "wal_enospc",
+            "restart_everything",
+        }
+
+    def test_unknown_scenario_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_scenarios(["typo"], quick=True)
+
+
+class TestAxisArtifacts:
+    def _result(self, name, ok=True):
+        result = ScenarioResult(name=name)
+        if not ok:
+            result.failures.append("durability: pretend loss")
+        result.correctness = {"divergences": 0, "pass": True}
+        result.durability = {"acked_lost": 0 if ok else 1, "pass": ok}
+        result.freshness = {"time_to_ready_s": 1.0, "pass": True}
+        return result
+
+    def test_artifacts_merge_across_runs(self, tmp_path):
+        write_axes([self._result("one")], str(tmp_path))
+        write_axes([self._result("two")], str(tmp_path))
+        data = json.loads((tmp_path / "AXES_durability.json").read_text())
+        assert set(data["scenarios"]) == {"one", "two"}
+        assert data["axis"] == "durability"
+        assert data["pass"] is True
+
+    def test_rerunning_a_scenario_replaces_its_entry(self, tmp_path):
+        write_axes([self._result("one", ok=False)], str(tmp_path))
+        data = json.loads((tmp_path / "AXES_durability.json").read_text())
+        assert data["pass"] is False
+        write_axes([self._result("one", ok=True)], str(tmp_path))
+        data = json.loads((tmp_path / "AXES_durability.json").read_text())
+        assert data["pass"] is True
+
+    def test_correctness_entries_carry_their_failures(self, tmp_path):
+        result = self._result("one")
+        result.failures.append("observability[x]: gauge never rose")
+        result.correctness = {"divergences": 0, "pass": False}
+        write_axes([result], str(tmp_path))
+        data = json.loads((tmp_path / "AXES_correctness.json").read_text())
+        entry = data["scenarios"]["one"]
+        assert entry["failures"] == ["observability[x]: gauge never rose"]
+        assert data["pass"] is False
+
+
+class TestScenariosEndToEnd:
+    """Real subprocess scenarios, quick mode — the CI tier-2 setting.
+
+    Only the two fastest scenarios run here (a couple of seconds each);
+    the full suite is exercised by the dedicated CI chaos job via
+    ``repro chaos --quick``.
+    """
+
+    def test_wal_enospc_quick(self, tmp_path):
+        (result,) = run_scenarios(
+            ["wal_enospc"], quick=True, results_dir=str(tmp_path),
+            emit=lambda payload: None,
+        )
+        assert result.failures == []
+        assert result.durability["typed_refusals"] >= 1
+        assert result.durability["acked_lost"] == 0
+        for axis in ("correctness", "durability", "freshness"):
+            data = json.loads((tmp_path / f"AXES_{axis}.json").read_text())
+            assert data["scenarios"]["wal_enospc"]["pass"] is True
+
+    def test_kill_writer_mid_compaction_quick(self, tmp_path):
+        (result,) = run_scenarios(
+            ["kill_writer_mid_compaction"], quick=True,
+            results_dir=str(tmp_path), emit=lambda payload: None,
+        )
+        assert result.failures == []
+        assert result.correctness["divergences"] == 0
+        assert result.durability["acked_lost"] == 0

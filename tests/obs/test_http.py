@@ -119,3 +119,55 @@ class TestProbes:
             status, body = _get_json(server, "/readyz")
         assert status == 503
         assert "probe exploded" in body["error"]
+
+
+def _head(server, path):
+    request = urllib.request.Request(
+        f"http://{server.host}:{server.port}{path}", method="HEAD"
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, response.headers, response.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers, err.read()
+
+
+class TestHeadProbes:
+    """Load balancers probe with HEAD: same status + headers, no body."""
+
+    def test_head_healthz_and_metrics_have_no_body(self, registry):
+        with MetricsHTTPServer(registry=registry) as server:
+            status, headers, body = _head(server, "/healthz")
+            assert (status, body) == (200, b"")
+            assert headers["Content-Type"] == "application/json"
+            assert int(headers["Content-Length"]) > 0
+
+            status, headers, body = _head(server, "/metrics")
+            assert (status, body) == (200, b"")
+            assert int(headers["Content-Length"]) > 0
+
+    def test_head_readyz_mirrors_get_status(self, registry):
+        state = {"ready": True}
+        with MetricsHTTPServer(
+            registry=registry,
+            readiness=lambda: (state["ready"], {"reason": "x"}),
+        ) as server:
+            assert _head(server, "/readyz")[0] == 200
+            state["ready"] = False
+            status, _, body = _head(server, "/readyz")
+            assert (status, body) == (503, b"")
+
+
+class TestProbeTiming:
+    def test_every_probe_is_timed_into_the_histogram(self, registry):
+        with MetricsHTTPServer(registry=registry) as server:
+            _get_json(server, "/healthz")
+            _get_json(server, "/readyz")
+            urllib.request.urlopen(server.url).read()
+            _head(server, "/healthz")
+            body = urllib.request.urlopen(server.url).read().decode("utf-8")
+        # healthz: 1 GET + 1 HEAD; metrics: first scrape + this one (the
+        # second scrape observes itself only after rendering).
+        assert 'repro_probe_seconds_count{probe="healthz"} 2' in body
+        assert 'repro_probe_seconds_count{probe="readyz"} 1' in body
+        assert 'repro_probe_seconds_count{probe="metrics"} 1' in body

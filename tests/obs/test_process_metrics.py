@@ -1,0 +1,60 @@
+"""Process runtime gauges: uptime, RSS, open fds, GC activity."""
+
+import sys
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry, register_process_metrics, render_prometheus
+from repro.obs.process import open_fds, resident_memory_bytes
+
+
+class TestCollectors:
+    @pytest.mark.skipif(sys.platform != "linux", reason="/proc is Linux-only")
+    def test_rss_and_fds_read_proc(self):
+        assert resident_memory_bytes() > 1024 * 1024  # a running CPython
+        assert open_fds() >= 3  # stdin/stdout/stderr at minimum
+
+    def test_collectors_never_raise(self):
+        # Even where /proc is missing these must answer (-1), not throw.
+        assert isinstance(resident_memory_bytes(), float)
+        assert isinstance(open_fds(), float)
+
+
+class TestRegistration:
+    def test_gauges_land_on_the_given_registry(self):
+        registry = MetricsRegistry()
+        register_process_metrics(registry)
+        text = render_prometheus(registry)
+        assert "process_uptime_seconds" in text
+        assert "process_resident_memory_bytes" in text
+        assert "process_open_fds" in text
+        assert 'process_gc_collections_total{generation="0"}' in text
+        assert 'process_gc_objects_collected_total{generation="2"}' in text
+
+    def test_uptime_grows_between_scrapes(self):
+        registry = MetricsRegistry()
+        register_process_metrics(registry)
+        first = registry.get("process_uptime_seconds").value
+        time.sleep(0.02)
+        second = registry.get("process_uptime_seconds").value
+        assert second > first >= 0.0
+
+    def test_collection_is_lazy_per_scrape(self):
+        registry = MetricsRegistry()
+        register_process_metrics(registry)
+        gauge = registry.get("process_open_fds")
+        a = gauge.value
+        handle = open(__file__, "r")
+        try:
+            b = gauge.value
+        finally:
+            handle.close()
+        if a > 0:  # /proc available: the extra fd must be visible
+            assert b == a + 1
+
+    def test_reregistration_is_idempotent(self):
+        registry = MetricsRegistry()
+        register_process_metrics(registry)
+        register_process_metrics(registry)  # must not raise on re-bind
+        assert "process_uptime_seconds" in render_prometheus(registry)
