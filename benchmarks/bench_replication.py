@@ -16,6 +16,15 @@ a remove-only update + compaction, and times
 
 The delta path must be at least 5x faster end to end (3x in quick mode),
 and both mirrors must be byte-identical to the source.
+
+A second headline gates the protocol v2 **byte-offset WAL cursor**
+(``docs/PROTOCOL.md``): between compactions a mirror polls the writer's
+growing log.  The legacy ``repl_wal`` op replays the *whole* log
+server-side on every poll (and re-frames every shipped record
+mirror-side); the cursor op reads only the validated raw suffix after
+``(generation, byte offset)`` and the mirror appends it verbatim.  With
+a busy WAL the cursor poll must be **>= 3x** faster (the
+``replication_cursor`` headline, gated by ``check_perf_floors.py``).
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from repro.benchmarks import quick_mode
 from repro.service import QueryService, ServiceClient, SocketServer
 from repro.store import StoreMirror
 from repro.store.store import IndexStore
+from repro.utils.rng import make_rng
 
 NUM_SHARDS = 48
 
@@ -36,6 +46,13 @@ BENCH_QUICK = quick_mode()
 BENCH_SCALE = 2.0 if BENCH_QUICK else 4.0
 MIN_SPEEDUP = 3.0 if BENCH_QUICK else 5.0
 ROUNDS = 2 if BENCH_QUICK else 3
+
+#: Cursor-poll headline: size of the standing WAL the legacy path replays
+#: on every poll, appends per poll, and number of timed polls.
+CURSOR_WAL_RECORDS = 800 if BENCH_QUICK else 1500
+CURSOR_APPENDS_PER_POLL = 5
+CURSOR_POLLS = 4 if BENCH_QUICK else 6
+MIN_CURSOR_SPEEDUP = 3.0
 
 
 @pytest.fixture(scope="module")
@@ -122,3 +139,74 @@ def test_delta_sync_speedup_over_full_refetch(bench_hypergraph, tmp_path, report
         },
     )
     assert speedup >= MIN_SPEEDUP
+
+
+def test_cursor_poll_speedup_over_log_replay(datasets, tmp_path, report):
+    """Byte-offset cursor polls of a busy WAL must be >= 3x faster than
+    the legacy full-log replay path serving the same deltas."""
+    hypergraph = datasets("email-euall", scale=0.5)
+    store_path = str(tmp_path / "src")
+    IndexStore.build(hypergraph, store_path, num_shards=4)
+
+    rng = make_rng(11)
+    num_vertices = hypergraph.num_vertices
+
+    cursor_seconds = 0.0
+    legacy_seconds = 0.0
+    with QueryService(store_path, max_batch=64) as writer:
+
+        def grow(count):
+            futures = [
+                writer.submit_add(
+                    sorted(set(int(v) for v in rng.choice(num_vertices, size=4)))
+                )
+                for _ in range(count)
+            ]
+            for future in futures:
+                future.result()
+
+        grow(CURSOR_WAL_RECORDS)  # the standing log every legacy poll replays
+        with SocketServer(writer, port=0) as server:
+            address = (server.host, server.port)
+            with ServiceClient(*address) as v2_client, ServiceClient(
+                *address, protocol_max=1
+            ) as v1_client:
+                assert v2_client.protocol == 2
+                assert v1_client.protocol == 1
+                cursor_mirror = StoreMirror(v2_client, str(tmp_path / "cursor"))
+                legacy_mirror = StoreMirror(v1_client, str(tmp_path / "legacy"))
+                cursor_mirror.sync()  # bootstrap (not timed)
+                legacy_mirror.sync()
+
+                for _ in range(CURSOR_POLLS):
+                    grow(CURSOR_APPENDS_PER_POLL)
+                    start = time.perf_counter()
+                    cursor_mirror.sync()
+                    cursor_seconds += time.perf_counter() - start
+                    start = time.perf_counter()
+                    legacy_mirror.sync()
+                    legacy_seconds += time.perf_counter() - start
+
+                source_files = _store_files(store_path)
+                assert _store_files(cursor_mirror.path) == source_files
+                assert _store_files(legacy_mirror.path) == source_files
+
+    total_records = CURSOR_WAL_RECORDS + CURSOR_POLLS * CURSOR_APPENDS_PER_POLL
+    speedup = legacy_seconds / cursor_seconds
+    report(
+        f"WAL tail polls ({total_records}-record log, "
+        f"{CURSOR_APPENDS_PER_POLL} appends per poll, {CURSOR_POLLS} polls, "
+        f"loopback TCP)\n"
+        f"legacy full-log replay: {legacy_seconds:.4f}s\n"
+        f"byte-offset cursor:     {cursor_seconds:.4f}s\n"
+        f"speedup:                {speedup:.1f}x (floor {MIN_CURSOR_SPEEDUP:.1f}x)",
+        name="replication_cursor",
+        data={
+            "speedup": speedup,
+            "floor": MIN_CURSOR_SPEEDUP,
+            "legacy_seconds": legacy_seconds,
+            "cursor_seconds": cursor_seconds,
+            "wal_records": total_records,
+        },
+    )
+    assert speedup >= MIN_CURSOR_SPEEDUP

@@ -32,14 +32,21 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: every request allocates and rings a span tree).
 #: (The replication ratio is loopback but byte-dominated — the delta
 #: moves a small fraction of the store — so it is stable enough to gate
-#: on, unlike the latency-dominated transport bench.)
+#: on, unlike the latency-dominated transport *batch* bench.)
+#: PR 9 adds the protocol v2 data-plane headlines (docs/PROTOCOL.md):
+#: binary numpy columns vs the JSON plane on bulk metric/sweep responses
+#: (``transport_binary``, floor 2x) and byte-offset WAL cursor polls vs
+#: legacy full-log replay (``replication_cursor``, floor 3x) — both
+#: byte/CPU-dominated ratios, stable enough to gate on.
 DEFAULT_REQUIRED = (
     "engine_sweep",
     "store_reuse",
     "service_group_commit",
     "replication",
+    "replication_cursor",
     "obs_overhead",
     "trace_overhead",
+    "transport_binary",
 )
 
 

@@ -487,7 +487,11 @@ def _serve_socket(service, args: argparse.Namespace) -> int:
     import signal
     import threading
 
-    from repro.service.transport import PROTOCOL_VERSION, SocketServer
+    from repro.service.transport import (
+        PROTOCOL_VERSION,
+        SUPPORTED_PROTOCOLS,
+        SocketServer,
+    )
 
     host, port = _parse_address(args.listen)
     stop = threading.Event()
@@ -495,11 +499,21 @@ def _serve_socket(service, args: argparse.Namespace) -> int:
     def handle_signal(signum, frame):
         stop.set()
 
+    protocol_max = getattr(args, "protocol", None)
     server = SocketServer(
-        service, host=host, port=port, max_connections=args.max_connections
+        service,
+        host=host,
+        port=port,
+        max_connections=args.max_connections,
+        protocol_max=protocol_max,
     ).start()
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, handle_signal)
+    offered = [
+        v
+        for v in SUPPORTED_PROTOCOLS
+        if protocol_max is None or v <= int(protocol_max)
+    ]
     print(
         json.dumps(
             {
@@ -508,6 +522,7 @@ def _serve_socket(service, args: argparse.Namespace) -> int:
                 "host": server.host,
                 "port": server.port,
                 "protocol": PROTOCOL_VERSION,
+                "protocols": offered,
                 "read_only": args.read_only,
                 "generation": service.generation,
             }
@@ -545,8 +560,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ``{"op": "stop"}`` line (or EOF) ends the loop.
 
     With ``--listen HOST:PORT`` the same service is fronted by a socket
-    server speaking the length-prefixed JSON protocol instead; remote
-    clients (``repro connect`` or :class:`ServiceClient`) drive it until
+    server speaking the wire protocol of ``docs/PROTOCOL.md`` instead
+    (JSON v1 plus the negotiated binary v2 data plane; ``--protocol 1``
+    pins it to JSON-only during mixed-version rollouts); remote clients
+    (``repro connect`` or :class:`ServiceClient`) drive it until
     SIGINT/SIGTERM.  Either way the writer process holds the store's
     single-writer lock; start any number of ``--read-only`` processes
     alongside it for concurrent serving.
@@ -674,6 +691,14 @@ def _cmd_connect(args: argparse.Namespace) -> int:
     socket one response line per request — runs of consecutive query
     requests travel as a single ``batch`` frame, so a prepared request
     file costs one round trip per run instead of one per line.
+
+    The connection negotiates the highest common protocol version
+    (``--protocol 1`` pins JSON-only v1).  Proxied JSONL requests stay
+    plain JSON in both directions regardless: the proxy never asks for
+    ``columns``/``raw`` responses, whose numpy/bytes payloads have no
+    JSONL rendering — replication payloads such as ``repl_fetch`` arrive
+    base64-encoded exactly as on a v1 connection.  The negotiated version
+    is visible in ``stats()["transport"]`` on the server side.
     """
     from repro.service.transport import (
         RemoteServiceError,
@@ -688,6 +713,8 @@ def _cmd_connect(args: argparse.Namespace) -> int:
             port,
             timeout=args.timeout,
             connect_retries=args.connect_retries,
+            protocol_max=args.protocol,
+            compression=not args.no_compression,
         ).connect()
     except TransportError as exc:
         raise SystemExit(f"connect failed: {exc}")
@@ -790,6 +817,10 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     and a background thread does the same while idle.  The mirror
     directory's writer lock is held for the duration, so a local writer
     (or second ``replicate``) cannot corrupt it.
+
+    On a protocol v2 peer the delta syncs use the byte-offset WAL cursor
+    and raw binary file chunks (``--protocol 1`` pins the JSON/base64 v1
+    path; ``--no-compression`` keeps v2 framing but skips the codec).
     """
     import threading
 
@@ -802,7 +833,12 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     host, port = _parse_address(args.source)
     try:
         client = ServiceClient(
-            host, port, timeout=args.timeout, connect_retries=args.connect_retries
+            host,
+            port,
+            timeout=args.timeout,
+            connect_retries=args.connect_retries,
+            protocol_max=args.protocol,
+            compression=not args.no_compression,
         ).connect()
     except TransportError as exc:
         raise SystemExit(f"connect failed: {exc}")
@@ -853,6 +889,8 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
                 remote_source=(host, port),
                 num_workers=args.workers,
                 replica_poll_interval=args.poll_interval,
+                remote_protocol_max=args.protocol,
+                remote_compression=not args.no_compression,
             )
         except (TransportError, StoreError, OSError) as exc:
             raise SystemExit(f"replica start failed: {exc}")
@@ -1130,6 +1168,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="allow remote failpoint control via the 'chaos' wire op "
         "(testing only; equivalent to REPRO_CHAOS=1)",
     )
+    p.add_argument(
+        "--protocol",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --listen: highest protocol version to negotiate "
+        "(1 pins the JSON-only v1 data plane; default: all supported — "
+        "see docs/PROTOCOL.md)",
+    )
     _add_trace_arguments(p)
     p.set_defaults(func=_cmd_serve)
 
@@ -1159,6 +1206,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=40,
         help="connection attempts before giving up (busy/refused servers)",
+    )
+    p.add_argument(
+        "--protocol",
+        type=int,
+        default=None,
+        metavar="N",
+        help="highest protocol version to offer (1 pins the JSON-only v1 "
+        "data plane; default: all supported)",
+    )
+    p.add_argument(
+        "--no-compression",
+        action="store_true",
+        help="do not offer payload compression during the handshake",
     )
     p.set_defaults(func=_cmd_connect)
 
@@ -1234,6 +1294,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="allow remote failpoint control via the 'chaos' wire op "
         "(testing only; equivalent to REPRO_CHAOS=1)",
+    )
+    p.add_argument(
+        "--protocol",
+        type=int,
+        default=None,
+        metavar="N",
+        help="highest protocol version to offer the peer — applies to the "
+        "bootstrap sync, the serving follower, and (with --serve) the "
+        "local listener (1 pins JSON-only v1)",
+    )
+    p.add_argument(
+        "--no-compression",
+        action="store_true",
+        help="do not offer payload compression for replication transfers",
     )
     _add_trace_arguments(p)
     p.set_defaults(func=_cmd_replicate)

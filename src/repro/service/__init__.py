@@ -20,9 +20,11 @@ it a *served* one.  The pieces, bottom-up:
   writer (or read-only replica) serving batched s-metric requests across
   worker threads under a readers-writer lock;
 * :class:`SocketServer` / :class:`ServiceClient`
-  (:mod:`repro.service.transport`) — a length-prefixed JSON-over-TCP
-  protocol in front of :class:`QueryService`, so writers and replicas
-  serve clients on other machines;
+  (:mod:`repro.service.transport`) — the TCP wire protocol of
+  ``docs/PROTOCOL.md`` in front of :class:`QueryService`: a JSON control
+  plane plus a version-negotiated binary data plane (protocol v2) for
+  bulk responses, so writers and replicas serve clients on other
+  machines;
 * :class:`RemoteReadReplica` (:mod:`repro.service.remote`) — a replica fed
   purely over the wire: a :class:`~repro.store.StoreMirror` pulls
   snapshot/WAL deltas through the socket protocol into a local mirror

@@ -12,7 +12,10 @@ The moving parts:
 * a :class:`~repro.store.StoreMirror` that materialises/refreshes the
   local store directory from the peer's ``repl_manifest`` /
   ``repl_fetch`` / ``repl_wal`` ops — full fetch once, then delta syncs
-  (WAL tails between compactions, changed-shards-only after one);
+  (WAL tails between compactions, changed-shards-only after one).  On a
+  protocol v2 connection the tails use the byte-offset cursor (raw log
+  suffix per poll) and file chunks ride binary frames raw instead of
+  base64 — the mirror code is identical either way;
 * a :class:`~repro.service.ReadReplica` over the mirror directory, whose
   existing change-token polling notices every completed sync and
   hot-swaps engines without dropping in-flight queries.
@@ -71,8 +74,14 @@ class RemoteReadReplica:
     client:
         An already-connected :class:`ServiceClient` to reuse (the replica
         then does not close it); by default one is created and owned.
+        ``protocol_max`` / ``compression`` only apply to the owned client.
     sharded / max_resident_shards / cache_size / config:
         Forwarded to the inner :class:`ReadReplica`.
+    protocol_max / compression:
+        Handshake pins for the owned client: ``protocol_max=1`` keeps the
+        peer connection on the JSON-only v1 data plane,
+        ``compression=False`` negotiates the replication codec off (see
+        ``docs/PROTOCOL.md``).
     """
 
     def __init__(
@@ -87,13 +96,20 @@ class RemoteReadReplica:
         cache_size: int = 256,
         config: Optional[ParallelConfig] = None,
         chunk_bytes: Optional[int] = None,
+        protocol_max: Optional[int] = None,
+        compression: bool = True,
     ) -> None:
         if store_path is None:
             raise StoreError("RemoteReadReplica needs a local store_path to mirror into")
         if client is None:
             if host is None or port is None:
                 raise StoreError("RemoteReadReplica needs host/port or a client")
-            client = ServiceClient(str(host), int(port)).connect()
+            client = ServiceClient(
+                str(host),
+                int(port),
+                protocol_max=protocol_max,
+                compression=compression,
+            ).connect()
             self._owns_client = True
         else:
             self._owns_client = False
@@ -210,6 +226,11 @@ class RemoteReadReplica:
         return self._client
 
     @property
+    def protocol(self) -> int:
+        """Protocol version negotiated with the peer (1 = JSON data plane)."""
+        return self._client.protocol
+
+    @property
     def replica(self) -> ReadReplica:
         """The inner (local) read replica serving the mirror."""
         return self._replica
@@ -254,6 +275,7 @@ class RemoteReadReplica:
         detail: Dict[str, object] = {
             "role": "replica",
             "generation": int(self.generation),
+            "protocol": int(self._client.protocol),
         }
         if self._closed:
             detail["reason"] = "closed"

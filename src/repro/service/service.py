@@ -87,6 +87,11 @@ class QueryService:
         the writer shares the filesystem.  This is how a chained replica
         process serves: its socket server front, this service, and the
         wire-fed mirror underneath.
+    remote_protocol_max / remote_compression:
+        Forwarded to the replica's :class:`ServiceClient` handshake:
+        ``remote_protocol_max=1`` pins the JSON-only v1 data plane toward
+        the peer; ``remote_compression=False`` negotiates the codec off
+        (see ``docs/PROTOCOL.md``).  Ignored without ``remote_source``.
     """
 
     def __init__(
@@ -110,6 +115,8 @@ class QueryService:
         slow_query_ms: Optional[float] = None,
         slow_query_capacity: int = 128,
         remote_source: Optional[Tuple[str, int]] = None,
+        remote_protocol_max: Optional[int] = None,
+        remote_compression: bool = True,
     ) -> None:
         self.path = str(path)
         self.read_only = bool(read_only)
@@ -159,6 +166,8 @@ class QueryService:
                     sharded=sharded,
                     cache_size=cache_size,
                     config=config,
+                    protocol_max=remote_protocol_max,
+                    compression=remote_compression,
                 )
             else:
                 self._replica = ReadReplica(
@@ -458,14 +467,27 @@ class QueryService:
                     f"unknown metric {name!r}; available: {sorted(METRIC_FUNCTIONS)}"
                 )
             values = self.metric_by_hyperedge(s, name)
-            return {
+            base = {
                 "ok": True,
                 "op": op,
                 "s": s,
                 "metric": name,
                 "generation": self.generation,
-                "values": {str(k): float(v) for k, v in sorted(values.items())},
             }
+            if request.get("columns"):
+                # Columnar fast path (binary data plane): parallel sorted
+                # int64/float64 arrays instead of a str-keyed JSON object.
+                # Sections like these only survive a protocol >= 2
+                # connection; the transport enforces that.
+                ids = np.fromiter(values.keys(), dtype=np.int64, count=len(values))
+                vals = np.fromiter(values.values(), dtype=np.float64, count=len(values))
+                order = np.argsort(ids, kind="stable")
+                base["columns"] = True
+                base["edge_ids"] = ids[order]
+                base["values"] = vals[order]
+                return base
+            base["values"] = {str(k): float(v) for k, v in sorted(values.items())}
+            return base
         if op == "components":
             s = int(request["s"])
             return {"ok": True, "op": op, "s": s, "count": self.num_components(s)}
@@ -478,6 +500,20 @@ class QueryService:
                 )
             metrics = [str(m) for m in request.get("metrics", ())]  # type: ignore[union-attr]
             result = self.sweep(s_values, metrics=metrics)
+            if request.get("columns"):
+                ordered = sorted(result.edge_counts)
+                return {
+                    "ok": True,
+                    "op": op,
+                    "columns": True,
+                    "s_values": np.asarray(ordered, dtype=np.int64),
+                    "edge_counts": np.asarray(
+                        [result.edge_counts[s] for s in ordered], dtype=np.int64
+                    ),
+                    "active_counts": np.asarray(
+                        [result.active_counts[s] for s in ordered], dtype=np.int64
+                    ),
+                }
             return {
                 "ok": True,
                 "op": op,
@@ -534,9 +570,20 @@ class QueryService:
         if op == "repl_manifest":
             return {"ok": True, "op": op, **self._replication.repl_manifest()}
         if op == "repl_wal":
-            payload = self._replication.repl_wal(
-                int(request["generation"]), int(request.get("after_seq", 0))
-            )
+            if "after_bytes" in request or "next_seq" in request:
+                # Byte-offset cursor mode: ship the raw validated log
+                # suffix after (generation, byte_offset) — O(suffix), not
+                # O(WAL) — see docs/PROTOCOL.md.
+                payload = self._replication.repl_wal_suffix(
+                    int(request["generation"]),
+                    int(request.get("after_bytes", 0)),
+                    int(request.get("next_seq", 1)),
+                    raw=bool(request.get("raw", False)),
+                )
+            else:
+                payload = self._replication.repl_wal(
+                    int(request["generation"]), int(request.get("after_seq", 0))
+                )
             return {"ok": True, "op": op, **payload}
         if op == "repl_fetch":
             payload = self._replication.repl_fetch(
@@ -544,7 +591,8 @@ class QueryService:
                 int(request["generation"]),
                 int(request.get("offset", 0)),
                 int(request["length"]),
-                raw=False,
+                # Raw bytes ride a binary frame; base64 is the v1 fallback.
+                raw=bool(request.get("raw", False)),
             )
             return {"ok": True, "op": op, **payload}
         if op == "chaos":

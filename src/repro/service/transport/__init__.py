@@ -3,9 +3,11 @@
 PR 3 made one store serveable by many processes on one machine; this
 package puts a socket in front of it so the clients can live anywhere:
 
-* :mod:`repro.service.transport.framing` — length-prefixed JSON frames,
-  request/response envelopes with machine-readable error codes, and the
-  protocol-version handshake;
+* :mod:`repro.service.transport.framing` — the wire codec of
+  ``docs/PROTOCOL.md``: length-prefixed JSON frames (v1), binary frames
+  carrying numpy columns / raw replication bytes with optional
+  compression (v2), request/response envelopes with machine-readable
+  error codes, and the version-negotiating handshake;
 * :class:`SocketServer` — a threaded server fronting one
   :class:`~repro.service.QueryService` (writer or read replica): version
   handshake, per-connection pipelining, ``batch`` fan-out over the
@@ -22,6 +24,8 @@ from repro.service.transport.client import RemoteEngine, ServiceClient
 from repro.service.transport.framing import (
     DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    PROTOCOL_VERSION_BINARY,
+    SUPPORTED_PROTOCOLS,
     FrameError,
     FrameTooLargeError,
     ProtocolVersionError,
@@ -29,12 +33,15 @@ from repro.service.transport.framing import (
     ServiceBusyError,
     TransportError,
     TruncatedFrameError,
+    available_codecs,
 )
 from repro.service.transport.server import ServerStats, SocketServer
 
 __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION_BINARY",
+    "SUPPORTED_PROTOCOLS",
     "FrameError",
     "FrameTooLargeError",
     "ProtocolVersionError",
@@ -46,4 +53,5 @@ __all__ = [
     "SocketServer",
     "TransportError",
     "TruncatedFrameError",
+    "available_codecs",
 ]

@@ -1,12 +1,18 @@
 """A blocking client for the socket serving protocol.
 
-:class:`ServiceClient` speaks the length-prefixed JSON protocol of
-:mod:`repro.service.transport.framing` to a
+:class:`ServiceClient` speaks the wire protocol of
+:mod:`repro.service.transport.framing` (see ``docs/PROTOCOL.md``) to a
 :class:`~repro.service.transport.SocketServer`.  It owns one connection,
-performs the version handshake on connect, and retries with a fixed
-interval while the server is still coming up or is at its connection limit
-(``E_BUSY`` backpressure), so fleets of readers can start before — or
-survive restarts of — their server.
+performs the version handshake on connect — negotiating the highest data
+plane both ends support (JSON v1, or the binary v2 frames that carry
+numpy column buffers and raw replication bytes, with an optional
+compression codec) — and retries with a fixed interval while the server
+is still coming up or is at its connection limit (``E_BUSY``
+backpressure), so fleets of readers can start before — or survive
+restarts of — their server.  The negotiated version is transparent to the
+typed helpers: :meth:`~ServiceClient.metric` returns the same ``{edge_id:
+value}`` mapping whether the wire carried a JSON object or int64/float64
+columns.
 
 Failure semantics
 -----------------
@@ -39,12 +45,16 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.service.transport.framing import (
     DEFAULT_MAX_FRAME_BYTES,
     E_STALE,
+    PROTOCOL_VERSION,
+    PROTOCOL_VERSION_BINARY,
+    SUPPORTED_PROTOCOLS,
     FrameError,
     ProtocolVersionError,
     RemoteServiceError,
     ServiceBusyError,
     TransportError,
     TruncatedFrameError,
+    available_codecs,
     check_hello_response,
     hello_request,
     recv_frame,
@@ -119,6 +129,16 @@ class ServiceClient:
     reconnect:
         Transparently reconnect and retry **idempotent** requests once
         when the connection drops mid-call (see the module docstring).
+    protocol_max:
+        Highest protocol version to offer in the handshake.
+        ``protocol_max=1`` pins the client to the JSON-only v1 data plane
+        (it then sends the exact hello a pre-v2 client sends); the default
+        offers everything this build implements and lets the server pick
+        ``max(common)``.
+    compression:
+        Offer compression codecs (``zstd``/``zlib``, whichever are
+        importable) for binary replication payloads.  ``False`` sends an
+        empty codec list, so the connection negotiates compression off.
     """
 
     def __init__(
@@ -130,6 +150,8 @@ class ServiceClient:
         retry_interval: float = 0.25,
         reconnect: bool = True,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        protocol_max: Optional[int] = None,
+        compression: bool = True,
     ) -> None:
         self.host = str(host)
         self.port = int(port)
@@ -138,6 +160,18 @@ class ServiceClient:
         self.retry_interval = float(retry_interval)
         self.reconnect = bool(reconnect)
         self.max_frame_bytes = int(max_frame_bytes)
+        if protocol_max is None:
+            protocol_max = max(SUPPORTED_PROTOCOLS)
+        if int(protocol_max) < PROTOCOL_VERSION:
+            raise ValueError(
+                f"protocol_max must be >= {PROTOCOL_VERSION}, got {protocol_max!r}"
+            )
+        self._protocols = tuple(
+            version for version in SUPPORTED_PROTOCOLS if version <= int(protocol_max)
+        )
+        self._offer_compression = bool(compression)
+        self._protocol = PROTOCOL_VERSION
+        self._codec: Optional[str] = None
         self._sock: Optional[socket.socket] = None
         self._tracer = get_tracer()
         #: The server's handshake payload (mode, generation, protocol).
@@ -148,7 +182,23 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
     @property
     def connected(self) -> bool:
+        """Whether a live socket is currently held (not a health check)."""
         return self._sock is not None
+
+    @property
+    def protocol(self) -> int:
+        """Protocol version negotiated on the live connection.
+
+        :data:`~framing.PROTOCOL_VERSION` (1, the JSON data plane) until a
+        handshake negotiates higher; reset per connection, so a reconnect
+        to a downgraded server is reflected immediately.
+        """
+        return self._protocol
+
+    @property
+    def compression(self) -> Optional[str]:
+        """Codec negotiated for binary replication payloads (or ``None``)."""
+        return self._codec
 
     def connect(self) -> "ServiceClient":
         """Connect and handshake, retrying refused/busy attempts."""
@@ -164,11 +214,35 @@ class ServiceClient:
                     (self.host, self.port), timeout=self.timeout
                 )
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                send_frame(sock, hello_request(), self.max_frame_bytes)
+                hello = hello_request()
+                if len(self._protocols) > 1:
+                    # Additive extension keys only — a client pinned to v1
+                    # sends the exact hello a pre-v2 build sends, and v1
+                    # servers ignore unknown keys (docs/PROTOCOL.md).
+                    hello["protocols"] = list(self._protocols)
+                    hello["compression"] = (
+                        list(available_codecs()) if self._offer_compression else []
+                    )
+                send_frame(sock, hello, self.max_frame_bytes)
                 response = recv_frame(sock, self.max_frame_bytes)
                 if response is None:
                     raise TruncatedFrameError("server closed during handshake")
                 self.server_info = check_hello_response(response)
+                try:
+                    negotiated = int(response.get("negotiated", PROTOCOL_VERSION))
+                except (TypeError, ValueError):
+                    negotiated = PROTOCOL_VERSION
+                # Clamp: never speak higher than we offered, whatever the
+                # server claims.
+                self._protocol = max(
+                    PROTOCOL_VERSION, min(negotiated, max(self._protocols))
+                )
+                codec = response.get("compression")
+                self._codec = (
+                    str(codec)
+                    if codec and self._protocol >= PROTOCOL_VERSION_BINARY
+                    else None
+                )
                 self._sock = sock
                 return self
             except (ProtocolVersionError, RemoteServiceError):
@@ -185,6 +259,8 @@ class ServiceClient:
     def close(self) -> None:
         """Say goodbye (best-effort) and drop the connection."""
         sock, self._sock = self._sock, None
+        self._protocol = PROTOCOL_VERSION
+        self._codec = None
         if sock is None:
             return
         try:
@@ -197,6 +273,8 @@ class ServiceClient:
 
     def _drop_connection(self) -> None:
         sock, self._sock = self._sock, None
+        self._protocol = PROTOCOL_VERSION
+        self._codec = None
         _close_quietly(sock)
 
     def __enter__(self) -> "ServiceClient":
@@ -290,9 +368,28 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
     # Typed helpers (the QueryService.serve vocabulary)
     # ------------------------------------------------------------------ #
+    def _use_columns(self) -> bool:
+        """Whether to ask for columnar (binary-frame) query responses."""
+        if self._sock is None:
+            self.connect()
+        return self._protocol >= PROTOCOL_VERSION_BINARY
+
     def metric(self, s: int, metric: str = "connected_components") -> Dict[int, float]:
-        """Metric values keyed by original hyperedge ID."""
-        response = self.request({"op": "metric", "s": int(s), "metric": str(metric)})
+        """Metric values keyed by original hyperedge ID.
+
+        On a protocol v2 connection the response crosses the wire as
+        parallel ``edge_ids``/``values`` numpy columns in a binary frame
+        and is rebuilt into the same mapping here, so callers never see
+        the difference.
+        """
+        request: Dict[str, object] = {"op": "metric", "s": int(s), "metric": str(metric)}
+        if self._use_columns():
+            request["columns"] = True
+        response = self.request(request)
+        if response.get("columns"):
+            ids = response["edge_ids"]
+            vals = response["values"]
+            return dict(zip(ids.tolist(), vals.tolist()))
         return {int(k): float(v) for k, v in response["values"].items()}
 
     def components(self, s: int) -> int:
@@ -306,7 +403,12 @@ class ServiceClient:
         s_max: Optional[int] = None,
         metrics: Sequence[str] = (),
     ) -> Dict[str, Dict[int, int]]:
-        """Batched multi-s sweep; counts keyed by integer s."""
+        """Batched multi-s sweep; counts keyed by integer s.
+
+        Like :meth:`metric`, a v2 connection carries the counts as int64
+        columns (``s_values``/``edge_counts``/``active_counts``) and the
+        mapping shape is rebuilt here.
+        """
         request: Dict[str, object] = {"op": "sweep", "metrics": list(metrics)}
         if s_values is not None:
             request["s_values"] = [int(s) for s in s_values]
@@ -314,7 +416,15 @@ class ServiceClient:
             if s_max is None:
                 raise ValueError("sweep needs s_values or s_max")
             request.update(s_min=int(s_min), s_max=int(s_max))
+        if self._use_columns():
+            request["columns"] = True
         response = self.request(request)
+        if response.get("columns"):
+            svals = response["s_values"].tolist()
+            return {
+                "edge_counts": dict(zip(svals, response["edge_counts"].tolist())),
+                "active_counts": dict(zip(svals, response["active_counts"].tolist())),
+            }
         return {
             "edge_counts": {int(s): int(n) for s, n in response["edge_counts"].items()},
             "active_counts": {
@@ -413,7 +523,7 @@ class ServiceClient:
         return dict(self._repl_request({"op": "repl_manifest"}))
 
     def repl_wal(self, generation: int, after_seq: int) -> Dict[str, object]:
-        """WAL records after a ``(generation, seq)`` cursor."""
+        """Legacy WAL tail: decoded records after a ``(generation, seq)`` cursor."""
         return dict(
             self._repl_request(
                 {
@@ -424,23 +534,70 @@ class ServiceClient:
             )
         )
 
-    def repl_fetch(
-        self, name: str, generation: int, offset: int, length: int
-    ) -> Dict[str, object]:
-        """One chunk of one snapshot file, base64-decoded to bytes."""
+    def repl_wal_suffix(
+        self, generation: int, after_bytes: int, next_seq: int
+    ) -> Optional[Dict[str, object]]:
+        """Raw WAL suffix after a ``(generation, byte_offset)`` cursor.
+
+        The :class:`~repro.store.replication.StoreMirror` fast path:
+        ``data`` is the source log's on-disk bytes after ``after_bytes``
+        (validated from sequence ``next_seq``), ridden raw over a binary
+        frame, plus the advanced cursor (``count``/``next_seq``/
+        ``end_offset``) or ``rebase=True`` when the source log shrank
+        under the cursor.  Returns ``None`` when the connection negotiated
+        a protocol below 2 — an older server would ignore the cursor
+        fields and answer the legacy shape — so the mirror falls back to
+        :meth:`repl_wal`.
+        """
+        if self._sock is None:
+            self.connect()
+        if self._protocol < PROTOCOL_VERSION_BINARY:
+            return None
         response = dict(
             self._repl_request(
                 {
-                    "op": "repl_fetch",
-                    "file": str(name),
+                    "op": "repl_wal",
                     "generation": int(generation),
-                    "offset": int(offset),
-                    "length": int(length),
+                    "after_bytes": int(after_bytes),
+                    "next_seq": int(next_seq),
+                    "raw": True,
                 }
             )
         )
+        if "data" not in response and not response.get("rebase"):
+            return None  # unexpected legacy shape: use the fallback path
         data = response.get("data", b"")
-        response["data"] = base64.b64decode(data) if isinstance(data, str) else data
+        if isinstance(data, str):
+            data = base64.b64decode(data)
+        if not isinstance(data, (bytes, bytearray)):
+            data = bytes(data)
+        response["data"] = bytes(data)
+        return response
+
+    def repl_fetch(
+        self, name: str, generation: int, offset: int, length: int
+    ) -> Dict[str, object]:
+        """One chunk of one snapshot file, as bytes.
+
+        On a protocol v2 connection the chunk rides a binary frame raw
+        (optionally compressed per the negotiated codec, decompressed by
+        the framing layer); on v1 it arrives base64-in-JSON and is decoded
+        here.  Either way ``response["data"]`` is ``bytes``.
+        """
+        request: Dict[str, object] = {
+            "op": "repl_fetch",
+            "file": str(name),
+            "generation": int(generation),
+            "offset": int(offset),
+            "length": int(length),
+        }
+        if self._use_columns():
+            request["raw"] = True
+        response = dict(self._repl_request(request))
+        data = response.get("data", b"")
+        if isinstance(data, str):
+            data = base64.b64decode(data)
+        response["data"] = bytes(data)
         return response
 
 
@@ -464,9 +621,11 @@ class RemoteEngine:
         self.client = client
 
     def fingerprint(self) -> str:
+        """The served store's hypergraph fingerprint (one stats round trip)."""
         return self.client.fingerprint()
 
     def metric_by_hyperedge(self, s: int, metric: str) -> Dict[int, float]:
+        """Serve ``metric`` at threshold ``s`` as ``{edge_id: value}``."""
         return self.client.metric(s, metric)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -5,7 +5,9 @@
 :class:`~repro.service.QueryService` — writer or read-only replica alike —
 so clients on other machines reach the same batched, read-locked serving
 path local callers use.  One thread accepts connections; each connection
-gets a handler thread that performs the version handshake and then serves
+gets a handler thread that performs the version handshake — negotiating a
+per-connection data plane (JSON v1, or the binary v2 frames of
+``docs/PROTOCOL.md`` with an optional compression codec) — and then serves
 frames in order, so a client may *pipeline* (send several requests before
 reading the first response) and still match responses to requests by
 position.  ``batch`` frames additionally fan out over the service's worker
@@ -46,10 +48,16 @@ from repro.service.transport.framing import (
     E_STALE,
     E_UNAVAILABLE,
     PROTOCOL_VERSION,
+    PROTOCOL_VERSION_BINARY,
+    SUPPORTED_PROTOCOLS,
     FrameError,
     FrameTooLargeError,
     TruncatedFrameError,
+    encode_binary_frame,
     encode_frame,
+    negotiate_codec,
+    negotiate_protocol,
+    payload_has_sections,
     recv_frame,
 )
 
@@ -129,6 +137,26 @@ def classify_error(response: Dict[str, object]) -> Dict[str, object]:
     return response
 
 
+def _request_needs_v2(request: Dict[str, object]) -> bool:
+    """Whether a request asks for a response only binary frames can carry.
+
+    ``columns`` responses hold numpy buffers and ``raw`` replication
+    payloads hold undecoded bytes; neither survives JSON encoding, so a
+    v1 connection must get a typed ``bad_request`` instead of a server
+    that dies trying to serialise the answer.
+    """
+    if request.get("columns") or request.get("raw"):
+        return True
+    if request.get("op") == "batch":
+        requests = request.get("requests")
+        if isinstance(requests, list):
+            return any(
+                isinstance(sub, dict) and (sub.get("columns") or sub.get("raw"))
+                for sub in requests
+            )
+    return False
+
+
 class SocketServer:
     """Serve a :class:`QueryService` over length-prefixed JSON frames.
 
@@ -145,6 +173,11 @@ class SocketServer:
         with an ``E_BUSY`` error frame (the backpressure contract).
     max_frame_bytes:
         Per-frame cap, both directions (see the framing module).
+    protocol_max:
+        Highest protocol version this server will negotiate (default: the
+        newest it implements).  ``protocol_max=1`` pins the server to the
+        JSON-only v1 data plane — the operator's big red lever while a
+        mixed-version fleet rolls out (see ``docs/PROTOCOL.md``).
     """
 
     def __init__(
@@ -155,10 +188,23 @@ class SocketServer:
         max_connections: int = 32,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         backlog: int = 32,
+        protocol_max: Optional[int] = None,
     ) -> None:
         self.service = service
         self.max_connections = int(max_connections)
         self.max_frame_bytes = int(max_frame_bytes)
+        if protocol_max is None:
+            protocol_max = max(SUPPORTED_PROTOCOLS)
+        if int(protocol_max) < PROTOCOL_VERSION:
+            raise ValueError(
+                f"protocol_max must be >= {PROTOCOL_VERSION}, got {protocol_max!r}"
+            )
+        self._protocols: Tuple[int, ...] = tuple(
+            version for version in SUPPORTED_PROTOCOLS if version <= int(protocol_max)
+        )
+        #: conn_id -> (negotiated protocol, negotiated codec) for live
+        #: connections; feeds the ``stats()["transport"]`` enrichment.
+        self._conn_protocols: Dict[int, Tuple[int, Optional[str]]] = {}
         self._stop = threading.Event()
         self._stats_lock = threading.Lock()
         self.stats = ServerStats()
@@ -296,8 +342,12 @@ class SocketServer:
     def _handle_connection(self, conn: socket.socket, conn_id: int) -> None:
         try:
             conn.settimeout(_POLL_INTERVAL)
-            if self._handshake(conn):
-                self._serve_frames(conn)
+            negotiated = self._handshake(conn)
+            if negotiated is not None:
+                proto, codec = negotiated
+                with self._handlers_lock:
+                    self._conn_protocols[conn_id] = (proto, codec)
+                self._serve_frames(conn, proto, codec)
         except (FrameError, ConnectionError, OSError):
             pass  # connection-level failure: drop this client only
         finally:
@@ -307,23 +357,32 @@ class SocketServer:
                 pass
             with self._handlers_lock:
                 self._handlers.pop(conn_id, None)
+                self._conn_protocols.pop(conn_id, None)
             with self._stats_lock:
                 self.stats.active_connections -= 1
 
-    def _handshake(self, conn: socket.socket) -> bool:
-        """Require a matching ``hello`` as the first frame; ack or reject."""
+    def _handshake(self, conn: socket.socket) -> Optional[Tuple[int, Optional[str]]]:
+        """Require a matching ``hello`` as the first frame; ack or reject.
+
+        Returns the negotiated ``(protocol, codec)`` for the connection, or
+        ``None`` when the hello was rejected.  The baseline ``protocol``
+        field must equal :data:`PROTOCOL_VERSION` exactly (v1 semantics,
+        frozen forever); newer data planes are offered through the
+        *additive* ``protocols``/``compression`` lists, which v1 peers
+        never send and never read — see ``docs/PROTOCOL.md``.
+        """
         try:
             request = self._read_frame(conn)
         except TruncatedFrameError:
-            return False  # peer vanished mid-handshake; nothing to answer
+            return None  # peer vanished mid-handshake; nothing to answer
         except FrameError as exc:
             # Oversized or unparseable hello: answer like any later bad
             # frame, so the peer can tell "my frame was bad" from "the
             # server died".
             self._reject_frame(conn, str(exc))
-            return False
+            return None
         if request is None:
-            return False
+            return None
         if request.get("op") != "hello":
             self._send_best_effort(
                 conn,
@@ -333,7 +392,7 @@ class SocketServer:
                     "error": "first frame must be {'op': 'hello', 'protocol': N}",
                 },
             )
-            return False
+            return None
         if request.get("protocol") != PROTOCOL_VERSION:
             self._send_best_effort(
                 conn,
@@ -347,21 +406,35 @@ class SocketServer:
                     "protocol": PROTOCOL_VERSION,
                 },
             )
-            return False
+            return None
+        offered = request.get("protocols")
+        if not isinstance(offered, (list, tuple)):
+            offered = None
+        proto = negotiate_protocol(offered, self._protocols)
+        codec: Optional[str] = None
+        if proto >= PROTOCOL_VERSION_BINARY:
+            peer_codecs = request.get("compression")
+            if isinstance(peer_codecs, (list, tuple)):
+                codec = negotiate_codec(peer_codecs)
         self._send(
             conn,
             {
                 "ok": True,
                 "op": "hello",
                 "protocol": PROTOCOL_VERSION,
+                "protocols": list(self._protocols),
+                "negotiated": proto,
+                "compression": codec,
                 "server": "repro",
                 "read_only": self.service.read_only,
                 "generation": self.service.generation,
             },
         )
-        return True
+        return proto, codec
 
-    def _serve_frames(self, conn: socket.socket) -> None:
+    def _serve_frames(
+        self, conn: socket.socket, proto: int = PROTOCOL_VERSION, codec: Optional[str] = None
+    ) -> None:
         """Answer frames in order until EOF, ``goodbye`` or shutdown."""
         while not self._stop.is_set():
             try:
@@ -389,10 +462,26 @@ class SocketServer:
                     remote=request.get("trace"),
                     attributes={"op": op},
                 ) as span:
-                    if op == "batch":
+                    if proto < PROTOCOL_VERSION_BINARY and _request_needs_v2(request):
+                        response = {
+                            "ok": False,
+                            "op": op,
+                            "code": E_BAD_REQUEST,
+                            "error": (
+                                "'columns'/'raw' responses need a binary data "
+                                f"plane; this connection negotiated protocol {proto}"
+                            ),
+                        }
+                    elif op == "batch":
                         response = self._serve_batch(request)
                     else:
                         response = classify_error(self.service.execute(request))
+                        if op == "stats" and response.get("ok"):
+                            stats_obj = response.get("stats")
+                            if isinstance(stats_obj, dict):
+                                stats_obj["transport"] = self._transport_stats(
+                                    proto, codec
+                                )
                     if not response.get("ok"):
                         span.set_status(
                             "error", str(response.get("code", E_INTERNAL))
@@ -408,7 +497,7 @@ class SocketServer:
             with self._stats_lock:
                 self.stats.requests_served += 1
             try:
-                self._send(conn, response)
+                self._send(conn, response, proto=proto, codec=codec)
             except FrameTooLargeError as exc:
                 # The *response* blew the frame cap (e.g. a metric map over
                 # a huge store).  Answer with a small error frame instead of
@@ -496,6 +585,7 @@ class SocketServer:
         grace_deadline: Optional[float] = None
 
         def on_timeout(mid_frame: bool) -> bool:
+            """Decide, per poll tick, whether the read should give up."""
             nonlocal grace_deadline
             if not self._stop.is_set():
                 return False  # plain poll tick: keep waiting
@@ -519,12 +609,45 @@ class SocketServer:
             conn, {"ok": False, "code": E_BAD_FRAME, "error": message}
         )
 
-    def _send(self, conn: socket.socket, payload: Dict[str, object]) -> None:
+    def _transport_stats(
+        self, proto: int, codec: Optional[str]
+    ) -> Dict[str, object]:
+        """Per-connection protocol mix for ``stats()["transport"]``.
+
+        ``negotiated``/``compression`` describe the asking connection;
+        ``by_protocol`` counts every live connection so operators can see
+        which peers are still on the v1 JSON data plane.
+        """
+        by_protocol: Dict[str, int] = {}
+        with self._handlers_lock:
+            for conn_proto, _ in self._conn_protocols.values():
+                key = str(conn_proto)
+                by_protocol[key] = by_protocol.get(key, 0) + 1
+        return {
+            "supported": list(self._protocols),
+            "negotiated": proto,
+            "compression": codec,
+            "connections": {
+                "active": sum(by_protocol.values()),
+                "by_protocol": by_protocol,
+            },
+        }
+
+    def _send(
+        self,
+        conn: socket.socket,
+        payload: Dict[str, object],
+        proto: int = PROTOCOL_VERSION,
+        codec: Optional[str] = None,
+    ) -> None:
         # Chaos: fired before the frame hits the wire, so a `drop` models a
         # response lost in transit — the request WAS executed (an acked
         # update is durable even though the client never saw the ack).
         _failpoint("transport.send")
-        frame = encode_frame(payload, self.max_frame_bytes)
+        if proto >= PROTOCOL_VERSION_BINARY and payload_has_sections(payload):
+            frame = encode_binary_frame(payload, self.max_frame_bytes, codec=codec)
+        else:
+            frame = encode_frame(payload, self.max_frame_bytes)
         conn.settimeout(_SEND_TIMEOUT)
         try:
             conn.sendall(frame)

@@ -12,12 +12,18 @@ serving peer answers:
     one generation.
 ``repl_fetch``
     One chunk of one snapshot file (shard arrays, the generation-named
-    edge-size array, ``hypergraph.npz``) at a pinned generation —
-    base64-in-JSON on the wire, sized under the frame cap.
+    edge-size array, ``hypergraph.npz``) at a pinned generation, sized
+    under the frame cap.  On a protocol v2 connection the chunk rides a
+    binary frame as raw (optionally compressed) bytes; v1 peers get
+    base64-in-JSON (see ``docs/PROTOCOL.md``).
 ``repl_wal``
-    The write-ahead-log records after a ``(generation, seq)`` cursor.  The
-    mirror re-frames them with the WAL's own deterministic encoder, so the
-    mirrored log is byte-identical to the source's.
+    The write-ahead-log tail.  Cursor-capable peers ask with a
+    ``(generation, byte_offset, next_seq)`` cursor and receive the raw
+    validated on-disk suffix — O(suffix) per poll, byte-identical by
+    construction, with a ``rebase`` signal when the source log shrank
+    under the cursor.  The legacy shape (records after a ``(generation,
+    seq)`` cursor, re-framed by the mirror with the WAL's deterministic
+    encoder) remains for older peers.
 
 Sync is *delta* by construction: files whose checksum the mirror already
 holds (under any name — compaction renames shards it did not change) are
@@ -229,6 +235,73 @@ def wal_payload(
     }
 
 
+def wal_suffix_payload(
+    store_path: PathLike,
+    generation: int,
+    after_bytes: int,
+    next_seq: int,
+    raw: bool = False,
+) -> Dict[str, object]:
+    """The cursor-mode ``repl_wal`` response: the raw validated log suffix.
+
+    The fast path behind :class:`StoreMirror` delta syncs: instead of
+    replaying (and JSON-decoding) the whole log per poll, ship the on-disk
+    bytes after ``(generation, after_bytes)``, structurally validated from
+    sequence ``next_seq`` (see :meth:`WriteAheadLog.read_suffix`).  The
+    response carries ``count`` records as ``data`` (raw bytes with
+    ``raw=True`` — the binary-frame shape — else base64 text), the
+    advanced ``next_seq``/``end_offset`` cursor, and ``rebase=True`` when
+    the cursor no longer lines up with the log, telling the mirror to
+    re-read from byte 0.
+
+    Raises :class:`ReplicationStaleError` when the live snapshot moved off
+    the pinned ``generation``.  A suffix whose first record is stamped
+    with a different generation — the crash window between a compaction's
+    manifest swap and its WAL truncate — is reported empty, exactly as a
+    recovering open would treat the log.
+    """
+    path = str(store_path)
+    _failpoint("repl.wal")
+    generation = int(generation)
+    after_bytes = int(after_bytes)
+    next_seq = int(next_seq)
+    manifest = read_manifest(path)
+    if manifest.generation != generation:
+        raise ReplicationStaleError(
+            f"snapshot at {path} is at generation {manifest.generation}, "
+            f"not the pinned {generation}"
+        )
+    suffix = WriteAheadLog(os.path.join(path, WAL_NAME)).read_suffix(
+        after_bytes, next_seq
+    )
+    base: Dict[str, object] = {
+        "generation": generation,
+        "mode": "suffix",
+        "after_bytes": after_bytes,
+    }
+    if suffix is None:
+        base["rebase"] = True
+        return base
+    data, count, end_offset = suffix
+    if count:
+        try:
+            first = json.loads(data[: data.find(b"\n")].split(b"\t", 2)[2])
+            stamped = first.get("gen")
+        except (ValueError, UnicodeDecodeError):
+            base["rebase"] = True
+            return base
+        if stamped is not None and int(stamped) != generation:
+            data, count, end_offset = b"", 0, after_bytes
+    base.update(
+        rebase=False,
+        count=count,
+        next_seq=next_seq + count,
+        end_offset=end_offset,
+        data=data if raw else base64.b64encode(data).decode("ascii"),
+    )
+    return base
+
+
 def fetch_payload(
     store_path: PathLike,
     name: str,
@@ -290,15 +363,31 @@ class ReplicationSource(Protocol):
     Implemented by :class:`LocalReplicationSource` (same-process source
     directory) and :class:`repro.service.transport.client.ServiceClient`
     (the socket protocol) — ``repl_fetch`` must return ``data`` as bytes.
+    ``repl_wal_suffix`` is the optional byte-offset-cursor fast path: the
+    mirror probes for it with ``getattr`` and accepts ``None`` (a peer —
+    or a negotiated connection — without cursor support), falling back to
+    the legacy record-replay ``repl_wal``.
     """
 
-    def repl_manifest(self) -> Dict[str, object]: ...
+    def repl_manifest(self) -> Dict[str, object]:
+        """The live manifest plus per-file size and CRC32, pinned to a generation."""
+        ...
 
-    def repl_wal(self, generation: int, after_seq: int) -> Dict[str, object]: ...
+    def repl_wal(self, generation: int, after_seq: int) -> Dict[str, object]:
+        """Record mode: WAL records with ``seq > after_seq`` (full-log replay)."""
+        ...
+
+    def repl_wal_suffix(
+        self, generation: int, after_bytes: int, next_seq: int
+    ) -> Optional[Dict[str, object]]:
+        """Cursor mode: the raw log suffix past ``after_bytes``, or ``None``."""
+        ...
 
     def repl_fetch(
         self, name: str, generation: int, offset: int, length: int
-    ) -> Dict[str, object]: ...
+    ) -> Dict[str, object]:
+        """A chunk of snapshot file ``name``; ``data`` must come back as bytes."""
+        ...
 
 
 class LocalReplicationSource:
@@ -313,15 +402,25 @@ class LocalReplicationSource:
         self._crc_cache: Dict[object, int] = {}
 
     def repl_manifest(self) -> Dict[str, object]:
+        """The ``repl_manifest`` payload (checksums memoised per generation)."""
         return manifest_payload(self.path, cache=self._crc_cache)
 
     def repl_wal(self, generation: int, after_seq: int) -> Dict[str, object]:
+        """Legacy ``repl_wal``: decoded records after a sequence cursor."""
         return wal_payload(self.path, generation, after_seq)
+
+    def repl_wal_suffix(
+        self, generation: int, after_bytes: int, next_seq: int, raw: bool = True
+    ) -> Dict[str, object]:
+        """Cursor-mode ``repl_wal``: the raw log suffix after a byte offset."""
+        return wal_suffix_payload(
+            self.path, generation, after_bytes, next_seq, raw=raw
+        )
 
     def repl_fetch(
         self, name: str, generation: int, offset: int, length: int, raw: bool = True
     ) -> Dict[str, object]:
-        """One file chunk; ``raw=False`` base64-encodes it (the wire shape)."""
+        """One file chunk; ``raw=False`` base64-encodes it (the v1 wire shape)."""
         return fetch_payload(self.path, name, generation, offset, length, raw=raw)
 
 
@@ -528,6 +627,32 @@ class StoreMirror:
             return self._sync_snapshot(remote)
 
     # -- WAL tail only (same generation) ------------------------------- #
+    def _wal_suffix(
+        self, generation: int, after_bytes: int, next_seq: int
+    ) -> Optional[Dict[str, object]]:
+        """Cursor-mode tail from the source, or ``None`` for the legacy path.
+
+        ``None`` means the source has no byte-offset cursor — no
+        ``repl_wal_suffix`` attribute, a connection that negotiated it
+        away, or a pre-cursor server that answered the legacy shape — and
+        the caller re-frames decoded records instead.
+        """
+        fetch = getattr(self.source, "repl_wal_suffix", None)
+        if fetch is None:
+            return None
+        payload = fetch(int(generation), int(after_bytes), int(next_seq))
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("rebase"):
+            return payload
+        if "data" not in payload or "count" not in payload:
+            return None
+        data = payload["data"]
+        if isinstance(data, str):
+            data = base64.b64decode(data)
+        payload["data"] = bytes(data)
+        return payload
+
     def _sync_wal_only(self, generation: int) -> SyncReport:
         wal_path = os.path.join(self.path, WAL_NAME)
         try:
@@ -535,6 +660,56 @@ class StoreMirror:
         except OSError:
             local_bytes = 0
         intact = local_bytes == int(self._state.get("wal_bytes", 0))
+        cursor_supported = True
+        if intact:
+            # Byte-offset fast path: ship only the bytes after our cursor
+            # and append them verbatim — O(new tail) per poll,
+            # byte-identical to the source by construction.
+            suffix = self._wal_suffix(generation, local_bytes, self.wal_seq + 1)
+            if suffix is None:
+                cursor_supported = False
+            elif not suffix.get("rebase"):
+                count = int(suffix["count"])
+                if not count:
+                    return SyncReport(
+                        generation=generation, full_sync=False, changed=False
+                    )
+                with open(wal_path, "ab") as handle:
+                    handle.write(suffix["data"])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self._state["wal_seq"] = self.wal_seq + count
+                self._state["wal_bytes"] = os.path.getsize(wal_path)
+                self._save_state()
+                return SyncReport(
+                    generation=generation,
+                    full_sync=False,
+                    changed=True,
+                    wal_records=count,
+                )
+            else:
+                # rebase: the source's log shrank under our cursor (writer
+                # restart recovery) — fall through to a full rewrite.
+                intact = False
+        # A full rewrite is needed: our tail is suspect (killed
+        # mid-append) or the cursor rebased.  Suffix-from-zero keeps the
+        # rewrite raw when the source supports the cursor.
+        if cursor_supported:
+            suffix = self._wal_suffix(generation, 0, 1)
+            if suffix is not None and not suffix.get("rebase"):
+                applied = int(suffix["count"])
+                _write_file_atomic(wal_path, suffix["data"])
+                self._state["wal_seq"] = applied
+                self._state["wal_bytes"] = os.path.getsize(wal_path)
+                self._save_state()
+                return SyncReport(
+                    generation=generation,
+                    full_sync=False,
+                    changed=True,
+                    wal_records=applied,
+                )
+        # Legacy record-replay path (source without the byte-offset
+        # cursor, or a source whose log keeps moving mid-rebase).
         after_seq = self.wal_seq if intact else 0
         tail = self.source.repl_wal(generation, after_seq)
         total = int(tail["total"])
@@ -662,10 +837,18 @@ class StoreMirror:
             fsync_path(self.path)
 
         # The WAL for the pinned generation, staged next to the live one.
-        tail = self.source.repl_wal(generation, 0)
-        wal_frames = b"".join(
-            _frame(int(r["seq"]), dict(r["payload"])) for r in tail["records"]
-        )
+        # Cursor-capable sources ship the raw on-disk bytes; others ship
+        # records the mirror re-frames deterministically.
+        suffix = self._wal_suffix(generation, 0, 1)
+        if suffix is not None and not suffix.get("rebase"):
+            wal_frames = suffix["data"]
+            wal_total = int(suffix["count"])
+        else:
+            tail = self.source.repl_wal(generation, 0)
+            wal_frames = b"".join(
+                _frame(int(r["seq"]), dict(r["payload"])) for r in tail["records"]
+            )
+            wal_total = int(tail["total"])
         wal_path = os.path.join(self.path, WAL_NAME)
         wal_tmp = wal_path + ".sync"
         with open(wal_tmp, "wb") as handle:
@@ -688,12 +871,12 @@ class StoreMirror:
 
         self._state = {
             "generation": generation,
-            "wal_seq": int(tail["total"]),
+            "wal_seq": wal_total,
             "wal_bytes": os.path.getsize(wal_path),
             "files": new_files,
         }
         self._save_state()
-        report.wal_records = int(tail["total"])
+        report.wal_records = wal_total
         sweep_orphan_shards(self.path, manifest)
         return report
 

@@ -150,6 +150,71 @@ class WriteAheadLog:
             return None
         return WalRecord(seq=seq, op=str(payload["op"]), payload=payload)
 
+    def read_suffix(
+        self, offset: int, next_seq: int
+    ) -> Optional[Tuple[bytes, int, int]]:
+        """Raw framed bytes of the valid log suffix at a byte/seq cursor.
+
+        The replication fast path (``docs/PROTOCOL.md``, ``repl_wal`` with
+        ``after_bytes``): a mirror that already holds the first ``offset``
+        bytes — ``next_seq - 1`` records — asks only for what follows, and
+        appends the returned bytes verbatim, staying byte-identical to the
+        source without re-framing anything.  Within one generation the
+        valid prefix of the log is append-only (recovery only ever trims a
+        *torn, never-acknowledged* tail; compaction bumps the generation),
+        so shipping the suffix raw is sound.
+
+        Returns ``(data, count, end_offset)``: ``count`` whole records
+        whose frames are ``data``, validated structurally (line shape,
+        sequence continuity from ``next_seq``, CRC32) without JSON-decoding
+        payloads, ending at byte ``end_offset``.  A partial trailing line
+        (an append in flight) is simply not included.  Returns ``None``
+        when the cursor does not line up with the on-disk log — the file is
+        shorter than ``offset``, or a *complete* line at/after the cursor
+        fails validation — in which case the caller must rebase (re-read
+        from byte 0).
+        """
+        offset = int(offset)
+        expected = int(next_seq)
+        if offset < 0 or expected < 1:
+            raise StoreError(
+                f"invalid WAL cursor (offset={offset}, next_seq={next_seq})"
+            )
+        if not os.path.isfile(self.path):
+            return (b"", 0, 0) if offset == 0 else None
+        with open(self.path, "rb") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            if size < offset:
+                return None  # log shrank under the cursor
+            handle.seek(offset)
+            data = handle.read()
+        end = 0
+        count = 0
+        pos = 0
+        while pos < len(data):
+            newline = data.find(b"\n", pos)
+            if newline < 0:
+                break  # torn in-flight append: stop cleanly before it
+            parts = data[pos:newline].split(b"\t", 2)
+            if len(parts) != 3:
+                return None
+            try:
+                seq = int(parts[0])
+                crc = int(parts[1], 16)
+            except ValueError:
+                return None
+            if seq != expected or zlib.crc32(parts[2]) & 0xFFFFFFFF != crc:
+                # A complete line that does not continue the cursor: the
+                # log diverged (rewritten or corrupt) — rebase.  A partial
+                # flush can only truncate the tail, never alter a complete
+                # line, so this is never a benign race.
+                return None
+            pos = newline + 1
+            end = pos
+            count += 1
+            expected += 1
+        return bytes(data[:end]), count, offset + end
+
     def commit_recovery(
         self, records: List[WalRecord], valid_bytes: int, torn: bool
     ) -> None:

@@ -1,0 +1,197 @@
+"""Cross-version interop: the v1/v2 compatibility matrix of docs/PROTOCOL.md.
+
+The version policy under test: the hello handshake's ``protocol`` field
+is frozen at 1 forever, version negotiation rides additive keys, and both
+directions of version skew keep working — a v2 client against a v1-pinned
+server and a v1-pinned client against a v2 server each settle on the JSON
+data plane and serve identical answers to a native v2 pairing.
+"""
+
+import socket
+
+import pytest
+
+from repro.service import QueryService, ServiceClient, SocketServer
+from repro.service.transport import (
+    PROTOCOL_VERSION,
+    PROTOCOL_VERSION_BINARY,
+    RemoteServiceError,
+)
+from repro.service.transport.framing import (
+    BINARY_FLAG,
+    LENGTH_PREFIX,
+    recv_frame,
+    send_frame,
+)
+from repro.store.store import IndexStore
+
+
+@pytest.fixture
+def store_path(community_hypergraph, tmp_path):
+    IndexStore.build(community_hypergraph, tmp_path / "idx", num_shards=4)
+    return str(tmp_path / "idx")
+
+
+@pytest.fixture
+def writer(store_path):
+    with QueryService(store_path, max_batch=16) as service:
+        yield service
+
+
+@pytest.fixture
+def v2_server(writer):
+    with SocketServer(writer, port=0, max_connections=8) as srv:
+        yield srv
+
+
+@pytest.fixture
+def v1_server(writer):
+    """A server pinned to the JSON-only v1 data plane (pre-v2 build)."""
+    with SocketServer(writer, port=0, max_connections=8, protocol_max=1) as srv:
+        yield srv
+
+
+def _oracle(service, s):
+    return {
+        int(k): float(v)
+        for k, v in service.execute(
+            {"op": "metric", "s": s, "metric": "connected_components"}
+        )["values"].items()
+    }
+
+
+class TestCompatMatrix:
+    def test_v2_client_against_v1_server(self, v1_server, writer):
+        """A modern client downgrades to v1 and serves identical answers."""
+        with ServiceClient(*v1_server.address, connect_retries=5) as client:
+            assert client.protocol == PROTOCOL_VERSION
+            assert client.compression is None
+            assert client.metric(2, "connected_components") == _oracle(writer, 2)
+            sweep = client.sweep(range(1, 5))
+            assert set(sweep) == {"edge_counts", "active_counts"}
+            # Replication helpers fall back to the JSON/base64 plane ...
+            manifest = client.repl_manifest()
+            name = manifest["files"][0]["name"]
+            data = client.repl_fetch(name, manifest["generation"], 0, 64)
+            assert isinstance(data["data"], bytes)
+            # ... and the cursor op reports "not supported here".
+            assert client.repl_wal_suffix(manifest["generation"], 0, 1) is None
+
+    def test_v1_client_against_v2_server(self, v2_server, writer):
+        """A pinned (pre-v2) client speaks v1 against a modern server."""
+        with ServiceClient(
+            *v2_server.address, connect_retries=5, protocol_max=1
+        ) as client:
+            assert client.protocol == PROTOCOL_VERSION
+            assert client.metric(2, "connected_components") == _oracle(writer, 2)
+            data = client.repl_fetch(client.repl_manifest()["files"][0]["name"], 0, 0, 64)
+            assert isinstance(data["data"], bytes)
+
+    def test_both_planes_serve_identical_answers(self, v2_server, writer):
+        with ServiceClient(*v2_server.address, connect_retries=5) as v2_client:
+            with ServiceClient(
+                *v2_server.address, connect_retries=5, protocol_max=1
+            ) as v1_client:
+                assert v2_client.protocol == PROTOCOL_VERSION_BINARY
+                assert v1_client.protocol == PROTOCOL_VERSION
+                for s in (1, 2, 3):
+                    assert v2_client.metric(s) == v1_client.metric(s)
+                assert v2_client.sweep(range(1, 6)) == v1_client.sweep(range(1, 6))
+
+    def test_columns_rejected_on_a_v1_connection(self, v2_server):
+        """An explicit columns/raw request on a v1 connection is a typed error."""
+        with ServiceClient(
+            *v2_server.address, connect_retries=5, protocol_max=1
+        ) as client:
+            with pytest.raises(RemoteServiceError, match="binary data plane"):
+                client.request({"op": "metric", "s": 2, "columns": True})
+            # Nested inside a batch too — the sub-request cannot smuggle it.
+            with pytest.raises(RemoteServiceError, match="binary data plane"):
+                client.request(
+                    {
+                        "op": "batch",
+                        "requests": [{"op": "metric", "s": 2, "columns": True}],
+                    }
+                )
+
+    def test_compression_negotiated_off(self, v2_server):
+        """compression=False keeps binary framing but no codec either way."""
+        with ServiceClient(
+            *v2_server.address, connect_retries=5, compression=False
+        ) as client:
+            assert client.protocol == PROTOCOL_VERSION_BINARY
+            assert client.compression is None
+            # The binary plane still works uncompressed.
+            assert client.metric(2, "connected_components")
+            stats = client.stats()
+            assert stats["transport"]["negotiated"] == PROTOCOL_VERSION_BINARY
+            assert stats["transport"]["compression"] is None
+
+    def test_stats_reports_negotiated_protocols(self, v2_server):
+        with ServiceClient(*v2_server.address, connect_retries=5) as v2_client:
+            with ServiceClient(
+                *v2_server.address, connect_retries=5, protocol_max=1
+            ) as v1_client:
+                # One served request guarantees the connection is past the
+                # server's handshake bookkeeping before stats are read.
+                assert v1_client.components(2) >= 1
+                transport = v2_client.stats()["transport"]
+                assert transport["supported"] == [1, 2]
+                assert transport["negotiated"] == PROTOCOL_VERSION_BINARY
+                assert transport["connections"]["by_protocol"] == {"1": 1, "2": 1}
+                transport = v1_client.stats()["transport"]
+                assert transport["negotiated"] == PROTOCOL_VERSION
+
+
+class TestBadBinaryFrames:
+    def _handshake(self, server):
+        sock = socket.create_connection(server.address, timeout=5)
+        send_frame(
+            sock,
+            {"op": "hello", "protocol": 1, "protocols": [1, 2], "compression": []},
+        )
+        response = recv_frame(sock)
+        assert response["ok"] and response["negotiated"] == PROTOCOL_VERSION_BINARY
+        return sock
+
+    def test_garbage_binary_frame_gets_bad_frame(self, v2_server):
+        sock = self._handshake(v2_server)
+        try:
+            garbage = b"\x00\x00\x00\x10" + b"not a json header"
+            sock.sendall(LENGTH_PREFIX.pack(BINARY_FLAG | len(garbage)) + garbage)
+            response = recv_frame(sock)
+            assert response["ok"] is False
+            assert response["code"] == "bad_frame"
+            assert recv_frame(sock) is None  # only this connection is dropped
+        finally:
+            sock.close()
+
+    def test_legacy_hello_settles_on_v1(self, v2_server):
+        """A pre-v2 hello (no extension keys) gets a v1 connection, and the
+        hello response keeps the frozen ``protocol: 1`` field either way."""
+        sock = socket.create_connection(v2_server.address, timeout=5)
+        try:
+            send_frame(sock, {"op": "hello", "protocol": 1})  # legacy hello
+            response = recv_frame(sock)
+            assert response["ok"]
+            assert response["protocol"] == PROTOCOL_VERSION  # frozen forever
+            assert response.get("negotiated", 1) == PROTOCOL_VERSION
+            send_frame(sock, {"op": "components", "s": 2})
+            assert recv_frame(sock)["ok"]
+        finally:
+            sock.close()
+
+    def test_other_connections_survive_a_garbage_frame(self, v2_server):
+        with ServiceClient(*v2_server.address, connect_retries=5) as healthy:
+            assert healthy.components(2) >= 1
+            bad = self._handshake(v2_server)
+            try:
+                payload = b"\xff\xff\xff\xff garbage"
+                bad.sendall(LENGTH_PREFIX.pack(BINARY_FLAG | len(payload)) + payload)
+                response = recv_frame(bad)
+                assert response["code"] == "bad_frame"
+            finally:
+                bad.close()
+            # The healthy client's connection is untouched.
+            assert healthy.components(2) >= 1
+            assert healthy.metric(2, "connected_components")

@@ -386,3 +386,146 @@ class TestCrashSafety:
         mirror = StoreMirror(_AlwaysStale(source, None), mirror_path, sync_retries=3)
         with pytest.raises(ReplicationError, match="3 attempts"):
             mirror.sync()
+
+
+class _CursorOnlySource:
+    """A source whose legacy ``repl_wal`` op is forbidden — proves a sync
+    was served by the byte-offset cursor alone (docs/PROTOCOL.md)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def repl_manifest(self):
+        return self._inner.repl_manifest()
+
+    def repl_wal(self, generation, after_seq):
+        raise AssertionError("legacy repl_wal used despite a cursor-capable source")
+
+    def repl_wal_suffix(self, generation, after_bytes, next_seq):
+        return self._inner.repl_wal_suffix(generation, after_bytes, next_seq)
+
+    def repl_fetch(self, name, generation, offset, length):
+        return self._inner.repl_fetch(name, generation, offset, length)
+
+
+class TestByteOffsetCursor:
+    """The protocol v2 WAL cursor: raw suffix reads after (generation,
+    byte offset), with rebase on any divergence under the cursor."""
+
+    def test_suffix_payload_reads_only_the_tail(self, source_path, writer):
+        from repro.store.replication import wal_suffix_payload
+
+        writer.add_hyperedge([0, 1, 2])
+        writer.add_hyperedge([1, 2, 3])
+        wal_file = os.path.join(source_path, WAL_NAME)
+        log = open(wal_file, "rb").read()
+
+        full = wal_suffix_payload(source_path, 0, 0, 1, raw=True)
+        assert not full["rebase"]
+        assert full["count"] == 2 and full["next_seq"] == 3
+        assert full["data"] == log and full["end_offset"] == len(log)
+
+        first_line_end = log.index(b"\n") + 1
+        tail = wal_suffix_payload(source_path, 0, first_line_end, 2, raw=True)
+        assert not tail["rebase"]
+        assert tail["count"] == 1 and tail["data"] == log[first_line_end:]
+
+        done = wal_suffix_payload(source_path, 0, len(log), 3, raw=True)
+        assert not done["rebase"] and done["count"] == 0 and done["data"] == b""
+
+    def test_suffix_payload_rebases_on_divergence(self, source_path, writer):
+        from repro.store.replication import wal_suffix_payload
+
+        writer.add_hyperedge([0, 1, 2])
+        log = open(os.path.join(source_path, WAL_NAME), "rb").read()
+        # Cursor past the file (the log shrank under the reader).
+        assert wal_suffix_payload(source_path, 0, len(log) + 10, 2)["rebase"]
+        # Sequence mismatch at the cursor (the tail was rewritten).
+        assert wal_suffix_payload(source_path, 0, 0, 7)["rebase"]
+        # Mid-line offset: the bytes there do not parse as a record start.
+        assert wal_suffix_payload(source_path, 0, 3, 1)["rebase"]
+
+    def test_suffix_payload_rejects_stale_generation(self, source_path, writer):
+        from repro.store.replication import wal_suffix_payload
+
+        writer.add_hyperedge([0, 1, 2])
+        writer.compact()
+        with pytest.raises(ReplicationStaleError, match="generation"):
+            wal_suffix_payload(source_path, 0, 0, 1)
+
+    def test_cursor_delta_appends_raw_suffix(self, source_path, mirror_path, writer):
+        """Intact polls are served by suffix appends alone — the legacy
+        record-replay op is never consulted."""
+        source = _CursorOnlySource(LocalReplicationSource(source_path))
+        mirror = StoreMirror(source, mirror_path)
+        mirror.sync()
+        rng = make_rng(5)
+        for _ in range(3):
+            writer.add_hyperedge(random_members(writer.hypergraph, rng))
+        report = mirror.sync()
+        assert not report.full_sync and report.wal_records == 3
+        assert mirror.wal_seq == 3
+        assert_byte_identical(source_path, mirror_path)
+        # An idle poll moves nothing.
+        assert not mirror.sync().changed
+        writer.add_hyperedge(random_members(writer.hypergraph, rng))
+        assert mirror.sync().wal_records == 1
+        assert_byte_identical(source_path, mirror_path)
+
+    def test_cursor_rebases_when_the_log_shrinks(
+        self, source_path, mirror_path, writer
+    ):
+        """A writer restart that truncated the log leaves the mirror's
+        byte cursor past end-of-file; the next cursor poll detects the
+        overrun, rebases to offset 0 and rewrites the local log."""
+        source = _CursorOnlySource(LocalReplicationSource(source_path))
+        mirror = StoreMirror(source, mirror_path)
+        writer.add_hyperedge([0, 1, 2])
+        writer.add_hyperedge([1, 2, 3])
+        writer.add_hyperedge([2, 3, 4])
+        mirror.sync()
+        assert mirror.wal_seq == 3
+        # Restarted writer: whole log truncated, then one fresh record —
+        # strictly shorter than the mirror's byte cursor.
+        writer.store.wal.truncate()
+        writer.store._records = []
+        writer.add_hyperedge([3, 4, 5])
+        report = mirror.sync()
+        assert report.changed
+        assert mirror.wal_seq == 1
+        assert_byte_identical(source_path, mirror_path)
+
+    def test_cursor_rebases_when_the_tail_diverges(
+        self, source_path, mirror_path, writer
+    ):
+        """Same-length log whose records differ under the cursor: the CRC
+        and sequence checks refuse the suffix and force the rewrite."""
+        source = _CursorOnlySource(LocalReplicationSource(source_path))
+        mirror = StoreMirror(source, mirror_path)
+        writer.add_hyperedge([0, 1, 2])
+        mirror.sync()
+        assert mirror.wal_seq == 1
+        writer.store.wal.truncate()
+        writer.store._records = []
+        writer.add_hyperedge([5, 6, 7])  # fresh record, same seq number
+        writer.add_hyperedge([6, 7, 8])
+        report = mirror.sync()
+        assert report.changed
+        assert mirror.wal_seq == 2
+        assert_byte_identical(source_path, mirror_path)
+
+    def test_legacy_source_without_cursor_still_syncs(
+        self, source_path, mirror_path, writer
+    ):
+        """A pre-v2 source (no repl_wal_suffix attribute) is served by the
+        original record-replay path, byte-identically."""
+        source = _FlakySource(LocalReplicationSource(source_path), None)
+        assert not hasattr(source, "repl_wal_suffix")
+        mirror = StoreMirror(source, mirror_path)
+        mirror.sync()
+        rng = make_rng(9)
+        for _ in range(3):
+            writer.add_hyperedge(random_members(writer.hypergraph, rng))
+        report = mirror.sync()
+        assert not report.full_sync and report.wal_records == 3
+        assert_byte_identical(source_path, mirror_path)

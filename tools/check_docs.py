@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Executable documentation checks (the CI ``docs`` job).
+
+Three guarantees about README.md and docs/*.md, so the prose cannot
+silently rot away from the code:
+
+1. **Quickstart blocks run.**  Fenced code blocks tagged ``python run``
+   are executed — per document, in order, sharing one namespace (so a
+   later block may use names an earlier one defined) — inside a
+   temporary working directory, so relative store paths like ``idx/``
+   land in a scratch store and leave the repo untouched.
+2. **Every other Python block parses.**  Blocks tagged plain ``python``
+   are ``compile()``-checked; a typo'd example fails CI even when the
+   example is not runnable in isolation (network addresses, elided
+   context).
+3. **Intra-repo links resolve.**  Relative markdown link targets
+   (anchors stripped) must exist on disk, relative to the document.
+
+Exit status is non-zero when any check fails; failures are reported
+with ``file:line`` so they are clickable in CI logs.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py [files...]
+
+With no arguments, checks README.md and every ``docs/*.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FENCE_RE = re.compile(r"^(`{3,})(.*)$")
+# [text](target) — good enough for our own docs; skips images' ! on purpose
+# (image targets are checked the same way).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def default_documents():
+    docs = [REPO_ROOT / "README.md"]
+    docs.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return docs
+
+
+def extract_blocks(text):
+    """Yield ``(info_string, start_line, source)`` per fenced code block."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = FENCE_RE.match(lines[i])
+        if not match:
+            i += 1
+            continue
+        fence, info = match.group(1), match.group(2).strip().lower()
+        start = i + 2  # 1-indexed line of the block's first code line
+        body = []
+        i += 1
+        while i < len(lines) and not lines[i].startswith(fence):
+            body.append(lines[i])
+            i += 1
+        i += 1  # closing fence
+        yield info, start, "\n".join(body) + "\n"
+
+
+def check_links(doc, text):
+    """Return error strings for relative link targets that do not exist."""
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(EXTERNAL_SCHEMES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure intra-document anchor
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{doc}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def check_python_blocks(doc, text):
+    """Execute ``python run`` blocks (shared namespace, temp cwd) and
+    compile-check plain ``python`` blocks.  Returns error strings."""
+    errors = []
+    namespace = {"__name__": "__docs__"}
+    original_cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+        os.chdir(scratch)
+        try:
+            for info, start, source in extract_blocks(text):
+                if info not in ("python", "python run"):
+                    continue
+                label = f"{doc}:{start}"
+                try:
+                    code = compile(source, f"{label} (doc block)", "exec")
+                except SyntaxError:
+                    errors.append(f"{label}: doc block does not parse\n"
+                                  + traceback.format_exc(limit=0).rstrip())
+                    continue
+                if info != "python run":
+                    continue
+                try:
+                    exec(code, namespace)
+                except Exception:
+                    errors.append(f"{label}: doc block raised\n"
+                                  + traceback.format_exc().rstrip())
+                    # Later blocks likely depend on this one; stop the file.
+                    break
+        finally:
+            os.chdir(original_cwd)
+    return errors
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    documents = [Path(a).resolve() for a in argv] or default_documents()
+    failures = []
+    for doc in documents:
+        if not doc.exists():
+            failures.append(f"{doc}: no such document")
+            continue
+        text = doc.read_text(encoding="utf-8")
+        failures.extend(check_links(doc, text))
+        failures.extend(check_python_blocks(doc, text))
+        blocks = list(extract_blocks(text))
+        ran = sum(1 for info, _, _ in blocks if info == "python run")
+        compiled = sum(1 for info, _, _ in blocks if info == "python")
+        print(f"{doc.relative_to(REPO_ROOT)}: "
+              f"{ran} block(s) executed, {compiled} compile-checked")
+    if failures:
+        print("\n--- docs check failures ---", file=sys.stderr)
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        return 1
+    print("docs check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
