@@ -162,7 +162,11 @@ class RemoteReadReplica:
         """
         if self._closed:
             return None
-        with self._sync_lock:
+        # Blocking network/disk I/O under this lock is the design: the
+        # lock exists to serialise the one client socket and the one
+        # on-disk mirror, and queries never take it (they serve the last
+        # swapped-in replica).
+        with self._sync_lock:  # repro-lint: allow[blocking-under-lock]
             token = self._peer_token()
             self.mirror.observe_peer_token(token)
             if not force and token is not None and token == self._remote_token:

@@ -8,6 +8,24 @@ as ground truth throughout the tests.
 
 from __future__ import annotations
 
+import os
+import sys
+from pathlib import Path
+
+# The runtime lock-order detector must patch the threading factories
+# before anything under repro creates a lock, so this runs ahead of the
+# repro imports below.  Opt-in via REPRO_LOCKCHECK=1 (tier-2 CI jobs);
+# zero cost otherwise — the module is not even imported.
+_TOOLS_DIR = str(Path(__file__).resolve().parent.parent / "tools")
+if os.environ.get("REPRO_LOCKCHECK") == "1":
+    if _TOOLS_DIR not in sys.path:
+        sys.path.insert(0, _TOOLS_DIR)
+    from repro_lint import lockcheck as _lockcheck
+
+    _lockcheck.install()
+else:
+    _lockcheck = None
+
 import numpy as np
 import pytest
 
@@ -85,6 +103,17 @@ def community_hypergraph():
 def empty_hypergraph():
     """A hypergraph with vertices but a single empty hyperedge."""
     return hypergraph_from_edge_lists([[]], num_vertices=3)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Under REPRO_LOCKCHECK=1, fail the run on an observed lock-order
+    cycle or over-threshold hold — the graph covers every lock the whole
+    session actually acquired, across all threads."""
+    if _lockcheck is None or not _lockcheck.is_active():
+        return
+    print(f"\n{_lockcheck.report()}")
+    if _lockcheck.find_cycles() or _lockcheck.hold_violations():
+        session.exitstatus = 1
 
 
 def brute_force_s_line_edges(h, s):

@@ -15,6 +15,12 @@ silently rot away from the code:
    context).
 3. **Intra-repo links resolve.**  Relative markdown link targets
    (anchors stripped) must exist on disk, relative to the document.
+4. **Contract tables mirror the code.**  ``docs/PROTOCOL.md``'s
+   error-code table is checked against the ``E_*`` registry in
+   ``framing.py`` and ``docs/OPERATIONS.md``'s metrics catalogue against
+   the names actually registered in ``src/`` — via the same extraction
+   code ``tools/repro-lint`` uses (imported from ``repro_lint.contracts``,
+   shared, not duplicated).
 
 Exit status is non-zero when any check fails; failures are reported
 with ``file:line`` so they are clickable in CI logs.
@@ -36,6 +42,9 @@ import traceback
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from repro_lint import contracts  # noqa: E402
 
 FENCE_RE = re.compile(r"^(`{3,})(.*)$")
 # [text](target) — good enough for our own docs; skips images' ! on purpose
@@ -124,6 +133,21 @@ def check_python_blocks(doc, text):
     return errors
 
 
+def check_contract_tables(doc):
+    """Verify a doc's contract table against the code registries.
+
+    Only PROTOCOL.md and OPERATIONS.md carry such tables; other
+    documents return no errors.  Returns error strings.
+    """
+    src_root = REPO_ROOT / "src" / "repro"
+    findings = []
+    if doc.name == "PROTOCOL.md":
+        findings = contracts.check_protocol_error_table(src_root, doc)
+    elif doc.name == "OPERATIONS.md":
+        findings = contracts.check_metrics_catalogue(src_root, doc)
+    return [finding.render() for finding in findings]
+
+
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
     documents = [Path(a).resolve() for a in argv] or default_documents()
@@ -135,6 +159,7 @@ def main(argv=None):
         text = doc.read_text(encoding="utf-8")
         failures.extend(check_links(doc, text))
         failures.extend(check_python_blocks(doc, text))
+        failures.extend(check_contract_tables(doc))
         blocks = list(extract_blocks(text))
         ran = sum(1 for info, _, _ in blocks if info == "python run")
         compiled = sum(1 for info, _, _ in blocks if info == "python")

@@ -1,0 +1,7 @@
+"""``python -m repro_lint`` (with ``tools/`` on ``sys.path``)."""
+
+import sys
+
+from repro_lint.cli import main
+
+sys.exit(main())

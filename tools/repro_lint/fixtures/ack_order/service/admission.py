@@ -1,0 +1,13 @@
+"""Seeded violation: success futures resolved inside the write region.
+
+The fsync lives at the end of the region; resolving here acks an update
+that a crash between ``set_result`` and the fsync would lose.
+"""
+
+
+class AdmissionQueue:
+    def _commit(self, batch):
+        with self._lock.write():
+            self._wal.append(batch)
+            for item in batch:
+                item.future.set_result(True)

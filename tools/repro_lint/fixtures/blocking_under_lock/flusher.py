@@ -1,0 +1,27 @@
+"""Seeded violations: blocking I/O reachable while a lock is held.
+
+``flush`` fsyncs directly under the lock; ``push`` reaches ``sendall``
+through a helper, so the transitive call-summary propagation must carry
+the blocking call up to the locked region.
+"""
+
+import os
+import threading
+
+
+class Flusher:
+    def __init__(self, fd, sock):
+        self._lock = threading.Lock()
+        self._fd = fd
+        self._sock = sock
+
+    def flush(self):
+        with self._lock:
+            os.fsync(self._fd)
+
+    def push(self, payload):
+        with self._lock:
+            self._send(payload)
+
+    def _send(self, payload):
+        self._sock.sendall(payload)

@@ -1,0 +1,28 @@
+"""Benign variants the lock rules must not flag.
+
+Both methods take the locks in the same order (no cycle), and the fsync
+happens after the lock is released (no blocking-under-lock).
+"""
+
+import os
+import threading
+
+
+class Ordered:
+    def __init__(self, fd):
+        self._meta = threading.Lock()
+        self._data = threading.Lock()
+        self._fd = fd
+        self.pending = []
+
+    def stage(self, record):
+        with self._meta:
+            with self._data:
+                self.pending.append(record)
+
+    def promote(self):
+        with self._meta:
+            with self._data:
+                batch, self.pending = self.pending, []
+        os.fsync(self._fd)
+        return batch

@@ -1,0 +1,12 @@
+"""Benign clock usage: monotonic math, wall clock only stored."""
+
+import time
+
+
+def elapsed(started_monotonic):
+    return time.monotonic() - started_monotonic
+
+
+def stamp():
+    issued_at = time.time()
+    return {"issued_at": issued_at}

@@ -1,0 +1,19 @@
+"""Benign handlers: broad-but-logged, and narrow-and-silent."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def close_loudly(sock):
+    try:
+        sock.close()
+    except Exception:
+        log.warning("close failed", exc_info=True)
+
+
+def close_best_effort(sock):
+    try:
+        sock.close()
+    except OSError:
+        pass

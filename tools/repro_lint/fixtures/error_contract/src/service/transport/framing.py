@@ -1,0 +1,4 @@
+"""Fixture framing module: the two-code E_* registry."""
+
+E_BADREQ = "bad_request"
+E_INTERNAL = "internal"

@@ -1,0 +1,8 @@
+"""Seeded violation: the error map uses a constant the registry lacks."""
+
+from repro.service.transport.framing import E_BADREQ  # noqa: F401
+
+_ERROR_CODE_BY_TYPE = {
+    "ValidationError": E_BADREQ,
+    "RuntimeError": E_OOPS,  # noqa: F821 - deliberately not in the registry
+}

@@ -1,0 +1,10 @@
+"""Fixture failpoint registry: one fired name, one orphan."""
+
+CATALOGUE = {
+    "wal.before_fsync": "crash between append and fsync",
+    "repl.drop_chunk": "never fired anywhere - orphaned entry",
+}
+
+
+def fire(name):
+    del name

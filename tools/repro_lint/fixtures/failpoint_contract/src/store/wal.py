@@ -1,0 +1,9 @@
+"""Seeded violation: fires a failpoint the CATALOGUE does not list."""
+
+from repro.chaos.failpoints import fire
+
+
+def append(record):
+    fire("wal.before_fsync")
+    fire("wal.after_rename")
+    return record

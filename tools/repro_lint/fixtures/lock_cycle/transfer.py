@@ -1,0 +1,25 @@
+"""Seeded violation: the classic two-lock transfer deadlock.
+
+``forward`` takes debit -> credit, ``backward`` takes credit -> debit;
+two threads running one each can deadlock.  The linter must report the
+cycle between the two lock nodes.
+"""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._debit = threading.Lock()
+        self._credit = threading.Lock()
+        self.balance = 0
+
+    def forward(self, amount):
+        with self._debit:
+            with self._credit:
+                self.balance += amount
+
+    def backward(self, amount):
+        with self._credit:
+            with self._debit:
+                self.balance -= amount

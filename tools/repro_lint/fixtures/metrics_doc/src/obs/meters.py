@@ -1,0 +1,8 @@
+"""Seeded violation: registers a metric the catalogue never mentions."""
+
+from repro.obs import get_registry
+
+registry = get_registry()
+_hits = registry.counter("repro_cache_hits_total", "engine cache hits")
+_lag = registry.gauge("repro_replica_lag_seconds", "replica staleness")
+_ghost = registry.counter("repro_ghost_total", "not in OPERATIONS.md")

@@ -1,0 +1,16 @@
+"""Fixture service: a two-op dispatch vocabulary."""
+
+
+class QueryService:
+    def _dispatch(self, op, payload):
+        if op == "add":
+            return self._add(payload)
+        if op == "stats":
+            return self._stats()
+        raise ValueError(op)
+
+    def _add(self, payload):
+        return {"admitted": len(payload)}
+
+    def _stats(self):
+        return {"ok": True}

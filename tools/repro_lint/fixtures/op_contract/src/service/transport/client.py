@@ -1,0 +1,22 @@
+"""Seeded violation: the client auto-retries a non-idempotent op.
+
+``add`` is in ``NONIDEMPOTENT_OPS`` — retrying it after an ambiguous
+failure can apply the batch twice.  The linter must flag the divergence
+between this private set and framing's ``IDEMPOTENT_OPS``.
+"""
+
+_IDEMPOTENT_OPS = frozenset({"stats", "add"})
+
+
+class ServiceClient:
+    def add(self, payload):
+        return self._call({"op": "add", "payload": payload})
+
+    def stats(self):
+        return self._call({"op": "stats"})
+
+    def hello(self):
+        return self._call({"op": "hello"})
+
+    def _call(self, request):
+        return request

@@ -1,0 +1,4 @@
+"""Fixture framing: the wire-contract idempotency partition."""
+
+IDEMPOTENT_OPS = frozenset({"stats"})
+NONIDEMPOTENT_OPS = frozenset({"add"})

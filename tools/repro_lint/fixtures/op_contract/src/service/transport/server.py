@@ -1,0 +1,4 @@
+"""Fixture server: transport ops and the per-op metric vocabulary."""
+
+_TRANSPORT_OPS = frozenset({"hello"})
+_METRIC_OPS = ("add", "stats", "batch", "other")

@@ -1,0 +1,8 @@
+"""Seeded violation: a silent broad handler on the transport hot path."""
+
+
+def close_quietly(sock):
+    try:
+        sock.close()
+    except Exception:
+        pass

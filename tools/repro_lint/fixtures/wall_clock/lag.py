@@ -1,0 +1,12 @@
+"""Seeded violations: wall-clock readings in lag and deadline math."""
+
+import time
+
+
+def lag_seconds(last_applied):
+    now = time.time()
+    return now - last_applied
+
+
+def deadline_passed(deadline):
+    return time.time() > deadline

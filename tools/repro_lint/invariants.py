@@ -1,0 +1,246 @@
+"""Targeted invariant lints grown from bugs this repo has actually had.
+
+* ``wall-clock-arith`` — ``time.time()`` may be *stored* (lease stamps,
+  trace display timestamps) but never *subtracted or compared*: lag,
+  deadline and duration math must use the monotonic clocks, because a
+  stepped wall clock turns a replica's lag negative or a deadline into a
+  multi-hour hang.
+
+* ``swallowed-exception`` — in the durability hot paths (WAL, admission,
+  transport, compaction) a bare/broad handler whose body neither
+  re-raises, nor logs, nor even reads the caught exception makes the
+  next durability bug invisible; PR 5's WAL seq-gap fix was exactly a
+  failure path that needed to stay loud.
+
+* ``ack-before-fsync`` — in the admission commit path, no
+  ``Future.set_result`` may appear inside the exclusive write region:
+  an update ack *is* a durability ack, so success futures resolve only
+  after the region (and its WAL fsync) has exited.  Failure futures are
+  exempt — a negative ack promises nothing about disk.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set
+
+from repro_lint.model import Finding, SourceFile
+
+RULE_WALLCLOCK = "wall-clock-arith"
+RULE_SWALLOW = "swallowed-exception"
+RULE_ACK = "ack-before-fsync"
+
+#: Path fragments that mark a file as a durability/serving hot path for
+#: the swallowed-exception rule.
+HOT_PATHS = (
+    "store/wal.py",
+    "service/admission.py",
+    "service/compaction.py",
+    "service/transport/",
+)
+
+#: Exception types too broad to swallow silently.
+_BROAD_TYPES = {"Exception", "BaseException"}
+
+#: Call names that count as "the handler reported the failure".
+_LOG_HINTS = ("log", "warn", "error", "exception", "debug", "info", "print")
+
+
+def _is_time_time(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "time"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "time"
+    )
+
+
+# --------------------------------------------------------------------- #
+# wall-clock-arith
+# --------------------------------------------------------------------- #
+def check_wall_clock(sources: Sequence[SourceFile]) -> List[Finding]:
+    """Flag arithmetic/comparisons on wall-clock readings."""
+    findings: List[Finding] = []
+    for source in sources:
+        for func in ast.walk(source.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            tainted: Set[str] = set()
+            for stmt in ast.walk(func):
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and _is_time_time(stmt.value)
+                ):
+                    tainted.add(stmt.targets[0].id)
+
+            def is_wall(node: ast.AST) -> bool:
+                if _is_time_time(node):
+                    return True
+                return isinstance(node, ast.Name) and node.id in tainted
+
+            for node in ast.walk(func):
+                if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                    operands = [node.left, node.right]
+                elif isinstance(node, ast.Compare):
+                    operands = [node.left, *node.comparators]
+                else:
+                    continue
+                if any(is_wall(operand) for operand in operands):
+                    findings.append(
+                        Finding(
+                            rule=RULE_WALLCLOCK,
+                            path=source.relpath,
+                            line=node.lineno,
+                            message=(
+                                "wall-clock time.time() used in lag/deadline"
+                                " arithmetic — use time.monotonic() /"
+                                " time.perf_counter() (wall clocks step)"
+                            ),
+                        )
+                    )
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# swallowed-exception
+# --------------------------------------------------------------------- #
+def _handler_is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in types:
+        name = node.attr if isinstance(node, ast.Attribute) else (
+            node.id if isinstance(node, ast.Name) else None
+        )
+        if name in _BROAD_TYPES:
+            return True
+    return False
+
+
+def _handler_reports(handler: ast.ExceptHandler) -> bool:
+    """True when the body re-raises, logs, or reads the caught exception."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if name and any(hint in name.lower() for hint in _LOG_HINTS):
+                return True
+        if (
+            handler.name
+            and isinstance(node, ast.Name)
+            and node.id == handler.name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return True
+    return False
+
+
+def check_swallowed(sources: Sequence[SourceFile]) -> List[Finding]:
+    """Flag silent broad handlers in the durability hot paths."""
+    findings: List[Finding] = []
+    for source in sources:
+        normalized = source.relpath.replace("\\", "/")
+        if not any(fragment in normalized for fragment in HOT_PATHS):
+            continue
+        for handler in ast.walk(source.tree):
+            if not isinstance(handler, ast.ExceptHandler):
+                continue
+            if _handler_is_broad(handler) and not _handler_reports(handler):
+                findings.append(
+                    Finding(
+                        rule=RULE_SWALLOW,
+                        path=source.relpath,
+                        line=handler.lineno,
+                        message=(
+                            "broad except swallows silently in a durability"
+                            " hot path — narrow the type, log, or re-raise"
+                        ),
+                    )
+                )
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# ack-before-fsync
+# --------------------------------------------------------------------- #
+def _write_region(func: ast.FunctionDef) -> Optional[ast.With]:
+    """The ``with self.<lock>.write():`` statement in ``func``, if any."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.With):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "write"
+            ):
+                return node
+    return None
+
+
+def check_ack_ordering(sources: Sequence[SourceFile]) -> List[Finding]:
+    """No success ack inside the admission commit's exclusive region."""
+    findings: List[Finding] = []
+    for source in sources:
+        normalized = source.relpath.replace("\\", "/")
+        if not normalized.endswith("service/admission.py"):
+            continue
+        for func in ast.walk(source.tree):
+            if not (
+                isinstance(func, ast.FunctionDef) and func.name == "_commit"
+            ):
+                continue
+            region = _write_region(func)
+            if region is None:
+                findings.append(
+                    Finding(
+                        rule=RULE_ACK,
+                        path=source.relpath,
+                        line=func.lineno,
+                        message=(
+                            "_commit has no exclusive write region — the"
+                            " fsync-before-ack invariant is unverifiable"
+                        ),
+                    )
+                )
+                continue
+            end = region.end_lineno or region.lineno
+            for node in ast.walk(region):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "set_result"
+                    and region.lineno <= node.lineno <= end
+                ):
+                    findings.append(
+                        Finding(
+                            rule=RULE_ACK,
+                            path=source.relpath,
+                            line=node.lineno,
+                            message=(
+                                "future resolved inside the exclusive write"
+                                " region — acks must follow the WAL fsync"
+                                " (update ack == durability ack)"
+                            ),
+                        )
+                    )
+    return findings
+
+
+def run_all(sources: Sequence[SourceFile]) -> List[Finding]:
+    """All invariant lints over ``sources``."""
+    findings: List[Finding] = []
+    findings.extend(check_wall_clock(sources))
+    findings.extend(check_swallowed(sources))
+    findings.extend(check_ack_ordering(sources))
+    return findings

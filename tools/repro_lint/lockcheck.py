@@ -1,0 +1,344 @@
+"""Runtime lock-order detector: instrumented locks behind an env var.
+
+:func:`install` monkeypatches the ``threading`` lock factories
+(``Lock`` / ``RLock`` / ``Condition``'s internal lock) with thin
+proxies that record, per thread, the stack of locks currently held and,
+globally, every *acquisition-order edge* — "lock B was acquired while
+lock A was held".  Locks are named by their creation site
+(``file:line``), so every lock created at one site is one node: the
+graph is the program's lock *ordering discipline*, not its object
+population.
+
+Same activation pattern as the chaos failpoints — zero cost when off:
+nothing in ``src/`` imports this module; ``tests/conftest.py`` installs
+it only when ``REPRO_LOCKCHECK=1``, and the tier-2 concurrency/chaos CI
+jobs assert :func:`assert_clean` at session end: the observed graph must
+be acyclic (no lock-order inversion was *executed*; an inversion means
+two threads can deadlock under the right interleaving) and no hold may
+exceed ``REPRO_LOCKCHECK_MAX_HOLD_MS`` when that is set.
+
+The proxies implement the public lock API plus the private hooks the
+stdlib probes for — ``Condition``'s ``_release_save`` /
+``_acquire_restore`` / ``_is_owned`` (so an RLock-backed condition keeps
+correct ownership across ``wait()``) and ``_at_fork_reinit`` (so
+``os.register_at_fork`` handlers such as ``concurrent.futures``'s keep
+working) — each keeping the per-thread held stack truthful.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+ENV_VAR = "REPRO_LOCKCHECK"
+HOLD_ENV_VAR = "REPRO_LOCKCHECK_MAX_HOLD_MS"
+
+_original_lock = threading.Lock
+_original_rlock = threading.RLock
+
+#: Internal mutex guarding the global graph; created with the *original*
+#: factory and never tracked, so the tracker cannot deadlock itself.
+_graph_lock = _original_lock()
+
+#: (holder serial, acquired serial) object-level ordering edges.
+_obj_edges: Set[Tuple[int, int]] = set()
+#: lock serial -> creation site.
+_site_of: Dict[int, str] = {}
+#: (from_site, to_site) -> "thread-name" witness for diagnostics.
+_edge_witness: Dict[Tuple[str, str], str] = {}
+#: (site, held-for-seconds, thread) records exceeding the threshold.
+_hold_violations: List[Tuple[str, float, str]] = []
+
+_tls = threading.local()
+_installed = False
+_hold_threshold: Optional[float] = None
+_serials = iter(range(1, 1 << 62))
+
+
+def _held_stack() -> List[Tuple[int, str]]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def _creation_site() -> str:
+    """``file:line`` of the frame that created the lock (first frame
+    outside this module)."""
+    frame = sys._getframe(2)
+    here = __file__
+    while frame is not None and frame.f_code.co_filename == here:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - interpreter teardown
+        return "<unknown>"
+    filename = frame.f_code.co_filename
+    for marker in ("/src/", "/tools/", "/tests/", "/benchmarks/"):
+        index = filename.rfind(marker)
+        if index >= 0:
+            filename = filename[index + 1 :]
+            break
+    return f"{filename}:{frame.f_lineno}"
+
+
+class TrackedLock:
+    """Proxy over a real lock recording acquisition order and hold time."""
+
+    __slots__ = ("_lock", "_site", "_serial", "_acquired_at")
+
+    def __init__(self, real_lock, site: Optional[str] = None) -> None:
+        self._lock = real_lock
+        self._site = site or _creation_site()
+        self._serial = next(_serials)
+        self._acquired_at: Dict[int, float] = {}
+        with _graph_lock:
+            _site_of[self._serial] = self._site
+
+    # -- lock API ---------------------------------------------------- #
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._note_acquired()
+        return acquired
+
+    def release(self) -> None:
+        self._note_released()
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TrackedLock {self._site} wrapping {self._lock!r}>"
+
+    # -- Condition protocol ------------------------------------------- #
+    # threading.Condition probes its lock for these; without them an
+    # RLock-backed condition would misdetect ownership via the
+    # acquire(0) fallback (a re-entrant acquire *succeeds* for the
+    # owner).  Each keeps the held stack truthful across wait().
+    def _release_save(self):
+        self._strip_thread_state()
+        inner = getattr(self._lock, "_release_save", None)
+        if inner is not None:
+            return inner()
+        self._lock.release()
+        return None
+
+    def _acquire_restore(self, state) -> None:
+        inner = getattr(self._lock, "_acquire_restore", None)
+        if inner is not None:
+            inner(state)
+        else:
+            self._lock.acquire()
+        self._note_acquired()
+
+    def _is_owned(self) -> bool:
+        inner = getattr(self._lock, "_is_owned", None)
+        if inner is not None:
+            return inner()
+        if self._lock.acquire(False):
+            self._lock.release()
+            return False
+        return True
+
+    def _recursion_count(self) -> int:
+        """RLock depth for this thread (``multiprocessing`` probes this)."""
+        return self._lock._recursion_count()
+
+    def _at_fork_reinit(self) -> None:
+        """Reset after fork (``os.register_at_fork`` handlers call this)."""
+        self._lock._at_fork_reinit()
+        self._acquired_at.clear()
+
+    def _strip_thread_state(self) -> None:
+        """Drop every held-stack entry of this lock for this thread."""
+        stack = _held_stack()
+        me = self._serial
+        stack[:] = [entry for entry in stack if entry[0] != me]
+        self._acquired_at.pop(threading.get_ident(), None)
+
+    # -- bookkeeping -------------------------------------------------- #
+    def _note_acquired(self) -> None:
+        stack = _held_stack()
+        me = self._serial
+        depth = sum(1 for serial, _ in stack if serial == me)
+        stack.append((me, self._site))
+        if depth:
+            return  # re-entrant RLock acquire: not a new ordering event
+        self._acquired_at[threading.get_ident()] = time.perf_counter()
+        held = {(serial, site) for serial, site in stack[:-1] if serial != me}
+        if held:
+            thread = threading.current_thread().name
+            with _graph_lock:
+                for serial, site in held:
+                    edge = (serial, me)
+                    if edge not in _obj_edges:
+                        _obj_edges.add(edge)
+                        _edge_witness.setdefault((site, self._site), thread)
+
+    def _note_released(self) -> None:
+        stack = _held_stack()
+        me = self._serial
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] == me:
+                del stack[index]
+                break
+        if any(serial == me for serial, _ in stack):
+            return  # still re-entrantly held
+        ident = threading.get_ident()
+        started = self._acquired_at.pop(ident, None)
+        if started is not None and _hold_threshold is not None:
+            held_for = time.perf_counter() - started
+            if held_for > _hold_threshold:
+                with _graph_lock:
+                    _hold_violations.append(
+                        (self._site, held_for, threading.current_thread().name)
+                    )
+
+
+def _tracked_lock_factory():
+    return TrackedLock(_original_lock())
+
+
+def _tracked_rlock_factory():
+    return TrackedLock(_original_rlock())
+
+
+def install(hold_threshold_ms: Optional[float] = None) -> None:
+    """Patch the ``threading`` lock factories; idempotent.
+
+    ``threading.Condition()`` with no explicit lock calls the module's
+    ``RLock`` binding, so conditions are tracked for free.  Modules that
+    bound ``threading.Lock`` before installation keep raw locks — install
+    from ``conftest.py`` before the code under test is imported.
+    """
+    global _installed, _hold_threshold
+    if _installed:
+        return
+    if hold_threshold_ms is None:
+        raw = os.environ.get(HOLD_ENV_VAR)
+        hold_threshold_ms = float(raw) if raw else None
+    _hold_threshold = (
+        hold_threshold_ms / 1000.0 if hold_threshold_ms is not None else None
+    )
+    threading.Lock = _tracked_lock_factory
+    threading.RLock = _tracked_rlock_factory
+    _installed = True
+
+
+def uninstall() -> None:
+    """Restore the original factories (tests of the tracker itself)."""
+    global _installed
+    threading.Lock = _original_lock
+    threading.RLock = _original_rlock
+    _installed = False
+
+
+def reset() -> None:
+    """Drop all recorded edges and violations (keeps installation)."""
+    with _graph_lock:
+        _obj_edges.clear()
+        _edge_witness.clear()
+        del _hold_violations[:]
+
+
+def is_active() -> bool:
+    """True when :func:`install` has patched the factories."""
+    return _installed
+
+
+def edges() -> Dict[str, Set[str]]:
+    """The acquisition-order graph projected onto creation sites.
+
+    A site-level self-loop is kept only when two *distinct* locks from
+    that site were observed nested in both orders (a genuine inversion);
+    one-directional nesting of same-site locks (e.g. a parent/child
+    hierarchy) is not a cycle.
+    """
+    with _graph_lock:
+        obj_edges = set(_obj_edges)
+        site_of = dict(_site_of)
+    graph: Dict[str, Set[str]] = defaultdict(set)
+    for holder, acquired in obj_edges:
+        a, b = site_of.get(holder, "?"), site_of.get(acquired, "?")
+        if a != b:
+            graph[a].add(b)
+            graph.setdefault(b, set())
+        elif (acquired, holder) in obj_edges:
+            graph[a].add(a)  # same-site inversion between two locks
+    return dict(graph)
+
+
+def hold_violations() -> List[Tuple[str, float, str]]:
+    """Copy of recorded over-threshold holds."""
+    with _graph_lock:
+        return list(_hold_violations)
+
+
+def find_cycles() -> List[List[str]]:
+    """Cycles in the recorded graph, each as a closed site path."""
+    graph = edges()
+    cycles: List[List[str]] = []
+    visiting: List[str] = []
+    done: Set[str] = set()
+    on_path: Set[str] = set()
+
+    def visit(site: str) -> None:
+        if site in done:
+            return
+        visiting.append(site)
+        on_path.add(site)
+        for successor in sorted(graph.get(site, ())):
+            if successor in on_path:
+                start = visiting.index(successor)
+                cycles.append(visiting[start:] + [successor])
+            else:
+                visit(successor)
+        on_path.discard(site)
+        visiting.pop()
+        done.add(site)
+
+    for site in sorted(graph):
+        visit(site)
+    return cycles
+
+
+def report() -> str:
+    """Human-readable summary of the recorded graph and violations."""
+    graph = edges()
+    edge_count = sum(len(successors) for successors in graph.values())
+    lines = [
+        f"lockcheck: {len(graph)} lock site(s), {edge_count} ordering edge(s)"
+    ]
+    for cycle in find_cycles():
+        witness = " / ".join(
+            _edge_witness.get((a, b), "?")
+            for a, b in zip(cycle, cycle[1:])
+        )
+        lines.append(
+            "  CYCLE: " + " -> ".join(cycle) + f"  (threads: {witness})"
+        )
+    for site, held_for, thread in hold_violations():
+        lines.append(
+            f"  HOLD: {site} held {held_for * 1000.0:.1f} ms by {thread}"
+        )
+    return "\n".join(lines)
+
+
+def assert_clean() -> None:
+    """Raise ``AssertionError`` when the graph has a cycle or a hold
+    exceeded the threshold."""
+    cycles = find_cycles()
+    holds = hold_violations()
+    if cycles or holds:
+        raise AssertionError(report())

@@ -1,0 +1,629 @@
+"""Lock-discipline analysis: acquisition-order graph + blocking calls.
+
+Extracts every lock a class (or module) owns — ``self._x = threading.Lock()
+/ RLock() / Condition() / RWLock()`` and module-level equivalents — then
+walks each function tracking the stack of locks held via ``with`` blocks
+(and bare ``.acquire()`` calls).  Two rule families come out of the walk:
+
+* ``lock-order-cycle`` — an edge A->B is recorded whenever B is acquired
+  while A is held, including *transitively*: a call made inside a lock
+  region contributes the locks the callee (recursively) acquires.  Locks
+  threaded through constructors are unified first (``service`` passes its
+  ``RWLock`` into ``AdmissionQueue(write_lock=...)``; both names are one
+  lock), then the canonical graph must be acyclic.
+
+* ``blocking-under-lock`` — a blocking call (``sendall``/``recv``/
+  ``fsync``/``sleep``/``subprocess.*``) lexically inside, or reachable
+  through calls made inside, a lock region.  Findings anchor at the
+  ``with`` line so an intentional site carries its pragma next to the
+  comment justifying it.
+
+Call resolution is deliberately shallow-but-honest: ``self.method()``,
+``self.attr.method()`` where the attribute's class is known from a
+constructor assignment, and bare names that resolve uniquely to a
+module-level function in the analyzed tree.  Anything dynamic
+(``getattr``, module aliases) is skipped rather than guessed, trading
+recall for a zero-noise default on today's source.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro_lint.model import Finding, SourceFile
+
+RULE_CYCLE = "lock-order-cycle"
+RULE_BLOCKING = "blocking-under-lock"
+
+#: Constructor names that create a mutex-like object.
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "RWLock"}
+
+#: Attribute names whose call blocks the thread (socket/file/timer).
+_BLOCKING_ATTRS = {"sendall", "recv", "recv_into", "fsync", "sleep"}
+
+#: Cap on call-chain witnesses in messages.
+_MAX_CHAIN = 4
+
+
+def _is_self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _call_name(func: ast.AST) -> Optional[str]:
+    """Final name of a call target (``threading.Lock`` -> ``Lock``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@dataclass
+class ClassInfo:
+    module: str
+    name: str
+    node: ast.ClassDef
+    lock_attrs: Set[str] = field(default_factory=set)
+    #: __init__ param name -> the ``self.`` attr it is stored into
+    param_locks: Dict[str, str] = field(default_factory=dict)
+    #: ``self.`` attr -> class name it was constructed from
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    init_params: List[str] = field(default_factory=list)
+
+    def lock_key(self, attr: str) -> str:
+        return f"{self.module}:{self.name}.{attr}"
+
+
+@dataclass
+class FunctionSummary:
+    fid: Tuple[str, Optional[str], str]  #: (module, class, name)
+    relpath: str
+    #: blocking calls made directly in this function: (desc, lineno)
+    direct_blocking: List[Tuple[str, int]] = field(default_factory=list)
+    #: resolved callees: set of function ids
+    callees: Set[Tuple[str, Optional[str], str]] = field(default_factory=set)
+    #: lock keys this function acquires anywhere in its body
+    acquired: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class LockRegion:
+    """One ``with <lock>:`` block in one function."""
+
+    fid: Tuple[str, Optional[str], str]
+    relpath: str
+    lock_key: str
+    mode: str  #: "", "read" or "write" (RWLock regions)
+    lineno: int
+    blocking: List[Tuple[str, int]] = field(default_factory=list)
+    callees: List[Tuple[Tuple[str, Optional[str], str], int]] = field(default_factory=list)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def find(self, key: str) -> str:
+        parent = self._parent.setdefault(key, key)
+        if parent != key:
+            parent = self.find(parent)
+            self._parent[key] = parent
+        return parent
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Deterministic canonical representative: lexicographic min.
+            lo, hi = sorted((ra, rb))
+            self._parent[hi] = lo
+
+
+class LockGraphAnalyzer:
+    """Whole-tree analysis; construct once, then :meth:`run`."""
+
+    def __init__(self, sources: Sequence[SourceFile]) -> None:
+        self.sources = list(sources)
+        self.classes: Dict[str, ClassInfo] = {}  #: class name -> info
+        self.module_locks: Dict[str, Dict[str, str]] = {}  #: module -> name -> key
+        self.functions: Dict[Tuple[str, Optional[str], str], ast.FunctionDef] = {}
+        self.func_source: Dict[Tuple[str, Optional[str], str], SourceFile] = {}
+        self.summaries: Dict[Tuple[str, Optional[str], str], FunctionSummary] = {}
+        self.regions: List[LockRegion] = []
+        self.edges: List[Tuple[str, str, str, int]] = []  #: (from, to, relpath, line)
+        self.aliases = _UnionFind()
+
+    # ---------------------------------------------------------------- #
+    # Pass 1: inventory classes, locks, functions
+    # ---------------------------------------------------------------- #
+    def _collect(self) -> None:
+        for source in self.sources:
+            module = source.relpath
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    self._collect_class(module, node, source)
+            # Module-level locks and functions.
+            for stmt in getattr(source.tree, "body", []):
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    if isinstance(target, ast.Name) and self._is_lock_factory(stmt.value):
+                        self.module_locks.setdefault(module, {})[target.id] = (
+                            f"{module}:{target.id}"
+                        )
+                elif isinstance(stmt, ast.FunctionDef):
+                    fid = (module, None, stmt.name)
+                    self.functions[fid] = stmt
+                    self.func_source[fid] = source
+
+    @staticmethod
+    def _is_lock_factory(value: ast.AST) -> bool:
+        return (
+            isinstance(value, ast.Call)
+            and _call_name(value.func) in _LOCK_FACTORIES
+        )
+
+    def _collect_class(
+        self, module: str, node: ast.ClassDef, source: SourceFile
+    ) -> None:
+        info = ClassInfo(module=module, name=node.name, node=node)
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            info.methods[item.name] = item
+            fid = (module, node.name, item.name)
+            self.functions[fid] = item
+            self.func_source[fid] = source
+            if item.name == "__init__":
+                info.init_params = [arg.arg for arg in item.args.args[1:]]
+        for method in info.methods.values():
+            self._scan_attr_assignments(info, method)
+        # First definition wins on a (rare) duplicate class name; the
+        # analysis only needs *a* consistent view per name.
+        self.classes.setdefault(node.name, info)
+
+    def _scan_attr_assignments(self, info: ClassInfo, func: ast.FunctionDef) -> None:
+        # One-hop local propagation: ``v = ClassName(...)`` then
+        # ``self.x = v`` still records the attribute's type.
+        local_types: Dict[str, str] = {}
+        params = {arg.arg for arg in func.args.args[1:]}
+        for stmt in ast.walk(func):
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+                continue
+            target = stmt.targets[0]
+            value = stmt.value
+            if isinstance(target, ast.Name) and isinstance(value, ast.Call):
+                name = _call_name(value.func)
+                if name and name[:1].isupper():
+                    local_types[target.id] = name
+                continue
+            attr = _is_self_attr(target)
+            if attr is None:
+                continue
+            if self._is_lock_factory(value):
+                info.lock_attrs.add(attr)
+            elif isinstance(value, ast.Name):
+                ref = value.id
+                if ref in params and ("lock" in attr or "cond" in attr or "lock" in ref):
+                    # Lock threaded in through the constructor.
+                    info.lock_attrs.add(attr)
+                    info.param_locks[ref] = attr
+                elif ref in local_types:
+                    info.attr_types[attr] = local_types[ref]
+            elif isinstance(value, ast.Call):
+                name = _call_name(value.func)
+                if name and name[:1].isupper() and name not in _LOCK_FACTORIES:
+                    info.attr_types[attr] = name
+
+    # ---------------------------------------------------------------- #
+    # Pass 2: constructor aliasing (one lock, two owners)
+    # ---------------------------------------------------------------- #
+    def _unify_constructor_locks(self) -> None:
+        for fid, func in self.functions.items():
+            module, class_name, _ = fid
+            owner = self.classes.get(class_name) if class_name else None
+            if owner is None:
+                continue
+            for call in ast.walk(func):
+                if not isinstance(call, ast.Call):
+                    continue
+                callee_name = _call_name(call.func)
+                callee = self.classes.get(callee_name) if callee_name else None
+                if callee is None or not callee.param_locks:
+                    continue
+                for index, arg in enumerate(call.args):
+                    self._maybe_union(owner, callee, self._param_at(callee, index), arg)
+                for keyword in call.keywords:
+                    self._maybe_union(owner, callee, keyword.arg, keyword.value)
+
+    @staticmethod
+    def _param_at(callee: ClassInfo, index: int) -> Optional[str]:
+        if 0 <= index < len(callee.init_params):
+            return callee.init_params[index]
+        return None
+
+    def _maybe_union(
+        self,
+        owner: ClassInfo,
+        callee: ClassInfo,
+        param: Optional[str],
+        arg: ast.AST,
+    ) -> None:
+        if param is None or param not in callee.param_locks:
+            return
+        attr = _is_self_attr(arg)
+        if attr is not None and attr in owner.lock_attrs:
+            self.aliases.union(
+                owner.lock_key(attr), callee.lock_key(callee.param_locks[param])
+            )
+
+    # ---------------------------------------------------------------- #
+    # Pass 3: per-function walk (regions, blocking, callees, edges)
+    # ---------------------------------------------------------------- #
+    def _walk_functions(self) -> None:
+        for fid, func in self.functions.items():
+            source = self.func_source[fid]
+            summary = FunctionSummary(fid=fid, relpath=source.relpath)
+            self.summaries[fid] = summary
+            walker = _FunctionWalker(self, fid, summary, source)
+            walker.walk(func)
+
+    def resolve_lock_expr(
+        self, expr: ast.AST, class_name: Optional[str], module: str
+    ) -> Optional[Tuple[str, str]]:
+        """``(lock_key, mode)`` for a with-item / acquire target, or None."""
+        info = self.classes.get(class_name) if class_name else None
+        # with self._lock:
+        attr = _is_self_attr(expr)
+        if attr is not None and info is not None and attr in info.lock_attrs:
+            return info.lock_key(attr), ""
+        # with self._rw.read() / .write():
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in ("read", "write")
+        ):
+            attr = _is_self_attr(expr.func.value)
+            if attr is not None and info is not None and attr in info.lock_attrs:
+                return info.lock_key(attr), expr.func.attr
+        # with _module_level_lock:
+        if isinstance(expr, ast.Name):
+            key = self.module_locks.get(module, {}).get(expr.id)
+            if key is not None:
+                return key, ""
+        return None
+
+    def resolve_callee(
+        self, call: ast.Call, class_name: Optional[str], module: str
+    ) -> Optional[Tuple[str, Optional[str], str]]:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            attr = _is_self_attr(func.value)
+            if func.value.__class__ is ast.Name and func.value.id == "self":
+                # self.method()
+                fid = (module, class_name, func.attr)
+                return fid if fid in self.functions else None
+            if attr is not None and class_name is not None:
+                # self.attr.method(): resolve attr's class if known.
+                owner = self.classes.get(class_name)
+                type_name = owner.attr_types.get(attr) if owner else None
+                target = self.classes.get(type_name) if type_name else None
+                if target is not None and func.attr in target.methods:
+                    return (target.module, target.name, func.attr)
+            return None
+        if isinstance(func, ast.Name):
+            matches = [
+                fid
+                for fid in self.functions
+                if fid[1] is None and fid[2] == func.id
+            ]
+            if len(matches) == 1:
+                return matches[0]
+        return None
+
+    @staticmethod
+    def classify_blocking(call: ast.Call) -> Optional[str]:
+        """A human-readable description when ``call`` blocks, else None."""
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _BLOCKING_ATTRS:
+                return func.attr
+            if isinstance(func.value, ast.Name) and func.value.id == "subprocess":
+                return f"subprocess.{func.attr}"
+        return None
+
+    # ---------------------------------------------------------------- #
+    # Pass 4: summary fixpoint + findings
+    # ---------------------------------------------------------------- #
+    def _propagate(self) -> Tuple[
+        Dict[Tuple[str, Optional[str], str], Dict[str, str]],
+        Dict[Tuple[str, Optional[str], str], Set[str]],
+    ]:
+        """Transitive blocking calls and lock acquisitions per function.
+
+        Returns ``(blocking, acquires)`` where ``blocking[fid]`` maps a
+        blocking-call description to a witness call chain and
+        ``acquires[fid]`` is the set of lock keys reachable from ``fid``.
+        """
+        blocking: Dict[Tuple[str, Optional[str], str], Dict[str, str]] = {}
+        acquires: Dict[Tuple[str, Optional[str], str], Set[str]] = {}
+        for fid, summary in self.summaries.items():
+            blocking[fid] = {desc: desc for desc, _ in summary.direct_blocking}
+            acquires[fid] = set(summary.acquired)
+        changed = True
+        iterations = 0
+        while changed and iterations < 50:
+            changed = False
+            iterations += 1
+            for fid, summary in self.summaries.items():
+                for callee in summary.callees:
+                    if callee not in self.summaries:
+                        continue
+                    callee_label = callee[2] + "()"
+                    for desc, chain in blocking[callee].items():
+                        if desc not in blocking[fid]:
+                            if chain.count("->") < _MAX_CHAIN:
+                                blocking[fid][desc] = f"{callee_label} -> {chain}"
+                            else:
+                                blocking[fid][desc] = chain
+                            changed = True
+                    missing = acquires[callee] - acquires[fid]
+                    if missing:
+                        acquires[fid] |= missing
+                        changed = True
+        return blocking, acquires
+
+    def run(self) -> List[Finding]:
+        """Full analysis; returns unwaived findings."""
+        self._collect()
+        self._unify_constructor_locks()
+        self._walk_functions()
+        blocking, acquires = self._propagate()
+
+        findings: List[Finding] = []
+        findings.extend(self._blocking_findings(blocking))
+        findings.extend(self._cycle_findings(acquires))
+        return findings
+
+    def _blocking_findings(self, blocking) -> List[Finding]:
+        findings = []
+        seen: Set[Tuple[str, int, str]] = set()
+        for region in self.regions:
+            label = region.lock_key + (f".{region.mode}()" if region.mode else "")
+            for desc, lineno in region.blocking:
+                key = (region.relpath, region.lineno, desc)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    Finding(
+                        rule=RULE_BLOCKING,
+                        path=region.relpath,
+                        line=region.lineno,
+                        message=(
+                            f"blocking call '{desc}' (line {lineno}) while"
+                            f" holding {label}"
+                        ),
+                    )
+                )
+            for callee, lineno in region.callees:
+                chains = blocking.get(callee, {})
+                for desc, chain in chains.items():
+                    key = (region.relpath, region.lineno, desc)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    findings.append(
+                        Finding(
+                            rule=RULE_BLOCKING,
+                            path=region.relpath,
+                            line=region.lineno,
+                            message=(
+                                f"blocking call '{desc}' reachable while"
+                                f" holding {label} via {callee[2]}() -> {chain}"
+                                f" (call at line {lineno})"
+                            ),
+                        )
+                    )
+        return findings
+
+    def _cycle_findings(self, acquires) -> List[Finding]:
+        # Materialise transitive edges: a call inside a region implies the
+        # region's lock precedes every lock the callee acquires.
+        edges = list(self.edges)
+        for region in self.regions:
+            for callee, lineno in region.callees:
+                for key in acquires.get(callee, ()):  # may be empty
+                    edges.append((region.lock_key, key, region.relpath, lineno))
+
+        graph: Dict[str, Set[str]] = {}
+        sites: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        for src, dst, relpath, lineno in edges:
+            a, b = self.aliases.find(src), self.aliases.find(dst)
+            if a == b:
+                continue  # re-entrant / aliased self-edge: not an inversion
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+            sites.setdefault((a, b), (relpath, lineno))
+
+        findings = []
+        for component in _strongly_connected(graph):
+            if len(component) < 2:
+                continue
+            ordered = sorted(component)
+            witness = None
+            for a in ordered:
+                for b in graph.get(a, ()):  # first in-component edge
+                    if b in component:
+                        witness = sites.get((a, b), ("<unknown>", 0))
+                        break
+                if witness:
+                    break
+            relpath, lineno = witness or ("<unknown>", 0)
+            findings.append(
+                Finding(
+                    rule=RULE_CYCLE,
+                    path=relpath,
+                    line=lineno,
+                    message=(
+                        "lock-order inversion: cycle through "
+                        + " <-> ".join(ordered)
+                    ),
+                )
+            )
+        return findings
+
+
+class _FunctionWalker:
+    """Walk one function body maintaining the held-lock stack."""
+
+    def __init__(
+        self,
+        analyzer: LockGraphAnalyzer,
+        fid: Tuple[str, Optional[str], str],
+        summary: FunctionSummary,
+        source: SourceFile,
+    ) -> None:
+        self.analyzer = analyzer
+        self.module, self.class_name, _ = fid
+        self.fid = fid
+        self.summary = summary
+        self.source = source
+        self.held: List[LockRegion] = []
+
+    def walk(self, func: ast.FunctionDef) -> None:
+        for stmt in func.body:
+            self._visit(stmt)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested definitions run later, under their own stack
+        if isinstance(node, ast.Call):
+            self._visit_call(node)
+            return  # _visit_call walks its own children
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_with(self, node: ast.With) -> None:
+        opened: List[LockRegion] = []
+        for item in node.items:
+            resolved = self.analyzer.resolve_lock_expr(
+                item.context_expr, self.class_name, self.module
+            )
+            if resolved is None:
+                # Still scan the expression itself (e.g. a call guard).
+                self._visit(item.context_expr)
+                continue
+            key, mode = resolved
+            self._record_acquisition(key, node.lineno)
+            region = LockRegion(
+                fid=self.fid,
+                relpath=self.source.relpath,
+                lock_key=key,
+                mode=mode,
+                lineno=node.lineno,
+            )
+            self.analyzer.regions.append(region)
+            self.held.append(region)
+            opened.append(region)
+        for stmt in node.body:
+            self._visit(stmt)
+        for region in opened:
+            self.held.remove(region)
+
+    def _visit_call(self, call: ast.Call) -> None:
+        # Bare .acquire() on a known lock: an acquisition without a region.
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+            resolved = self.analyzer.resolve_lock_expr(
+                func.value, self.class_name, self.module
+            )
+            if resolved is not None:
+                self._record_acquisition(resolved[0], call.lineno)
+
+        desc = self.analyzer.classify_blocking(call)
+        if desc is not None:
+            self.summary.direct_blocking.append((desc, call.lineno))
+            for region in self.held:
+                region.blocking.append((desc, call.lineno))
+
+        callee = self.analyzer.resolve_callee(call, self.class_name, self.module)
+        if callee is not None:
+            self.summary.callees.add(callee)
+            for region in self.held:
+                region.callees.append((callee, call.lineno))
+        # Arguments may hold further calls (``f(g())``); keep walking.
+        for child in ast.iter_child_nodes(call):
+            self._visit(child)
+
+    def _record_acquisition(self, key: str, lineno: int) -> None:
+        self.summary.acquired.add(key)
+        for region in self.held:
+            self.analyzer.edges.append(
+                (region.lock_key, key, self.source.relpath, lineno)
+            )
+
+
+def _strongly_connected(graph: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Tarjan's SCC, iterative (the graph is tiny but recursion-free
+    keeps fixture-crafted pathological graphs safe)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[Set[str]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index:
+            continue
+        work = [(root, iter(graph[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(graph[child])))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+def analyze(sources: Sequence[SourceFile]) -> List[Finding]:
+    """Run the lock-discipline analysis over ``sources``."""
+    return LockGraphAnalyzer(sources).run()

@@ -1,0 +1,115 @@
+"""Shared plumbing for the static half: findings, sources, waivers.
+
+A *finding* is one rule violation anchored at a ``path:line``.  Findings
+can be waived in the source itself with a line pragma::
+
+    with self._sync_lock:  # repro-lint: allow[blocking-under-lock]
+
+The pragma names the rule(s) it waives and applies to findings reported
+on that exact line — which is why rules anchor their findings at the
+statement that *owns* the decision (the ``with`` line for lock-region
+rules, the ``except`` line for handler rules), so one pragma sits next
+to one justifying comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+#: ``# repro-lint: allow[rule-a,rule-b]``
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*allow\[([a-z0-9_,\-\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at ``path:line``."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        """Format as a clickable ``path:line: [rule] message`` string."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """A parsed Python source file plus its per-line waiver pragmas."""
+
+    path: Path
+    relpath: str  #: path relative to the analysis root (stable in messages)
+    text: str
+    tree: ast.AST
+    waivers: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def waived(self, line: int, rule: str) -> bool:
+        """True when ``line`` carries an ``allow[...]`` pragma for ``rule``."""
+        return rule in self.waivers.get(line, set())
+
+
+def parse_waivers(text: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule ids waived on that line."""
+    waivers: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            waivers[lineno] = {rule for rule in rules if rule}
+    return waivers
+
+
+def load_source(path: Path, root: Path) -> Optional[SourceFile]:
+    """Parse one file; ``None`` when it does not parse (other gates own
+    syntax errors — the lint pass should not double-report them)."""
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError:
+        return None
+    try:
+        rel = str(path.relative_to(root))
+    except ValueError:
+        rel = str(path)
+    return SourceFile(
+        path=path,
+        relpath=rel,
+        text=text,
+        tree=tree,
+        waivers=parse_waivers(text),
+    )
+
+
+def iter_python_files(root: Path) -> Iterable[Path]:
+    """Every ``*.py`` under ``root`` (or ``root`` itself when a file)."""
+    if root.is_file():
+        yield root
+        return
+    yield from sorted(root.rglob("*.py"))
+
+
+def load_tree(root: Path) -> List[SourceFile]:
+    """Load every parseable Python file under ``root``."""
+    sources = []
+    for path in iter_python_files(root):
+        source = load_source(path, root if root.is_dir() else root.parent)
+        if source is not None:
+            sources.append(source)
+    return sources
+
+
+def drop_waived(findings: Iterable[Finding], sources: List[SourceFile]) -> List[Finding]:
+    """Filter out findings whose anchor line carries a matching pragma."""
+    by_rel = {source.relpath: source for source in sources}
+    kept = []
+    for finding in findings:
+        source = by_rel.get(finding.path)
+        if source is not None and source.waived(finding.line, finding.rule):
+            continue
+        kept.append(finding)
+    return kept
