@@ -45,6 +45,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.service.transport.framing import (
     DEFAULT_MAX_FRAME_BYTES,
     E_STALE,
+    IDEMPOTENT_OPS,
     PROTOCOL_VERSION,
     PROTOCOL_VERSION_BINARY,
     SUPPORTED_PROTOCOLS,
@@ -63,22 +64,12 @@ from repro.service.transport.framing import (
 from repro.obs.trace import get_tracer
 from repro.store.replication import ReplicationStaleError
 
-#: Request ops the client may safely re-send after a reconnect.  The
-#: replication ops are pure reads of pinned-generation state, so a mirror
-#: mid-sync survives a server restart instead of aborting the sync.
-_IDEMPOTENT_OPS = frozenset(
-    {
-        "metric",
-        "components",
-        "sweep",
-        "stats",
-        "metrics",
-        "trace",
-        "repl_manifest",
-        "repl_fetch",
-        "repl_wal",
-    }
-)
+#: Request ops the client may safely re-send after a reconnect — the wire
+#: contract's partition (``framing.IDEMPOTENT_OPS``), not a private copy
+#: that could drift into a double-apply bug.  The replication ops are
+#: pure reads of pinned-generation state, so a mirror mid-sync survives a
+#: server restart instead of aborting the sync.
+_IDEMPOTENT_OPS = IDEMPOTENT_OPS
 
 
 def _close_quietly(sock: Optional[socket.socket]) -> None:

@@ -117,6 +117,37 @@ E_UNAVAILABLE = "unavailable"  #: server is shutting down / store error
 E_STALE = "stale_generation"  #: replication op pinned a superseded generation
 E_INTERNAL = "internal"  #: unexpected server-side failure
 
+# --------------------------------------------------------------------- #
+# Op idempotency (the auto-retry contract)
+# --------------------------------------------------------------------- #
+#: Service ops a client may transparently re-send after a reconnect.
+#: Pure reads only — the replication ops read pinned-generation state, so
+#: a re-send cannot observe (let alone apply) anything twice.  The client
+#: derives its auto-retry set from this constant; keeping the partition
+#: here, next to the error codes, makes idempotency part of the wire
+#: contract rather than a per-client opinion.
+IDEMPOTENT_OPS = frozenset(
+    {
+        "metric",
+        "components",
+        "sweep",
+        "stats",
+        "metrics",
+        "trace",
+        "repl_manifest",
+        "repl_fetch",
+        "repl_wal",
+    }
+)
+
+#: Service ops that mutate server state or act as durability barriers:
+#: never auto-retried.  A connection lost after sending one loses the
+#: reply, and re-sending could apply the mutation twice — the caller must
+#: decide (at-least-once vs give-up), not the transport.  Every op the
+#: service dispatches must appear in exactly one of these two sets
+#: (enforced by ``tools/repro-lint``'s op-contract rule).
+NONIDEMPOTENT_OPS = frozenset({"add", "remove", "flush", "compact", "chaos"})
+
 
 class TransportError(Exception):
     """Base error for the socket transport layer."""
@@ -451,7 +482,9 @@ def recv_exact(
             if on_timeout(bool(buffer) or not at_boundary):
                 if at_boundary and not buffer:
                     return None
-                raise TruncatedFrameError("reader stopped while a frame was in flight")
+                raise TruncatedFrameError(
+                    "reader stopped while a frame was in flight"
+                ) from exc
             continue
         except (ConnectionError, OSError) as exc:
             raise TruncatedFrameError(f"connection lost mid-frame: {exc}") from exc

@@ -111,6 +111,7 @@ _METRIC_OPS = (
     "repl_manifest",
     "repl_wal",
     "repl_fetch",
+    "chaos",
     "batch",
     "other",
 )

@@ -1,0 +1,58 @@
+"""Cross-module wire-contract invariants, pinned as plain unit tests.
+
+``tools/repro-lint`` checks the same facts statically in CI; these tests
+assert them against the *imported* modules, so a refactor that happens to
+slip past the AST pass still fails here.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.service import QueryService
+from repro.service.transport import ServiceClient, SocketServer
+from repro.service.transport import client as client_mod
+from repro.service.transport import framing
+from repro.service.transport import server as server_mod
+from repro.store.store import IndexStore
+
+
+@pytest.fixture
+def store_path(community_hypergraph, tmp_path):
+    IndexStore.build(community_hypergraph, tmp_path / "idx", num_shards=4)
+    return str(tmp_path / "idx")
+
+
+class TestOpPartition:
+    def test_every_op_is_classified_exactly_once(self):
+        assert not framing.IDEMPOTENT_OPS & framing.NONIDEMPOTENT_OPS
+        assert framing.IDEMPOTENT_OPS and framing.NONIDEMPOTENT_OPS
+
+    def test_client_retry_set_is_the_framing_constant(self):
+        """Regression: the client kept a private copy of the retry set; a
+        mutating op landing in the stale copy would be transparently
+        re-sent after a reconnect (double-apply)."""
+        assert client_mod._IDEMPOTENT_OPS is framing.IDEMPOTENT_OPS
+
+    def test_mutating_ops_are_never_auto_retried(self):
+        for op in framing.NONIDEMPOTENT_OPS:
+            assert op not in client_mod._IDEMPOTENT_OPS, op
+
+
+class TestMetricLabelVocabulary:
+    def test_per_op_labels_cover_the_whole_contract(self):
+        """Regression: ``chaos`` was missing from the server's label
+        vocabulary, so its latency and errors were folded into
+        ``op="other"`` and invisible per-op."""
+        every_op = framing.IDEMPOTENT_OPS | framing.NONIDEMPOTENT_OPS
+        missing = every_op - set(server_mod._METRIC_OPS)
+        assert not missing, f"ops without metric labels: {sorted(missing)}"
+
+    def test_refused_chaos_op_counts_under_its_own_label(self, store_path):
+        with use_registry(MetricsRegistry()) as registry:
+            with QueryService(store_path) as svc:  # chaos control disabled
+                with SocketServer(svc) as server:
+                    with ServiceClient(*server.address) as client:
+                        response = client.call({"op": "chaos"})
+        assert not response["ok"]
+        errors = registry.get("repro_request_errors_total")
+        assert errors.labels(op="chaos", code="bad_request").value == 1
