@@ -33,7 +33,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
@@ -57,7 +57,7 @@ def _fail_future(future: Future, exc: BaseException) -> None:
         return
     try:
         future.set_exception(exc)
-    except Exception:  # resolved/cancelled in the race window
+    except InvalidStateError:  # resolved/cancelled in the race window
         pass
 
 

@@ -103,6 +103,63 @@ class TestDurability:
         assert engine.hypergraph.num_edges == community_hypergraph.num_edges + 1
 
 
+class TestFailFuture:
+    """The rejection helper tolerates exactly one race, nothing more."""
+
+    def test_already_resolved_future_is_left_alone(self):
+        from concurrent.futures import Future
+
+        from repro.service.admission import _fail_future
+
+        future = Future()
+        future.set_result(7)
+        _fail_future(future, RuntimeError("boom"))  # must not raise
+        assert future.result(timeout=0) == 7
+
+    def test_cancelled_future_is_left_alone(self):
+        from concurrent.futures import Future
+
+        from repro.service.admission import _fail_future
+
+        future = Future()
+        future.cancel()
+        _fail_future(future, RuntimeError("boom"))  # must not raise
+
+    def test_lost_race_after_the_done_check_is_tolerated(self):
+        from concurrent.futures import Future, InvalidStateError
+
+        from repro.service.admission import _fail_future
+
+        class RacyFuture(Future):
+            """Looks pending at the guard, resolves before set_exception."""
+
+            def done(self):
+                return False
+
+            def set_exception(self, exc):
+                raise InvalidStateError("resolved in the race window")
+
+        _fail_future(RacyFuture(), RuntimeError("boom"))  # must not raise
+
+    def test_unexpected_errors_are_not_swallowed(self):
+        """Regression: a bare ``except Exception`` here also hid
+        programming errors (a non-future in the queue, a broken
+        subclass) — only the benign resolution race may pass silently."""
+        from concurrent.futures import Future
+
+        from repro.service.admission import _fail_future
+
+        class BrokenFuture(Future):
+            def done(self):
+                return False
+
+            def set_exception(self, exc):
+                raise TypeError("not a real future")
+
+        with pytest.raises(TypeError):
+            _fail_future(BrokenFuture(), RuntimeError("boom"))
+
+
 class TestFailureIsolation:
     def test_bad_op_fails_its_future_only(self, persistent_engine):
         lock = RWLock()
