@@ -23,7 +23,10 @@ from typing import Optional
 from repro.obs import get_registry
 from repro.service.sync import RWLock
 from repro.store.persistent import PersistentQueryEngine
+from repro.utils.log import get_logger
 from repro.utils.validation import ValidationError
+
+_log = get_logger("service.compaction")
 
 
 @dataclass(frozen=True)
@@ -52,9 +55,7 @@ class CompactionPolicy:
             return False
         if self.max_wal_records is not None and wal_records >= self.max_wal_records:
             return True
-        if self.max_wal_bytes is not None and wal_bytes >= self.max_wal_bytes:
-            return True
-        return False
+        return self.max_wal_bytes is not None and wal_bytes >= self.max_wal_bytes
 
 
 class BackgroundCompactor:
@@ -120,7 +121,12 @@ class BackgroundCompactor:
                 self.maybe_compact()
             except Exception:
                 # Compaction failure must not kill the service loop; the
-                # WAL stays authoritative and the next tick retries.
+                # WAL stays authoritative and the next tick retries — but
+                # a silent retry loop hides a dying disk, so say so.
+                _log.warning(
+                    "background compaction failed; retrying next tick",
+                    exc_info=True,
+                )
                 continue
 
     def maybe_compact(self, force: bool = False) -> bool:

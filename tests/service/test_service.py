@@ -176,6 +176,42 @@ class TestCompaction:
         assert not policy.should_compact(3, 10**9)  # bytes threshold disabled
         assert policy.should_compact(4, 0)
 
+    def test_background_failure_is_logged_and_the_loop_survives(self, caplog):
+        """Regression: the compactor retry loop used to swallow failures
+        silently, so a dying disk looked like a healthy idle compactor."""
+        from repro.service.compaction import BackgroundCompactor
+        from repro.service.sync import RWLock
+
+        class _DyingWal:
+            path = "/nonexistent/wal"
+
+        class _DyingStore:
+            wal = _DyingWal()
+
+            def num_wal_records(self):
+                raise RuntimeError("disk died")
+
+        class _DyingEngine:
+            store = _DyingStore()
+
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.service.compaction"):
+            compactor = BackgroundCompactor(
+                _DyingEngine(), RWLock(), poll_interval=0.01
+            )
+            try:
+                deadline = time.monotonic() + 5
+                while not caplog.records and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                assert compactor._thread.is_alive()  # the tick loop survived
+            finally:
+                compactor.stop(timeout=5)
+        assert any(
+            "background compaction failed" in record.message
+            for record in caplog.records
+        )
+
 
 class TestRequestProtocol:
     def test_add_wait_and_sweep_round_trip(self, store_path):
