@@ -35,7 +35,7 @@ def test_table2_disease_ranking(disgenet, benchmark, report):
     for name in reference:
         row = [name]
         for s in S_VALUES:
-            rank = result.full_rankings[s].get(name, None)
+            rank = result.full_rankings[s].get(name)
             pct = next((p for n, _, p in result.top_ranked[s] if n == name), None)
             if rank is None:
                 row.append("absent")

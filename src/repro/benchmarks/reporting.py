@@ -58,5 +58,4 @@ def format_speedups(speedups: Mapping[str, float], baseline: str) -> str:
     """Format a speedup table relative to ``baseline``."""
     rows = [(name, value) for name, value in speedups.items()]
     rows.sort(key=lambda kv: -kv[1])
-    table = format_table(["variant", f"speedup vs {baseline}"], rows, float_format="{:.2f}")
-    return table
+    return format_table(["variant", f"speedup vs {baseline}"], rows, float_format="{:.2f}")

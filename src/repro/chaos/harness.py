@@ -184,10 +184,10 @@ class ManagedProcess:
     def wait_exit(self, timeout: float = DEFAULT_TIMEOUT) -> int:
         try:
             return self.proc.wait(timeout=timeout)
-        except subprocess.TimeoutExpired:
+        except subprocess.TimeoutExpired as exc:
             raise ScenarioError(
                 f"{self.name}: still running {timeout:.0f}s after expected exit"
-            )
+            ) from exc
 
     def terminate(self) -> None:
         """Graceful stop (SIGTERM — the CLI's drain-and-release path)."""
@@ -259,9 +259,8 @@ def metric_value(
     """First sample matching ``name`` and the given label subset."""
     wanted = [f'{k}="{v}"' for k, v in (labels or {}).items()]
     for key, value in scraped.items():
-        if key == name or key.startswith(name + "{"):
-            if all(w in key for w in wanted):
-                return value
+        if (key == name or key.startswith(name + "{")) and all(w in key for w in wanted):
+            return value
     return None
 
 

@@ -171,7 +171,7 @@ def _remote_stats(args: argparse.Namespace) -> int:
             host, port, timeout=args.timeout, connect_retries=args.connect_retries
         ).connect()
     except TransportError as exc:
-        raise SystemExit(f"connect failed: {exc}")
+        raise SystemExit(f"connect failed: {exc}") from None
     try:
         if args.raw:
             sys.stdout.write(client.metrics_text())
@@ -231,7 +231,7 @@ def _remote_stats(args: argparse.Namespace) -> int:
                 print(f"  {entry.get('duration_ms', 0):>9.3f} ms  {op}{detail}")
         return 0
     except TransportError as exc:
-        raise SystemExit(f"transport error: {exc}")
+        raise SystemExit(f"transport error: {exc}") from None
     finally:
         client.close()
 
@@ -479,7 +479,7 @@ def _parse_address(text: str) -> tuple:
     try:
         return host, int(port)
     except ValueError:
-        raise SystemExit(f"port in {text!r} is not an integer")
+        raise SystemExit(f"port in {text!r} is not an integer") from None
 
 
 def _serve_socket(service, args: argparse.Namespace) -> int:
@@ -598,7 +598,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         if args.listen:
             return _serve_socket(service, args)
-        stream = (
+        stream = (  # noqa: SIM115 - sys.stdin branch forbids `with`; closed below
             open(args.requests, "r", encoding="utf-8") if args.requests else sys.stdin
         )
         try:
@@ -717,7 +717,7 @@ def _cmd_connect(args: argparse.Namespace) -> int:
             compression=not args.no_compression,
         ).connect()
     except TransportError as exc:
-        raise SystemExit(f"connect failed: {exc}")
+        raise SystemExit(f"connect failed: {exc}") from None
     try:
         if args.s is not None:
             values = client.metric(args.s, args.metric)
@@ -733,7 +733,9 @@ def _cmd_connect(args: argparse.Namespace) -> int:
                 print(f"  {edge_id}\t{score:.6f}")
             return 0
 
-        stream = open(args.requests, "r", encoding="utf-8") if args.requests else sys.stdin
+        stream = (  # noqa: SIM115 - sys.stdin branch forbids `with`; closed below
+            open(args.requests, "r", encoding="utf-8") if args.requests else sys.stdin
+        )
 
         def execute_batch(chunk):
             """One batch frame per chunk; envelope failures (e.g. a batch
@@ -761,7 +763,7 @@ def _cmd_connect(args: argparse.Namespace) -> int:
                 stream.close()
         return 0
     except TransportError as exc:
-        raise SystemExit(f"transport error: {exc}")
+        raise SystemExit(f"transport error: {exc}") from None
     finally:
         client.close()
 
@@ -784,7 +786,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             host, port, timeout=args.timeout, connect_retries=args.connect_retries
         ).connect()
     except TransportError as exc:
-        raise SystemExit(f"connect failed: {exc}")
+        raise SystemExit(f"connect failed: {exc}") from None
     try:
         traces = client.traces(trace_id=args.trace_id, limit=args.limit)
         if not traces:
@@ -800,7 +802,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(render_trace(trace))
         return 0
     except TransportError as exc:
-        raise SystemExit(f"transport error: {exc}")
+        raise SystemExit(f"transport error: {exc}") from None
     finally:
         client.close()
 
@@ -841,19 +843,19 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
             compression=not args.no_compression,
         ).connect()
     except TransportError as exc:
-        raise SystemExit(f"connect failed: {exc}")
+        raise SystemExit(f"connect failed: {exc}") from None
     try:
         mirror = StoreMirror(client, args.store)
         lock = StoreLock(args.store, owner="repro-replicate").acquire(blocking=False)
     except (StoreError, OSError) as exc:
         # OSError: --store points at a file / an unwritable directory.
         client.close()
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     try:
         try:
             report = mirror.sync()
         except (TransportError, StoreError) as exc:
-            raise SystemExit(f"sync failed: {exc}")
+            raise SystemExit(f"sync failed: {exc}") from None
         print(
             json.dumps(
                 {
@@ -893,7 +895,7 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
                 remote_compression=not args.no_compression,
             )
         except (TransportError, StoreError, OSError) as exc:
-            raise SystemExit(f"replica start failed: {exc}")
+            raise SystemExit(f"replica start failed: {exc}") from None
         stop = threading.Event()
 
         def follow() -> None:

@@ -56,7 +56,6 @@ class DynamicCounter:
     def reset(self, counter: Dict[int, int]) -> None:
         """No-op — the counter is discarded after each iteration."""
         # Dynamic policy: nothing to reset; the dict is garbage collected.
-        return None
 
 
 class PreallocatedCounter:

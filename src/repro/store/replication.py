@@ -668,7 +668,11 @@ class StoreMirror:
             suffix = self._wal_suffix(generation, local_bytes, self.wal_seq + 1)
             if suffix is None:
                 cursor_supported = False
-            elif not suffix.get("rebase"):
+            elif suffix.get("rebase"):
+                # rebase: the source's log shrank under our cursor (writer
+                # restart recovery) — fall through to a full rewrite.
+                intact = False
+            else:
                 count = int(suffix["count"])
                 if not count:
                     return SyncReport(
@@ -687,10 +691,6 @@ class StoreMirror:
                     changed=True,
                     wal_records=count,
                 )
-            else:
-                # rebase: the source's log shrank under our cursor (writer
-                # restart recovery) — fall through to a full rewrite.
-                intact = False
         # A full rewrite is needed: our tail is suspect (killed
         # mid-append) or the cursor rebased.  Suffix-from-zero keeps the
         # rewrite raw when the source supports the cursor.

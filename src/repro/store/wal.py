@@ -342,7 +342,9 @@ class WriteAheadLog:
         if self._batch_handle is not None:
             yield self  # nested: the outer batch owns the commit
             return
-        self._batch_handle = open(self.path, "ab")
+        # The handle deliberately outlives this statement: every append in
+        # the batch shares it, and the finally below closes it.
+        self._batch_handle = open(self.path, "ab")  # noqa: SIM115
         self._batch_poisoned = False
         try:
             yield self

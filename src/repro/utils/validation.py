@@ -50,7 +50,10 @@ def check_array_int(arr: Sequence[int] | np.ndarray, name: str) -> np.ndarray:
     out = np.asarray(arr)
     if out.ndim != 1:
         raise ValidationError(f"{name} must be one-dimensional, got shape {out.shape}")
-    if out.size and not np.issubdtype(out.dtype, np.integer):
-        if not np.all(np.equal(np.mod(out, 1), 0)):
-            raise ValidationError(f"{name} must contain integers")
+    if (
+        out.size
+        and not np.issubdtype(out.dtype, np.integer)
+        and not np.all(np.equal(np.mod(out, 1), 0))
+    ):
+        raise ValidationError(f"{name} must contain integers")
     return out.astype(np.int64, copy=False)

@@ -45,11 +45,8 @@ class TestRegistration:
         register_process_metrics(registry)
         gauge = registry.get("process_open_fds")
         a = gauge.value
-        handle = open(__file__, "r")
-        try:
+        with open(__file__, "r"):
             b = gauge.value
-        finally:
-            handle.close()
         if a > 0:  # /proc available: the extra fd must be visible
             assert b == a + 1
 

@@ -162,8 +162,7 @@ def _replica_service(replica):
     """
     from repro.service.service import QueryService
 
-    svc = QueryService(replica.path, read_only=True)
-    return svc
+    return QueryService(replica.path, read_only=True)
 
 
 class TestReplicaLag:

@@ -7,6 +7,7 @@ store reader serves identical answers from either directory.
 """
 
 import os
+from pathlib import Path
 
 import pytest
 
@@ -418,7 +419,7 @@ class TestByteOffsetCursor:
         writer.add_hyperedge([0, 1, 2])
         writer.add_hyperedge([1, 2, 3])
         wal_file = os.path.join(source_path, WAL_NAME)
-        log = open(wal_file, "rb").read()
+        log = Path(wal_file).read_bytes()
 
         full = wal_suffix_payload(source_path, 0, 0, 1, raw=True)
         assert not full["rebase"]
@@ -437,7 +438,7 @@ class TestByteOffsetCursor:
         from repro.store.replication import wal_suffix_payload
 
         writer.add_hyperedge([0, 1, 2])
-        log = open(os.path.join(source_path, WAL_NAME), "rb").read()
+        log = Path(source_path, WAL_NAME).read_bytes()
         # Cursor past the file (the log shrank under the reader).
         assert wal_suffix_payload(source_path, 0, len(log) + 10, 2)["rebase"]
         # Sequence mismatch at the cursor (the tail was rewritten).

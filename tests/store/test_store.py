@@ -3,6 +3,7 @@
 import os
 import subprocess
 import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -193,7 +194,7 @@ class TestCompactionCrashWindows:
         engine = updated_engine(store, n_adds=2, n_removes=1)
         oracle = QueryEngine(engine.hypergraph)
         wal_path = os.path.join(store.path, WAL_NAME)
-        stale_log = open(wal_path, "rb").read()
+        stale_log = Path(wal_path).read_bytes()
         store.compact()
         # Simulate dying between the manifest swap and the truncate.
         with open(wal_path, "wb") as handle:

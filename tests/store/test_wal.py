@@ -1,6 +1,7 @@
 """Write-ahead log framing, replay, and torn-tail crash recovery."""
 
 import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -80,7 +81,7 @@ class TestCrashRecovery:
 
     def test_corrupt_crc_stops_replay(self, wal):
         append_three(wal)
-        data = open(wal.path, "rb").read().splitlines(keepends=True)
+        data = Path(wal.path).read_bytes().splitlines(keepends=True)
         # Flip a payload byte of record 2: its CRC no longer matches, so
         # replay must stop before it even though record 3 is intact.
         corrupted = data[1][:-3] + b"X" + data[1][-2:]
@@ -91,7 +92,7 @@ class TestCrashRecovery:
 
     def test_sequence_break_stops_replay(self, wal):
         append_three(wal)
-        data = open(wal.path, "rb").read().splitlines(keepends=True)
+        data = Path(wal.path).read_bytes().splitlines(keepends=True)
         with open(wal.path, "wb") as handle:
             handle.write(data[0] + data[2])  # record 2 missing: seq 1 then 3
         records = WriteAheadLog(wal.path).recover()
